@@ -1,0 +1,34 @@
+// Command calibrate prints reference-triple AVEbsld per preset at
+// benchmark scale, used while calibrating the synthetic generators.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	for _, name := range workload.PresetNames() {
+		for _, ds := range []uint64{0, 1, 2} {
+			cfg, _ := workload.Scaled(name, 3000)
+			cfg.Seed += ds
+			w, err := workload.Generate(cfg)
+			if err != nil {
+				panic(err)
+			}
+			run := func(t core.Triple) float64 {
+				res, err := sim.Run(w, t.Config())
+				if err != nil {
+					panic(err)
+				}
+				return metrics.AVEbsld(res)
+			}
+			e, c := run(core.EASY()), run(core.ClairvoyantEASY())
+			fmt.Printf("%-12s seed+%d EASY=%6.1f ClairEASY=%6.1f gain=%5.1f%%\n", name, ds, e, c, 100*(e-c)/e)
+		}
+	}
+}

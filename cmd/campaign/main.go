@@ -1,0 +1,95 @@
+// Command campaign runs the paper's full experiment campaign — every
+// heuristic triple over the six Table-4 preset workloads — and prints the
+// requested tables and figure series.
+//
+// Usage:
+//
+//	campaign -jobs 3000                  # everything
+//	campaign -jobs 3000 -table 1        # just Table 1
+//	campaign -jobs 3000 -figure 4       # just Figure 4 (Curie ECDFs)
+//
+// Table/figure numbers follow the paper: tables 1, 6, 7, 8 and figures
+// 3, 4, 5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/campaign"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 3000, "jobs per preset workload (0 = full Table-4 sizes; slow)")
+	table := flag.Int("table", 0, "print only this table (1, 6, 7 or 8; 0 = all)")
+	figure := flag.Int("figure", 0, "print only this figure (3, 4 or 5; 0 = all)")
+	par := flag.Int("p", 0, "parallel simulations (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	wantTable := func(n int) bool { return (*table == 0 && *figure == 0) || *table == n }
+	wantFigure := func(n int) bool { return (*table == 0 && *figure == 0) || *figure == n }
+
+	needCampaign := wantTable(1) || wantTable(6) || wantTable(7) || wantFigure(3)
+	var results []campaign.RunResult
+	if needCampaign {
+		ws, err := campaign.DefaultWorkloads(*jobs)
+		if err != nil {
+			fatal(err)
+		}
+		c := &campaign.Campaign{Workloads: ws, Parallelism: *par}
+		fmt.Fprintf(os.Stderr, "campaign: running %d simulations (%d workloads x 130 triples)...\n", len(ws)*130, len(ws))
+		results, err = c.Run()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if wantTable(1) {
+		fmt.Println(report.Table1(results))
+	}
+	if wantTable(6) {
+		fmt.Println(report.Table6(results))
+	}
+	if wantTable(7) {
+		cv, err := campaign.LeaveOneOut(results)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report.Table7(cv, results))
+	}
+	if wantFigure(3) {
+		fmt.Println(report.Figure3(results, "SDSC-BLUE", "Metacentrum"))
+	}
+
+	if wantTable(8) || wantFigure(4) || wantFigure(5) {
+		cfg, err := workload.Scaled("Curie", *jobs)
+		if err != nil {
+			fatal(err)
+		}
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		series, err := report.AnalyzePredictions(w)
+		if err != nil {
+			fatal(err)
+		}
+		if wantTable(8) {
+			fmt.Println(report.Table8(series))
+		}
+		if wantFigure(4) {
+			fmt.Println(report.Figure4(series))
+		}
+		if wantFigure(5) {
+			fmt.Println(report.Figure5(series))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "campaign:", err)
+	os.Exit(1)
+}

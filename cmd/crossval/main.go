@@ -1,0 +1,71 @@
+// Command crossval reproduces Table 7: it runs the full campaign on the
+// six preset workloads, performs the leave-one-out cross-validation
+// triple selection of Section 6.3.3, and prints the selected triple's
+// AVEbsld against the EASY and EASY++ baselines per held-out log.
+//
+// Usage:
+//
+//	crossval -jobs 3000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/campaign"
+	"repro/internal/report"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 3000, "jobs per preset workload (0 = full Table-4 sizes; slow)")
+	par := flag.Int("p", 0, "parallel simulations (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	ws, err := campaign.DefaultWorkloads(*jobs)
+	if err != nil {
+		fatal(err)
+	}
+	c := &campaign.Campaign{Workloads: ws, Parallelism: *par}
+	fmt.Fprintf(os.Stderr, "crossval: running %d simulations...\n", len(ws)*130)
+	results, err := c.Run()
+	if err != nil {
+		fatal(err)
+	}
+	cv, err := campaign.LeaveOneOut(results)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(report.Table7(cv, results))
+
+	// Summary line matching the paper's headline claim.
+	var sumEasyRed, sumPPRed float64
+	var n int
+	for _, c := range cv {
+		easy, ok1 := campaignScore(results, c.HeldOut, true)
+		pp, ok2 := campaignScore(results, c.HeldOut, false)
+		if !ok1 || !ok2 || easy == 0 || pp == 0 {
+			continue
+		}
+		sumEasyRed += 100 * (easy - c.Score) / easy
+		sumPPRed += 100 * (pp - c.Score) / pp
+		n++
+	}
+	if n > 0 {
+		fmt.Printf("Average AVEbsld reduction of the C-V triple: %.0f%% vs EASY, %.0f%% vs EASY++ (paper: 28%% and 11%%)\n",
+			sumEasyRed/float64(n), sumPPRed/float64(n))
+	}
+}
+
+func campaignScore(results []campaign.RunResult, workload string, easy bool) (float64, bool) {
+	name := "EASY/RequestedTime/RequestedTime"
+	if !easy {
+		name = "EASY-SJBF/AVE2/Incremental"
+	}
+	return campaign.Score(results, workload, name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crossval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command gentrace generates a synthetic SWF workload from one of the
+// Table-4 presets (or a custom size) and writes it to stdout or a file.
+//
+// Usage:
+//
+//	gentrace -preset Curie -jobs 5000 -o curie.swf
+//	gentrace -preset KTH-SP2 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/swf"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	preset := flag.String("preset", "KTH-SP2", "workload preset (one of "+fmt.Sprint(workload.PresetNames())+")")
+	jobs := flag.Int("jobs", 0, "scale the preset down to this many jobs (0 = full Table-4 size)")
+	seed := flag.Uint64("seed", 0, "override the preset's deterministic seed (0 = keep)")
+	out := flag.String("o", "", "output SWF path (default stdout)")
+	stats := flag.Bool("stats", false, "print workload statistics instead of the trace")
+	flag.Parse()
+
+	cfg, err := workload.Scaled(*preset, *jobs)
+	if err != nil {
+		fatal(err)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		s := trace.ComputeStats(w)
+		fmt.Printf("workload      %s\n", s.Name)
+		fmt.Printf("machine       %d processors\n", s.MaxProcs)
+		fmt.Printf("jobs          %d\n", s.Jobs)
+		fmt.Printf("users         %d\n", s.Users)
+		fmt.Printf("duration      %d s (%.1f days)\n", s.DurationSec, float64(s.DurationSec)/86400)
+		fmt.Printf("offered load  %.2f\n", s.OfferedLoad)
+		fmt.Printf("mean runtime  %.0f s (median %d s)\n", s.MeanRunTime, s.MedianRunTime)
+		fmt.Printf("mean request  %.0f s (mean over-estimation %.1fx)\n", s.MeanRequested, s.MeanOverestim)
+		fmt.Printf("mean width    %.1f procs (max %d)\n", s.MeanProcsPerJob, s.MaxProcsPerJob)
+		return
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	tr := &swf.Trace{
+		Header: swf.Header{MaxProcs: w.MaxProcs, MaxJobs: int64(len(w.Jobs))},
+		Jobs:   w.Jobs,
+	}
+	if err := swf.Write(dst, tr); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gentrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command simsched runs a single scheduling simulation — one workload,
+// one heuristic triple — and prints the schedule metrics. The workload is
+// either a generated preset or an SWF file from disk (e.g. a real log
+// downloaded from the Parallel Workloads Archive).
+//
+// Usage:
+//
+//	simsched -preset Curie -jobs 5000 -triple best
+//	simsched -swf CTC-SP2-1996-3.1-cln.swf -triple easy++
+//	simsched -preset KTH-SP2 -policy easy-sjbf -predictor ml -loss "over=sq,under=lin,w=largearea" -corrector incremental
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/correct"
+	"repro/internal/metrics"
+	"repro/internal/ml"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	preset := flag.String("preset", "KTH-SP2", "workload preset")
+	jobs := flag.Int("jobs", 5000, "scale the preset to this many jobs (0 = full size)")
+	swfPath := flag.String("swf", "", "load this SWF file instead of generating a preset")
+	maxProcs := flag.Int64("maxprocs", 0, "machine size override for -swf (0 = use header)")
+	triple := flag.String("triple", "", "named triple: easy | easy++ | best | clairvoyant | clairvoyant-sjbf")
+	policy := flag.String("policy", "easy-sjbf", "scheduling policy: fcfs | easy | easy-sjbf | conservative")
+	predictor := flag.String("predictor", "ml", "prediction technique: clairvoyant | requested | ave2 | ml")
+	lossName := flag.String("loss", ml.ELoss.Name(), "ML loss, e.g. \"over=sq,under=lin,w=largearea\"")
+	corrector := flag.String("corrector", "incremental", "correction: requested | incremental | doubling")
+	flag.Parse()
+
+	w, err := loadWorkload(*preset, *jobs, *swfPath, *maxProcs)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := buildConfig(*triple, *policy, *predictor, *lossName, *corrector)
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := sim.Run(w, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if errs := sim.ValidateResult(res); len(errs) != 0 {
+		fatal(fmt.Errorf("schedule invalid: %v", errs[0]))
+	}
+	fmt.Printf("workload      %s (%d jobs, %d procs)\n", w.Name, len(w.Jobs), w.MaxProcs)
+	fmt.Printf("triple        %s\n", res.Triple)
+	fmt.Printf("AVEbsld       %.2f\n", metrics.AVEbsld(res))
+	fmt.Printf("max bsld      %.1f\n", metrics.MaxBsld(res))
+	fmt.Printf("mean wait     %.0f s\n", metrics.MeanWait(res))
+	fmt.Printf("utilization   %.3f\n", metrics.Utilization(res))
+	fmt.Printf("corrections   %d\n", res.Corrections)
+	fmt.Printf("prediction MAE %.0f s, mean E-Loss %.3g\n", metrics.MAE(res.Jobs), metrics.MeanELoss(res.Jobs))
+}
+
+func loadWorkload(preset string, jobs int, swfPath string, maxProcs int64) (*trace.Workload, error) {
+	if swfPath != "" {
+		return trace.LoadFile(swfPath, swfPath, maxProcs)
+	}
+	cfg, err := workload.Scaled(preset, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(cfg)
+}
+
+func buildConfig(triple, policy, predictor, lossName, corrector string) (sim.Config, error) {
+	if triple != "" {
+		switch strings.ToLower(triple) {
+		case "easy":
+			return core.EASY().Config(), nil
+		case "easy++":
+			return core.EASYPlusPlus().Config(), nil
+		case "best":
+			return core.PaperBest().Config(), nil
+		case "clairvoyant":
+			return core.ClairvoyantEASY().Config(), nil
+		case "clairvoyant-sjbf":
+			return core.ClairvoyantSJBF().Config(), nil
+		default:
+			return sim.Config{}, fmt.Errorf("unknown triple %q", triple)
+		}
+	}
+	var t core.Triple
+	switch strings.ToLower(predictor) {
+	case "clairvoyant":
+		t.Predictor = core.PredClairvoyant
+	case "requested":
+		t.Predictor = core.PredRequested
+	case "ave2":
+		t.Predictor = core.PredAve2
+	case "ml":
+		t.Predictor = core.PredLearning
+		loss, err := findLoss(lossName)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		t.Loss = loss
+	default:
+		return sim.Config{}, fmt.Errorf("unknown predictor %q", predictor)
+	}
+	switch strings.ToLower(corrector) {
+	case "requested":
+		t.Corrector = correct.RequestedTime{}
+	case "incremental":
+		t.Corrector = correct.Incremental{}
+	case "doubling":
+		t.Corrector = correct.RecursiveDoubling{}
+	default:
+		return sim.Config{}, fmt.Errorf("unknown corrector %q", corrector)
+	}
+	cfg := sim.Config{Predictor: t.NewPredictor(), Corrector: t.Corrector}
+	switch strings.ToLower(policy) {
+	case "fcfs":
+		cfg.Policy = sched.FCFS{}
+	case "easy":
+		cfg.Policy = sched.EASY{Backfill: sched.FCFSOrder}
+	case "easy-sjbf":
+		cfg.Policy = sched.EASY{Backfill: sched.SJBFOrder}
+	case "conservative":
+		cfg.Policy = sched.Conservative{}
+	default:
+		return sim.Config{}, fmt.Errorf("unknown policy %q", policy)
+	}
+	return cfg, nil
+}
+
+func findLoss(name string) (ml.Loss, error) {
+	for _, l := range ml.AllLosses() {
+		if l.Name() == name {
+			return l, nil
+		}
+	}
+	return ml.Loss{}, fmt.Errorf("unknown loss %q (see ml.AllLosses)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simsched:", err)
+	os.Exit(1)
+}

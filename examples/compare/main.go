@@ -1,0 +1,59 @@
+// Compare: a miniature Table 6 — run every combination of prediction
+// technique, correction mechanism and backfilling variant on one
+// workload and rank the heuristic triples by AVEbsld.
+//
+// Run with:
+//
+//	go run ./examples/compare            # SDSC-SP2 preset
+//	go run ./examples/compare Curie      # any preset name
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	preset := "SDSC-SP2"
+	if len(os.Args) > 1 {
+		preset = os.Args[1]
+	}
+	cfg, err := workload.Scaled(preset, 3000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := &campaign.Campaign{Workloads: []*trace.Workload{w}}
+	fmt.Printf("running the full 130-triple campaign on %s (%d jobs, %d procs)...\n\n",
+		w.Name, len(w.Jobs), w.MaxProcs)
+	results, err := c.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(results, func(a, b int) bool { return results[a].AVEbsld < results[b].AVEbsld })
+
+	fmt.Println("ten best heuristic triples:")
+	for i := 0; i < 10 && i < len(results); i++ {
+		r := results[i]
+		fmt.Printf("  %2d. %-62s AVEbsld %7.1f  (max %8.0f, corrections %d)\n",
+			i+1, r.Triple.Name(), r.AVEbsld, r.MaxBsld, r.Corrections)
+	}
+
+	fmt.Println("\nreference triples:")
+	for _, tr := range []core.Triple{core.EASY(), core.EASYPlusPlus(), core.PaperBest(), core.ClairvoyantSJBF()} {
+		if s, ok := campaign.Score(results, w.Name, tr.Name()); ok {
+			fmt.Printf("  %-64s AVEbsld %7.1f\n", tr.Name(), s)
+		}
+	}
+}

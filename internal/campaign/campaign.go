@@ -1,0 +1,150 @@
+// Package campaign is the experiment harness of Section 6: it runs every
+// heuristic triple over every workload, aggregates AVEbsld scores, and
+// implements the leave-one-out cross-validation triple selection of
+// Section 6.3.3. All paper tables and figure series are derived from a
+// campaign's Results.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// RunResult is the outcome of one (workload, triple) simulation.
+type RunResult struct {
+	Workload string
+	Triple   core.Triple
+	// AVEbsld is the average bounded slowdown (the paper's objective).
+	AVEbsld float64
+	// MaxBsld is the worst job's bounded slowdown.
+	MaxBsld float64
+	// MeanWait is the mean waiting time in seconds.
+	MeanWait float64
+	// Utilization is work/capacity over the makespan.
+	Utilization float64
+	// Corrections is the number of prediction corrections performed.
+	Corrections int
+	// MAE and MeanELoss judge the submission-time predictions.
+	MAE       float64
+	MeanELoss float64
+}
+
+// Campaign holds the workloads and triple set to evaluate.
+type Campaign struct {
+	// Workloads are the inputs, typically the six Table-4 presets.
+	Workloads []*trace.Workload
+	// Triples is the heuristic-triple grid (defaults to
+	// core.CampaignTriples when empty).
+	Triples []core.Triple
+	// Parallelism bounds concurrent simulations (defaults to GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultWorkloads generates the six paper presets scaled to jobsPerLog
+// jobs each (0 = full Table-4 sizes).
+func DefaultWorkloads(jobsPerLog int) ([]*trace.Workload, error) {
+	var out []*trace.Workload
+	for _, name := range workload.PresetNames() {
+		cfg, err := workload.Scaled(name, jobsPerLog)
+		if err != nil {
+			return nil, err
+		}
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// Run executes the full grid. Simulations are independent, so they run on
+// a bounded worker pool; results are ordered (workload-major, triple-minor)
+// regardless of completion order, keeping reports deterministic.
+func (c *Campaign) Run() ([]RunResult, error) {
+	triples := c.Triples
+	if len(triples) == 0 {
+		triples = core.CampaignTriples()
+	}
+	par := c.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	type task struct {
+		wi, ti int
+	}
+	tasks := make(chan task)
+	results := make([]RunResult, len(c.Workloads)*len(triples))
+	errs := make([]error, len(results))
+	var wg sync.WaitGroup
+	for k := 0; k < par; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range tasks {
+				idx := tk.wi*len(triples) + tk.ti
+				results[idx], errs[idx] = runOne(c.Workloads[tk.wi], triples[tk.ti])
+			}
+		}()
+	}
+	for wi := range c.Workloads {
+		for ti := range triples {
+			tasks <- task{wi, ti}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func runOne(w *trace.Workload, tr core.Triple) (RunResult, error) {
+	res, err := sim.Run(w, tr.Config())
+	if err != nil {
+		return RunResult{}, fmt.Errorf("campaign: %s on %s: %w", tr.Name(), w.Name, err)
+	}
+	if verrs := sim.ValidateResult(res); len(verrs) != 0 {
+		return RunResult{}, fmt.Errorf("campaign: %s on %s: invalid schedule: %v", tr.Name(), w.Name, verrs[0])
+	}
+	return RunResult{
+		Workload:    w.Name,
+		Triple:      tr,
+		AVEbsld:     metrics.AVEbsld(res),
+		MaxBsld:     metrics.MaxBsld(res),
+		MeanWait:    metrics.MeanWait(res),
+		Utilization: metrics.Utilization(res),
+		Corrections: res.Corrections,
+		MAE:         metrics.MAE(res.Jobs),
+		MeanELoss:   metrics.MeanELoss(res.Jobs),
+	}, nil
+}
+
+// Score looks up the AVEbsld of a (workload, triple-name) pair.
+func Score(results []RunResult, workloadName, tripleName string) (float64, bool) {
+	for i := range results {
+		if results[i].Workload == workloadName && results[i].Triple.Name() == tripleName {
+			return results[i].AVEbsld, true
+		}
+	}
+	return 0, false
+}
+
+// ByWorkload groups results per workload, preserving triple order.
+func ByWorkload(results []RunResult) map[string][]RunResult {
+	out := make(map[string][]RunResult)
+	for _, r := range results {
+		out[r.Workload] = append(out[r.Workload], r)
+	}
+	return out
+}

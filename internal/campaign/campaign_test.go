@@ -1,0 +1,161 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/correct"
+	"repro/internal/ml"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// miniTriples is a reduced grid for fast tests: the named baselines plus
+// two learning configurations under both orders.
+func miniTriples() []core.Triple {
+	return []core.Triple{
+		core.EASY(),
+		core.ClairvoyantEASY(),
+		core.ClairvoyantSJBF(),
+		core.EASYPlusPlus(),
+		core.PaperBest(),
+		{Predictor: core.PredLearning, Loss: ml.SquaredLoss, Corrector: correct.Incremental{}, Backfill: sched.FCFSOrder},
+	}
+}
+
+func miniWorkloads(t *testing.T, jobs int, names ...string) []*trace.Workload {
+	t.Helper()
+	var out []*trace.Workload
+	for _, n := range names {
+		cfg, err := workload.Scaled(n, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func TestCampaignRun(t *testing.T) {
+	ws := miniWorkloads(t, 400, "KTH-SP2", "CTC-SP2")
+	c := &Campaign{Workloads: ws, Triples: miniTriples()}
+	results, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2*len(miniTriples()) {
+		t.Fatalf("got %d results, want %d", len(results), 2*len(miniTriples()))
+	}
+	for _, r := range results {
+		if r.AVEbsld < 1 {
+			t.Errorf("%s on %s: AVEbsld %v < 1", r.Triple.Name(), r.Workload, r.AVEbsld)
+		}
+		if r.Utilization <= 0 || r.Utilization > 1 {
+			t.Errorf("%s on %s: utilization %v out of (0,1]", r.Triple.Name(), r.Workload, r.Utilization)
+		}
+	}
+}
+
+func TestCampaignResultOrderDeterministic(t *testing.T) {
+	ws := miniWorkloads(t, 300, "KTH-SP2")
+	c := &Campaign{Workloads: ws, Triples: miniTriples(), Parallelism: 4}
+	a, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh workloads (the sim mutates job state in place).
+	c.Workloads = miniWorkloads(t, 300, "KTH-SP2")
+	b, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].AVEbsld != b[i].AVEbsld || a[i].Triple.Name() != b[i].Triple.Name() {
+			t.Fatalf("result %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestScoreLookup(t *testing.T) {
+	ws := miniWorkloads(t, 300, "KTH-SP2")
+	c := &Campaign{Workloads: ws, Triples: []core.Triple{core.EASY()}}
+	results, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Score(results, "KTH-SP2", core.EASY().Name()); !ok {
+		t.Fatal("Score lookup failed")
+	}
+	if _, ok := Score(results, "nope", core.EASY().Name()); ok {
+		t.Fatal("Score found a missing workload")
+	}
+}
+
+func TestByWorkload(t *testing.T) {
+	ws := miniWorkloads(t, 300, "KTH-SP2", "CTC-SP2")
+	c := &Campaign{Workloads: ws, Triples: []core.Triple{core.EASY(), core.EASYPlusPlus()}}
+	results, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped := ByWorkload(results)
+	if len(grouped) != 2 || len(grouped["KTH-SP2"]) != 2 {
+		t.Fatalf("grouping wrong: %v", grouped)
+	}
+}
+
+func TestLeaveOneOut(t *testing.T) {
+	ws := miniWorkloads(t, 400, "KTH-SP2", "CTC-SP2", "SDSC-SP2")
+	c := &Campaign{Workloads: ws, Triples: miniTriples()}
+	results, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := LeaveOneOut(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv) != 3 {
+		t.Fatalf("got %d cross-validation rows, want 3", len(cv))
+	}
+	for _, c := range cv {
+		if c.Selected.Predictor == core.PredClairvoyant {
+			t.Errorf("%s: clairvoyant triple selected — it must be excluded", c.HeldOut)
+		}
+		if c.Score <= 0 {
+			t.Errorf("%s: non-positive score %v", c.HeldOut, c.Score)
+		}
+	}
+}
+
+func TestLeaveOneOutNeedsTwoWorkloads(t *testing.T) {
+	ws := miniWorkloads(t, 300, "KTH-SP2")
+	c := &Campaign{Workloads: ws, Triples: []core.Triple{core.EASY()}}
+	results, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LeaveOneOut(results); err == nil {
+		t.Fatal("cross-validation with one workload accepted")
+	}
+}
+
+func TestDefaultWorkloads(t *testing.T) {
+	ws, err := DefaultWorkloads(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 6 {
+		t.Fatalf("got %d workloads, want 6", len(ws))
+	}
+	for _, w := range ws {
+		if len(w.Jobs) != 200 {
+			t.Errorf("%s has %d jobs, want 200", w.Name, len(w.Jobs))
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// learnedOnly filters a campaign's results down to the non-clairvoyant,
+// non-reference triples eligible for selection (the paper selects among
+// predictive-corrective heuristics, excluding the clairvoyant bound; the
+// plain requested-time EASY baselines stay eligible, as in the paper's
+// framing where EASY itself is one heuristic triple).
+func selectable(r RunResult) bool {
+	return r.Triple.Predictor != core.PredClairvoyant
+}
+
+// CrossValidation is the leave-one-out selection of Section 6.3.3: for
+// each held-out workload, the triple minimizing the sum of AVEbsld over
+// the other workloads is selected and evaluated on the held-out one.
+type CrossValidation struct {
+	// HeldOut is the evaluation workload.
+	HeldOut string
+	// Selected is the winning triple on the other workloads.
+	Selected core.Triple
+	// Score is the selected triple's AVEbsld on the held-out workload.
+	Score float64
+}
+
+// LeaveOneOut runs the cross-validation over every workload present in
+// the results.
+func LeaveOneOut(results []RunResult) ([]CrossValidation, error) {
+	byWorkload := ByWorkload(results)
+	if len(byWorkload) < 2 {
+		return nil, fmt.Errorf("campaign: cross-validation needs >= 2 workloads, have %d", len(byWorkload))
+	}
+	var names []string
+	for n := range byWorkload {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// Sum each triple's AVEbsld per workload for fast exclusion.
+	type key = string
+	perTriple := make(map[key]map[string]float64) // triple -> workload -> score
+	tripleOf := make(map[key]core.Triple)
+	for _, r := range results {
+		if !selectable(r) {
+			continue
+		}
+		n := r.Triple.Name()
+		if perTriple[n] == nil {
+			perTriple[n] = make(map[string]float64)
+		}
+		perTriple[n][r.Workload] = r.AVEbsld
+		tripleOf[n] = r.Triple
+	}
+
+	var out []CrossValidation
+	for _, held := range names {
+		bestName := ""
+		bestSum := 0.0
+		// Deterministic iteration over triples.
+		var tripleNames []string
+		for n := range perTriple {
+			tripleNames = append(tripleNames, n)
+		}
+		sort.Strings(tripleNames)
+		for _, tn := range tripleNames {
+			scores := perTriple[tn]
+			sum := 0.0
+			complete := true
+			for _, w := range names {
+				if w == held {
+					continue
+				}
+				s, ok := scores[w]
+				if !ok {
+					complete = false
+					break
+				}
+				sum += s
+			}
+			if !complete {
+				continue
+			}
+			if bestName == "" || sum < bestSum {
+				bestName, bestSum = tn, sum
+			}
+		}
+		if bestName == "" {
+			return nil, fmt.Errorf("campaign: no complete triple covers all training workloads for %s", held)
+		}
+		score, ok := perTriple[bestName][held]
+		if !ok {
+			return nil, fmt.Errorf("campaign: selected triple %s missing on held-out %s", bestName, held)
+		}
+		out = append(out, CrossValidation{HeldOut: held, Selected: tripleOf[bestName], Score: score})
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+// Package correct implements the correction mechanisms of Section 5.2:
+// when a running job outlives its predicted running time, the scheduler
+// needs a new estimate of the total running time. All corrected values
+// are capped by the caller at the requested time p̃j (the job would be
+// killed there anyway) and must strictly exceed the elapsed time so the
+// simulation always makes progress.
+package correct
+
+// Corrector produces a new total-running-time prediction for a job that
+// has already run `elapsed` seconds, given its requested time `request`
+// and how many corrections happened before (`corrections`, starting at 0
+// for the first expiry).
+type Corrector interface {
+	// Name identifies the mechanism in reports.
+	Name() string
+	// Correct returns the new predicted total running time.
+	Correct(elapsed, request int64, corrections int) int64
+}
+
+// RequestedTime resets the prediction to the user's requested time: the
+// single most conservative correction, equivalent to falling back on
+// plain EASY behaviour after the first mis-prediction.
+type RequestedTime struct{}
+
+// Name implements Corrector.
+func (RequestedTime) Name() string { return "RequestedTime" }
+
+// Correct implements Corrector.
+func (RequestedTime) Correct(_, request int64, _ int) int64 { return request }
+
+// increments is the fixed list of Tsafrir et al. [24] used by EASY++:
+// each successive under-estimation extends the prediction by the next
+// amount (1min, 5min, 15min, 30min, 1h, 2h, 5h, 10h, 20h, 50h, 100h).
+var increments = []int64{
+	60, 5 * 60, 15 * 60, 30 * 60,
+	3600, 2 * 3600, 5 * 3600, 10 * 3600, 20 * 3600, 50 * 3600, 100 * 3600,
+}
+
+// Incremental adds a growing fixed amount to the elapsed time at each
+// correction, per Tsafrir's technique.
+type Incremental struct{}
+
+// Name implements Corrector.
+func (Incremental) Name() string { return "Incremental" }
+
+// Correct implements Corrector.
+func (Incremental) Correct(elapsed, request int64, corrections int) int64 {
+	idx := corrections
+	if idx >= len(increments) {
+		idx = len(increments) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	next := elapsed + increments[idx]
+	if next > request {
+		next = request
+	}
+	return next
+}
+
+// RecursiveDoubling predicts double the elapsed running time.
+type RecursiveDoubling struct{}
+
+// Name implements Corrector.
+func (RecursiveDoubling) Name() string { return "RecursiveDoubling" }
+
+// Correct implements Corrector.
+func (RecursiveDoubling) Correct(elapsed, request int64, _ int) int64 {
+	next := elapsed * 2
+	if next <= elapsed {
+		next = elapsed + 1
+	}
+	if next > request {
+		next = request
+	}
+	return next
+}
+
+// All returns the three mechanisms in the paper's order.
+func All() []Corrector {
+	return []Corrector{RequestedTime{}, Incremental{}, RecursiveDoubling{}}
+}

@@ -1,0 +1,102 @@
+package correct
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestedTimeCorrection(t *testing.T) {
+	c := RequestedTime{}
+	if got := c.Correct(500, 10000, 0); got != 10000 {
+		t.Fatalf("Correct = %d, want request", got)
+	}
+}
+
+func TestIncrementalSchedule(t *testing.T) {
+	c := Incremental{}
+	// First correction adds 1 minute, second 5, third 15...
+	cases := []struct {
+		elapsed     int64
+		corrections int
+		want        int64
+	}{
+		{100, 0, 160},
+		{160, 1, 460},
+		{460, 2, 1360},
+		{1000, 3, 2800},
+		{1000, 4, 4600},
+		{1000, 10, 1000 + 100*3600},
+		{1000, 99, 1000 + 100*3600}, // clamps to the last increment
+	}
+	for _, tc := range cases {
+		if got := c.Correct(tc.elapsed, 1<<40, tc.corrections); got != tc.want {
+			t.Errorf("Correct(%d,·,%d) = %d, want %d", tc.elapsed, tc.corrections, got, tc.want)
+		}
+	}
+}
+
+func TestIncrementalCapsAtRequest(t *testing.T) {
+	c := Incremental{}
+	if got := c.Correct(95, 100, 0); got != 100 {
+		t.Fatalf("Correct = %d, want capped at request 100", got)
+	}
+}
+
+func TestRecursiveDoubling(t *testing.T) {
+	c := RecursiveDoubling{}
+	if got := c.Correct(100, 1<<40, 0); got != 200 {
+		t.Fatalf("Correct = %d, want 200", got)
+	}
+	if got := c.Correct(100, 150, 0); got != 150 {
+		t.Fatalf("Correct = %d, want capped 150", got)
+	}
+	// Zero elapsed must still make progress.
+	if got := c.Correct(0, 100, 0); got <= 0 {
+		t.Fatalf("Correct(0) = %d, want positive", got)
+	}
+}
+
+func TestAll(t *testing.T) {
+	all := All()
+	if len(all) != 3 {
+		t.Fatalf("All() = %d mechanisms, want 3", len(all))
+	}
+	names := map[string]bool{}
+	for _, c := range all {
+		names[c.Name()] = true
+	}
+	for _, want := range []string{"RequestedTime", "Incremental", "RecursiveDoubling"} {
+		if !names[want] {
+			t.Errorf("missing corrector %s", want)
+		}
+	}
+}
+
+func TestQuickCorrectionsNeverExceedRequest(t *testing.T) {
+	f := func(elapsedRaw, requestRaw uint32, corrections uint8) bool {
+		elapsed := int64(elapsedRaw % 1000000)
+		request := elapsed + 1 + int64(requestRaw%1000000)
+		for _, c := range All() {
+			got := c.Correct(elapsed, request, int(corrections%16))
+			if got > request {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIncrementalMonotoneInCorrections(t *testing.T) {
+	c := Incremental{}
+	f := func(elapsedRaw uint32, k uint8) bool {
+		elapsed := int64(elapsedRaw % 1000000)
+		n := int(k % 10)
+		return c.Correct(elapsed, 1<<40, n+1) >= c.Correct(elapsed, 1<<40, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue[int]
+	if q.Len() != 0 {
+		t.Fatal("empty queue has non-zero length")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue returned ok")
+	}
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue returned ok")
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	var q Queue[int]
+	times := []int64{50, 10, 30, 20, 40}
+	for i, tm := range times {
+		q.Push(tm, Submit, i)
+	}
+	var got []int64
+	for q.Len() > 0 {
+		e, _ := q.Pop()
+		got = append(got, e.Time)
+	}
+	if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a] < got[b] }) {
+		t.Fatalf("events not in time order: %v", got)
+	}
+}
+
+func TestKindOrderingAtSameTime(t *testing.T) {
+	var q Queue[string]
+	q.Push(100, Submit, "submit")
+	q.Push(100, Finish, "finish")
+	q.Push(100, Expiry, "expiry")
+	want := []string{"finish", "expiry", "submit"}
+	for _, w := range want {
+		e, ok := q.Pop()
+		if !ok || e.Payload != w {
+			t.Fatalf("got %q, want %q", e.Payload, w)
+		}
+	}
+}
+
+func TestFIFOWithinSameTimeAndKind(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 10; i++ {
+		q.Push(5, Submit, i)
+	}
+	for i := 0; i < 10; i++ {
+		e, _ := q.Pop()
+		if e.Payload != i {
+			t.Fatalf("insertion order broken: got %d at position %d", e.Payload, i)
+		}
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	var q Queue[int]
+	q.Push(42, Submit, 0)
+	q.Push(7, Finish, 1)
+	if tm, ok := q.PeekTime(); !ok || tm != 7 {
+		t.Fatalf("PeekTime = %d, want 7", tm)
+	}
+	if q.Len() != 2 {
+		t.Fatal("PeekTime must not remove events")
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	var q Queue[int64]
+	r := rand.New(rand.NewSource(1))
+	var lastPopped int64 = -1 << 62
+	pending := 0
+	for i := 0; i < 10000; i++ {
+		if pending == 0 || r.Intn(2) == 0 {
+			// Pushing a time in the past relative to popped events would be
+			// a simulation bug; only push >= lastPopped to model reality.
+			tm := lastPopped + r.Int63n(100)
+			if tm < 0 {
+				tm = 0
+			}
+			q.Push(tm, Submit, tm)
+			pending++
+		} else {
+			e, ok := q.Pop()
+			if !ok {
+				t.Fatal("Pop failed with pending events")
+			}
+			if e.Time < lastPopped {
+				t.Fatalf("time went backwards: %d after %d", e.Time, lastPopped)
+			}
+			lastPopped = e.Time
+			pending--
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Finish.String() != "finish" || Expiry.String() != "expiry" || Submit.String() != "submit" {
+		t.Fatal("Kind.String broken")
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("unknown kind should stringify as unknown")
+	}
+}
+
+func TestQuickHeapProperty(t *testing.T) {
+	f := func(times []int64) bool {
+		var q Queue[int]
+		for i, tm := range times {
+			if tm < 0 {
+				tm = -tm
+			}
+			q.Push(tm, Submit, i)
+		}
+		prev := int64(-1)
+		for q.Len() > 0 {
+			e, _ := q.Pop()
+			if e.Time < prev {
+				return false
+			}
+			prev = e.Time
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var q Queue[int]
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		q.Push(r.Int63n(1<<40), Submit, i)
+		if q.Len() > 1024 {
+			q.Pop()
+		}
+	}
+}

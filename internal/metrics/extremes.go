@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// WaitStats summarizes the waiting-time distribution of a schedule,
+// including the tail measures the paper's Section 6.5 discussion calls
+// for: prediction-based heuristics occasionally produce extreme bounded
+// slowdowns on ~0.1 % of jobs, which averages hide.
+type WaitStats struct {
+	// Mean and Max waiting time, seconds.
+	Mean float64
+	Max  int64
+	// P50/P95/P99 waiting-time percentiles, seconds.
+	P50, P95, P99 int64
+}
+
+// ComputeWaitStats derives the waiting-time distribution summary.
+func ComputeWaitStats(res *sim.Result) WaitStats {
+	if len(res.Jobs) == 0 {
+		return WaitStats{}
+	}
+	waits := make([]int64, 0, len(res.Jobs))
+	var sum int64
+	for _, j := range res.Jobs {
+		w := j.Wait()
+		waits = append(waits, w)
+		sum += w
+	}
+	sort.Slice(waits, func(a, b int) bool { return waits[a] < waits[b] })
+	pick := func(q float64) int64 {
+		i := int(q * float64(len(waits)))
+		if i >= len(waits) {
+			i = len(waits) - 1
+		}
+		return waits[i]
+	}
+	return WaitStats{
+		Mean: float64(sum) / float64(len(res.Jobs)),
+		Max:  waits[len(waits)-1],
+		P50:  pick(0.50),
+		P95:  pick(0.95),
+		P99:  pick(0.99),
+	}
+}
+
+// ExtremeStats quantifies the extreme-slowdown tail of Section 6.5.
+type ExtremeStats struct {
+	// Threshold is the bounded-slowdown cutoff used.
+	Threshold float64
+	// Count is how many jobs exceed it; Fraction is Count/total.
+	Count    int
+	Fraction float64
+	// Worst is the largest bounded slowdown observed.
+	Worst float64
+	// ContributionToAVE is how much the extreme jobs add to AVEbsld:
+	// AVEbsld(all) − AVEbsld(jobs below the threshold, over all jobs).
+	ContributionToAVE float64
+}
+
+// ComputeExtremes reports the jobs whose bounded slowdown exceeds the
+// threshold and their contribution to the average. The paper observes
+// roughly 0.1 % of jobs reaching extreme values under every
+// prediction-based heuristic and argues evaluation measures should
+// expose them; this function does.
+func ComputeExtremes(res *sim.Result, threshold float64) ExtremeStats {
+	s := ExtremeStats{Threshold: threshold}
+	if len(res.Jobs) == 0 {
+		return s
+	}
+	var totalSum, cappedSum float64
+	for _, j := range res.Jobs {
+		b := Bsld(j.Wait(), j.Runtime)
+		totalSum += b
+		if b > threshold {
+			s.Count++
+			if b > s.Worst {
+				s.Worst = b
+			}
+		} else {
+			cappedSum += b
+		}
+	}
+	n := float64(len(res.Jobs))
+	s.Fraction = float64(s.Count) / n
+	s.ContributionToAVE = (totalSum - cappedSum) / n
+	return s
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/job"
+)
+
+func TestComputeWaitStats(t *testing.T) {
+	var jobs []*job.Job
+	// Waits: 0, 10, 20, ..., 990 (100 jobs).
+	for i := 0; i < 100; i++ {
+		jobs = append(jobs, done(int64(i+1), 0, int64(i*10), 100, 1))
+	}
+	s := ComputeWaitStats(mkResult(jobs...))
+	if math.Abs(s.Mean-495) > 1e-9 {
+		t.Fatalf("mean wait = %v, want 495", s.Mean)
+	}
+	if s.Max != 990 {
+		t.Fatalf("max wait = %d, want 990", s.Max)
+	}
+	if s.P50 != 500 {
+		t.Fatalf("P50 = %d, want 500", s.P50)
+	}
+	if s.P99 != 990 {
+		t.Fatalf("P99 = %d, want 990", s.P99)
+	}
+}
+
+func TestComputeWaitStatsEmpty(t *testing.T) {
+	s := ComputeWaitStats(mkResult())
+	if s.Mean != 0 || s.Max != 0 {
+		t.Fatal("empty schedule should give zero stats")
+	}
+}
+
+func TestComputeExtremes(t *testing.T) {
+	jobs := []*job.Job{
+		done(1, 0, 0, 100, 1),    // bsld 1
+		done(2, 0, 100, 100, 1),  // bsld 2
+		done(3, 0, 99990, 10, 1), // bsld (99990+10)/10 = 10000
+		done(4, 0, 9990, 10, 1),  // bsld 1000
+	}
+	s := ComputeExtremes(mkResult(jobs...), 100)
+	if s.Count != 2 {
+		t.Fatalf("extreme count = %d, want 2", s.Count)
+	}
+	if math.Abs(s.Fraction-0.5) > 1e-9 {
+		t.Fatalf("fraction = %v, want 0.5", s.Fraction)
+	}
+	if s.Worst != 10000 {
+		t.Fatalf("worst = %v, want 10000", s.Worst)
+	}
+	// Contribution: (1+2+10000+1000)/4 - (1+2)/4 = 11000/4.
+	if math.Abs(s.ContributionToAVE-2750) > 1e-9 {
+		t.Fatalf("contribution = %v, want 2750", s.ContributionToAVE)
+	}
+}
+
+func TestComputeExtremesNoneAboveThreshold(t *testing.T) {
+	jobs := []*job.Job{done(1, 0, 0, 100, 1)}
+	s := ComputeExtremes(mkResult(jobs...), 100)
+	if s.Count != 0 || s.Worst != 0 || s.ContributionToAVE != 0 {
+		t.Fatalf("unexpected extremes: %+v", s)
+	}
+}
+
+func TestComputeExtremesEmpty(t *testing.T) {
+	s := ComputeExtremes(mkResult(), 100)
+	if s.Count != 0 || s.Fraction != 0 {
+		t.Fatal("empty schedule should give zero extremes")
+	}
+}

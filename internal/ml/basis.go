@@ -1,0 +1,67 @@
+package ml
+
+// Basis implements the paper's degree-2 polynomial feature map
+//
+//	Φ(x) = (1, x1..xn, x1², .., xn², x1x2, .., x(n-1)xn)
+//
+// of dimension 1 + 2n + n(n-1)/2, matching the w ∈ R^(1+2n+C(n,2)) in
+// Equation (1). The expansion is allocated once and reused to keep the
+// per-prediction cost at a single O(n²) pass with no garbage.
+type Basis struct {
+	n      int
+	degree int
+	out    []float64
+}
+
+// NewBasis creates the paper's degree-2 basis expander for n raw features.
+func NewBasis(n int) *Basis { return NewBasisDegree(n, 2) }
+
+// NewBasisDegree creates a basis of the given degree: 1 gives the affine
+// map (1, x1..xn) — the linear-model ablation — and 2 the paper's full
+// quadratic map.
+func NewBasisDegree(n, degree int) *Basis {
+	if n <= 0 {
+		panic("ml: basis over non-positive feature count")
+	}
+	if degree != 1 && degree != 2 {
+		panic("ml: basis degree must be 1 or 2")
+	}
+	dim := 1 + n
+	if degree == 2 {
+		dim = BasisDim(n)
+	}
+	return &Basis{n: n, degree: degree, out: make([]float64, dim)}
+}
+
+// BasisDim returns the degree-2 expanded dimension for n raw features.
+func BasisDim(n int) int { return 1 + 2*n + n*(n-1)/2 }
+
+// Dim returns the expanded dimension.
+func (b *Basis) Dim() int { return len(b.out) }
+
+// Expand maps the raw vector into the polynomial basis. The returned
+// slice is owned by the Basis and overwritten by the next call; callers
+// that need to keep it must copy.
+func (b *Basis) Expand(x []float64) []float64 {
+	if len(x) != b.n {
+		panic("ml: basis dimension mismatch")
+	}
+	out := b.out
+	out[0] = 1
+	copy(out[1:], x)
+	if b.degree == 1 {
+		return out
+	}
+	k := 1 + b.n
+	for i := 0; i < b.n; i++ {
+		out[k] = x[i] * x[i]
+		k++
+	}
+	for i := 0; i < b.n; i++ {
+		for j := i + 1; j < b.n; j++ {
+			out[k] = x[i] * x[j]
+			k++
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package ml
+
+import "math"
+
+// NAG is the Normalized Adaptive Gradient optimizer of Ross, Mineiro and
+// Langford ("Normalized Online Learning", UAI 2013), the algorithm the
+// paper trains its regression model with. NAG is a stochastic gradient
+// method that is invariant to (adversarial) per-coordinate feature
+// scaling: each coordinate keeps a running maximum-magnitude scale s_i,
+// weights are rescaled when a larger magnitude arrives, steps are divided
+// by s_i, and a global accumulator N keeps the effective learning rate
+// comparable across problems. An AdaGrad-style per-coordinate
+// accumulator adapts the step to the observed gradients. This matters
+// here because several Table-2 features (e.g. Break Time) are unbounded
+// and cannot be normalized in advance — exactly the motivation given in
+// Section 4.2.
+type NAG struct {
+	eta      float64   // base learning rate
+	etaScale float64   // target-scale multiplier (see SetTargetScale)
+	lambda   float64   // ℓ2 regularization strength
+	w        []float64 // model weights
+	s        []float64 // per-coordinate max |x_i| seen
+	g2       []float64 // per-coordinate squared-gradient accumulator
+	n        float64   // Σ_t Σ_i x_i²/s_i² (the paper's N)
+	t        float64   // examples seen
+}
+
+// NewNAG creates an optimizer over dim coordinates.
+func NewNAG(dim int, eta, lambda float64) *NAG {
+	if dim <= 0 {
+		panic("ml: NAG with non-positive dimension")
+	}
+	if eta <= 0 {
+		panic("ml: NAG with non-positive learning rate")
+	}
+	if lambda < 0 {
+		panic("ml: NAG with negative regularization")
+	}
+	return &NAG{
+		eta:      eta,
+		etaScale: 1,
+		lambda:   lambda,
+		w:        make([]float64, dim),
+		s:        make([]float64, dim),
+		g2:       make([]float64, dim),
+	}
+}
+
+// SetTargetScale declares the magnitude of the regression targets. NAG's
+// per-coordinate normalization makes each step move the prediction by
+// O(eta) regardless of feature scaling; when the targets live on a much
+// larger scale (running times are 10⁴–10⁵ seconds), convergence needs the
+// step itself rescaled. Callers keep this updated with a running max |y|,
+// which makes the optimizer invariant to target scaling the same way the
+// s_i normalization makes it invariant to feature scaling. Values <= 0
+// are ignored.
+func (o *NAG) SetTargetScale(scale float64) {
+	if scale > 0 {
+		o.etaScale = scale
+	}
+}
+
+// Dim returns the coordinate count.
+func (o *NAG) Dim() int { return len(o.w) }
+
+// Weights exposes the current weight vector (not a copy; read-only use).
+func (o *NAG) Weights() []float64 { return o.w }
+
+// Predict returns the current linear prediction w·x.
+func (o *NAG) Predict(x []float64) float64 {
+	var dot float64
+	for i, xi := range x {
+		if xi != 0 {
+			dot += o.w[i] * xi
+		}
+	}
+	return dot
+}
+
+// Step performs one NAG update. grad receives the model's prediction at
+// the current (scale-corrected) weights and must return the loss
+// derivative dL/dŷ at that prediction. Step returns that prediction.
+func (o *NAG) Step(x []float64, grad func(pred float64) float64) float64 {
+	o.t++
+	// Scale maintenance: shrink weights whose coordinate just revealed a
+	// larger magnitude, so that w_i·x_i stays calibrated.
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		a := math.Abs(xi)
+		if a > o.s[i] {
+			if o.s[i] > 0 {
+				r := o.s[i] / a
+				o.w[i] *= r * r
+			}
+			o.s[i] = a
+		}
+		o.n += (xi / o.s[i]) * (xi / o.s[i])
+	}
+	pred := o.Predict(x)
+	if o.n == 0 {
+		return pred
+	}
+	dLdPred := grad(pred)
+	scale := o.eta * o.etaScale * math.Sqrt(o.t/o.n)
+	for i, xi := range x {
+		if xi == 0 && o.w[i] == 0 {
+			continue
+		}
+		gi := dLdPred*xi + o.lambda*o.w[i]
+		if gi == 0 {
+			continue
+		}
+		o.g2[i] += gi * gi
+		si := o.s[i]
+		if si == 0 {
+			si = 1
+		}
+		o.w[i] -= scale * gi / (si * math.Sqrt(o.g2[i]))
+	}
+	return pred
+}

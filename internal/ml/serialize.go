@@ -1,0 +1,91 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelState is the JSON representation of a trained model: the
+// configuration (minus the loss functions, which are identified by name)
+// and the optimizer state, so a model trained on one trace can be
+// reloaded and applied to another — the cross-system deployment scenario
+// the paper's Section 6.3.2 correlation analysis probes.
+type modelState struct {
+	LossName string    `json:"loss"`
+	Eta      float64   `json:"eta"`
+	Lambda   float64   `json:"lambda"`
+	Features int       `json:"features"`
+	Degree   int       `json:"degree"`
+	GradClip float64   `json:"grad_clip"`
+	YSum     float64   `json:"y_sum"`
+	YN       float64   `json:"y_n"`
+	W        []float64 `json:"w"`
+	S        []float64 `json:"s"`
+	G2       []float64 `json:"g2"`
+	N        float64   `json:"n"`
+	T        float64   `json:"t"`
+}
+
+// Save writes the model (configuration and trained state) as JSON.
+func (m *Model) Save(w io.Writer) error {
+	st := modelState{
+		LossName: m.cfg.Loss.Name(),
+		Eta:      m.cfg.Eta,
+		Lambda:   m.cfg.Lambda,
+		Features: m.cfg.Features,
+		Degree:   m.cfg.Degree,
+		GradClip: m.cfg.GradClip,
+		YSum:     m.ySum,
+		YN:       m.yN,
+		W:        m.opt.w,
+		S:        m.opt.s,
+		G2:       m.opt.g2,
+		N:        m.opt.n,
+		T:        m.opt.t,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&st)
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var st modelState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("ml: load: %w", err)
+	}
+	loss, err := LossByName(st.LossName)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		Loss: loss, Eta: st.Eta, Lambda: st.Lambda,
+		Features: st.Features, Degree: st.Degree, GradClip: st.GradClip,
+	}
+	m := NewModel(cfg)
+	if len(st.W) != m.opt.Dim() || len(st.S) != m.opt.Dim() || len(st.G2) != m.opt.Dim() {
+		return nil, fmt.Errorf("ml: load: state dimension %d does not match model dimension %d",
+			len(st.W), m.opt.Dim())
+	}
+	copy(m.opt.w, st.W)
+	copy(m.opt.s, st.S)
+	copy(m.opt.g2, st.G2)
+	m.opt.n = st.N
+	m.opt.t = st.T
+	m.ySum = st.YSum
+	m.yN = st.YN
+	if m.yN > 0 {
+		m.opt.SetTargetScale(m.ySum / m.yN)
+	}
+	return m, nil
+}
+
+// LossByName resolves a loss identifier produced by Loss.Name.
+func LossByName(name string) (Loss, error) {
+	for _, l := range AllLosses() {
+		if l.Name() == name {
+			return l, nil
+		}
+	}
+	return Loss{}, fmt.Errorf("ml: unknown loss %q", name)
+}

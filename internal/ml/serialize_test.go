@@ -1,0 +1,136 @@
+package ml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func trainSample(m *Model, n int, seed uint64) {
+	src := rng.New(seed)
+	for i := 0; i < n; i++ {
+		req := 600 + src.Float64()*30000
+		actual := req * 0.25
+		x := make([]float64, FeatureCount)
+		x[FeatRequestedTime] = req
+		x[FeatProcs] = 1 + src.Float64()*31
+		m.Observe(x, actual, x[FeatProcs])
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := NewModel(DefaultConfig(ELoss))
+	trainSample(m, 500, 3)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical predictions on fresh inputs.
+	src := rng.New(99)
+	for i := 0; i < 50; i++ {
+		x := make([]float64, FeatureCount)
+		x[FeatRequestedTime] = src.Float64() * 40000
+		x[FeatProcs] = 1 + src.Float64()*15
+		a, b := m.Predict(x), m2.Predict(x)
+		if a != b {
+			t.Fatalf("prediction diverged after reload: %v vs %v", a, b)
+		}
+	}
+	if m2.Loss().Name() != ELoss.Name() {
+		t.Fatalf("loss not restored: %s", m2.Loss().Name())
+	}
+}
+
+func TestSaveLoadContinuesTraining(t *testing.T) {
+	// Train, save, load, keep training: the reloaded model must behave
+	// like the uninterrupted one.
+	a := NewModel(DefaultConfig(SquaredLoss))
+	trainSample(a, 300, 7)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainSample(a, 300, 11)
+	trainSample(b, 300, 11)
+	x := make([]float64, FeatureCount)
+	x[FeatRequestedTime] = 12000
+	x[FeatProcs] = 8
+	if pa, pb := a.Predict(x), b.Predict(x); pa != pb {
+		t.Fatalf("resumed training diverged: %v vs %v", pa, pb)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"loss":"nope"}`)); err == nil {
+		t.Fatal("unknown loss accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"loss":"over=sq,under=sq,w=const","features":20,"degree":2,"w":[1,2]}`)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestLossByName(t *testing.T) {
+	for _, l := range AllLosses() {
+		got, err := LossByName(l.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != l {
+			t.Fatalf("round trip failed for %s", l.Name())
+		}
+	}
+	if _, err := LossByName("bogus"); err == nil {
+		t.Fatal("bogus loss resolved")
+	}
+}
+
+func TestLinearBasisDegree(t *testing.T) {
+	b := NewBasisDegree(3, 1)
+	out := b.Expand([]float64{2, 3, 5})
+	want := []float64{1, 2, 3, 5}
+	if len(out) != len(want) {
+		t.Fatalf("linear basis dim %d, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("linear basis wrong at %d: %v", i, out)
+		}
+	}
+}
+
+func TestBasisDegreeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degree 3 accepted")
+		}
+	}()
+	NewBasisDegree(3, 3)
+}
+
+func TestModelDegree1Config(t *testing.T) {
+	cfg := DefaultConfig(SquaredLoss)
+	cfg.Degree = 1
+	m := NewModel(cfg)
+	trainSample(m, 200, 5)
+	x := make([]float64, FeatureCount)
+	x[FeatRequestedTime] = 10000
+	x[FeatProcs] = 4
+	if p := m.Predict(x); p == 0 {
+		t.Fatal("degree-1 model did not learn")
+	}
+}

@@ -1,0 +1,128 @@
+// Package platform models the computing resource the jobs compete for: a
+// pool of m identical processors (the paper assumes no interconnection
+// topology). It tracks free capacity and the set of running jobs with
+// their *predicted* completion times, and answers the two questions
+// backfilling needs: "when can a job of width q start at the latest
+// estimate?" (the EASY shadow time and extra processors) and "what does
+// the whole future availability profile look like?" (conservative
+// backfilling).
+package platform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/job"
+)
+
+// Machine is the processor pool plus running-job bookkeeping.
+type Machine struct {
+	total   int64
+	free    int64
+	running map[int64]*job.Job // keyed by job ID
+}
+
+// New creates a machine with the given processor count.
+func New(totalProcs int64) *Machine {
+	if totalProcs <= 0 {
+		panic(fmt.Sprintf("platform: non-positive machine size %d", totalProcs))
+	}
+	return &Machine{total: totalProcs, free: totalProcs, running: make(map[int64]*job.Job)}
+}
+
+// Total returns the machine size m.
+func (m *Machine) Total() int64 { return m.total }
+
+// Free returns the currently idle processor count.
+func (m *Machine) Free() int64 { return m.free }
+
+// RunningCount returns the number of running jobs.
+func (m *Machine) RunningCount() int { return len(m.running) }
+
+// Start allocates the job's processors. It is the caller's responsibility
+// to have set j.Start and j.Prediction. Start panics if capacity would be
+// exceeded — that is a scheduler bug, not an input error.
+func (m *Machine) Start(j *job.Job) {
+	if j.Procs > m.free {
+		panic(fmt.Sprintf("platform: job %d needs %d procs but only %d free", j.ID, j.Procs, m.free))
+	}
+	if _, dup := m.running[j.ID]; dup {
+		panic(fmt.Sprintf("platform: job %d started twice", j.ID))
+	}
+	m.free -= j.Procs
+	m.running[j.ID] = j
+}
+
+// Finish releases the job's processors.
+func (m *Machine) Finish(j *job.Job) {
+	if _, ok := m.running[j.ID]; !ok {
+		panic(fmt.Sprintf("platform: job %d finished but was not running", j.ID))
+	}
+	delete(m.running, j.ID)
+	m.free += j.Procs
+	if m.free > m.total {
+		panic(fmt.Sprintf("platform: free %d exceeds total %d after finishing job %d", m.free, m.total, j.ID))
+	}
+}
+
+// Running returns the running jobs in deterministic (ID) order.
+func (m *Machine) Running() []*job.Job {
+	jobs := make([]*job.Job, 0, len(m.running))
+	for _, j := range m.running {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
+	return jobs
+}
+
+// InfiniteTime stands in for "never" in reservation computations.
+const InfiniteTime = int64(math.MaxInt64 / 4)
+
+// Reservation computes EASY's single reservation for a job of width
+// procs: the shadow time (earliest instant the job is predicted to have
+// enough processors) and the extra processors (processors free at the
+// shadow time beyond the reserved job's need, usable by backfilled jobs
+// that outlive the shadow time). Completion instants are taken from the
+// running jobs' predictions, clamped to now (an overdue prediction means
+// "any moment now").
+func (m *Machine) Reservation(now int64, procs int64) (shadow int64, extra int64) {
+	if procs <= m.free {
+		return now, m.free - procs
+	}
+	if procs > m.total {
+		return InfiniteTime, 0
+	}
+	type release struct {
+		at    int64
+		procs int64
+		id    int64
+	}
+	releases := make([]release, 0, len(m.running))
+	for _, j := range m.Running() {
+		at := j.PredictedEnd()
+		if at < now {
+			at = now
+		}
+		releases = append(releases, release{at: at, procs: j.Procs, id: j.ID})
+	}
+	sort.Slice(releases, func(a, b int) bool {
+		if releases[a].at != releases[b].at {
+			return releases[a].at < releases[b].at
+		}
+		return releases[a].id < releases[b].id
+	})
+	avail := m.free
+	for i := 0; i < len(releases); {
+		t := releases[i].at
+		for i < len(releases) && releases[i].at == t {
+			avail += releases[i].procs
+			i++
+		}
+		if avail >= procs {
+			return t, avail - procs
+		}
+	}
+	// Unreachable for procs <= total, since all jobs eventually release.
+	return InfiniteTime, 0
+}

@@ -1,0 +1,271 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/job"
+)
+
+func mkJob(id, procs, start, prediction int64) *job.Job {
+	return &job.Job{ID: id, Procs: procs, Start: start, Prediction: prediction, Started: true}
+}
+
+func TestMachineStartFinish(t *testing.T) {
+	m := New(10)
+	if m.Free() != 10 || m.Total() != 10 {
+		t.Fatal("fresh machine wrong")
+	}
+	j := mkJob(1, 4, 0, 100)
+	m.Start(j)
+	if m.Free() != 6 {
+		t.Fatalf("free = %d after start, want 6", m.Free())
+	}
+	if m.RunningCount() != 1 {
+		t.Fatal("running count wrong")
+	}
+	m.Finish(j)
+	if m.Free() != 10 {
+		t.Fatalf("free = %d after finish, want 10", m.Free())
+	}
+}
+
+func TestMachineOverbookPanics(t *testing.T) {
+	m := New(4)
+	m.Start(mkJob(1, 3, 0, 10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overbooking")
+		}
+	}()
+	m.Start(mkJob(2, 2, 0, 10))
+}
+
+func TestMachineDoubleStartPanics(t *testing.T) {
+	m := New(10)
+	j := mkJob(1, 2, 0, 10)
+	m.Start(j)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double start")
+		}
+	}()
+	m.Start(j)
+}
+
+func TestMachineFinishUnknownPanics(t *testing.T) {
+	m := New(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on finishing unknown job")
+		}
+	}()
+	m.Finish(mkJob(1, 2, 0, 10))
+}
+
+func TestNewInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero-size machine")
+		}
+	}()
+	New(0)
+}
+
+func TestRunningSortedByID(t *testing.T) {
+	m := New(10)
+	m.Start(mkJob(3, 1, 0, 10))
+	m.Start(mkJob(1, 1, 0, 10))
+	m.Start(mkJob(2, 1, 0, 10))
+	ids := []int64{}
+	for _, j := range m.Running() {
+		ids = append(ids, j.ID)
+	}
+	if ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("Running not sorted: %v", ids)
+	}
+}
+
+func TestReservationImmediate(t *testing.T) {
+	m := New(10)
+	m.Start(mkJob(1, 4, 0, 100))
+	shadow, extra := m.Reservation(0, 6)
+	if shadow != 0 || extra != 0 {
+		t.Fatalf("shadow=%d extra=%d, want 0,0 (fits exactly now)", shadow, extra)
+	}
+	shadow, extra = m.Reservation(0, 3)
+	if shadow != 0 || extra != 3 {
+		t.Fatalf("shadow=%d extra=%d, want 0,3", shadow, extra)
+	}
+}
+
+func TestReservationAfterOneCompletion(t *testing.T) {
+	m := New(10)
+	m.Start(mkJob(1, 6, 0, 100)) // predicted end 100
+	m.Start(mkJob(2, 4, 0, 50))  // predicted end 50
+	// 8 procs: need job2's 4 (free 0+4=4 at t=50, not enough) then job1's 6
+	// at t=100 -> 10 available >= 8, extra 2.
+	shadow, extra := m.Reservation(10, 8)
+	if shadow != 100 || extra != 2 {
+		t.Fatalf("shadow=%d extra=%d, want 100,2", shadow, extra)
+	}
+	// 4 procs: available 4 at t=50.
+	shadow, extra = m.Reservation(10, 4)
+	if shadow != 50 || extra != 0 {
+		t.Fatalf("shadow=%d extra=%d, want 50,0", shadow, extra)
+	}
+}
+
+func TestReservationSimultaneousReleases(t *testing.T) {
+	m := New(10)
+	m.Start(mkJob(1, 5, 0, 80))
+	m.Start(mkJob(2, 5, 0, 80))
+	shadow, extra := m.Reservation(0, 7)
+	if shadow != 80 || extra != 3 {
+		t.Fatalf("shadow=%d extra=%d, want 80,3 (both release together)", shadow, extra)
+	}
+}
+
+func TestReservationOverduePrediction(t *testing.T) {
+	m := New(10)
+	m.Start(mkJob(1, 10, 0, 30)) // predicted end 30, but it is now 50
+	shadow, _ := m.Reservation(50, 5)
+	if shadow != 50 {
+		t.Fatalf("overdue prediction should clamp to now: shadow=%d", shadow)
+	}
+}
+
+func TestReservationWiderThanMachine(t *testing.T) {
+	m := New(10)
+	shadow, _ := m.Reservation(0, 11)
+	if shadow != InfiniteTime {
+		t.Fatalf("impossible job should get infinite shadow, got %d", shadow)
+	}
+}
+
+func TestProfileBasics(t *testing.T) {
+	p := NewProfile(0, 10)
+	if p.AvailableAt(0) != 10 || p.AvailableAt(1000000) != 10 {
+		t.Fatal("fresh profile should be fully available")
+	}
+	p.Reserve(10, 20, 4)
+	if p.AvailableAt(9) != 10 || p.AvailableAt(10) != 6 || p.AvailableAt(19) != 6 || p.AvailableAt(20) != 10 {
+		t.Fatal("reservation boundaries wrong")
+	}
+}
+
+func TestProfileOverlappingReservations(t *testing.T) {
+	p := NewProfile(0, 10)
+	p.Reserve(0, 100, 3)
+	p.Reserve(50, 150, 3)
+	if p.AvailableAt(49) != 7 || p.AvailableAt(50) != 4 || p.AvailableAt(99) != 4 ||
+		p.AvailableAt(100) != 7 || p.AvailableAt(150) != 10 {
+		t.Fatal("overlapping reservations wrong")
+	}
+}
+
+func TestProfileOverbookPanics(t *testing.T) {
+	p := NewProfile(0, 4)
+	p.Reserve(0, 10, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overbooking panic")
+		}
+	}()
+	p.Reserve(5, 15, 2)
+}
+
+func TestProfileFindStartImmediate(t *testing.T) {
+	p := NewProfile(0, 10)
+	if got := p.FindStart(5, 100, 10); got != 5 {
+		t.Fatalf("FindStart = %d, want 5", got)
+	}
+}
+
+func TestProfileFindStartAfterBusyWindow(t *testing.T) {
+	p := NewProfile(0, 10)
+	p.Reserve(0, 100, 8)
+	// 4 procs for 50s: only 2 available until t=100.
+	if got := p.FindStart(0, 50, 4); got != 100 {
+		t.Fatalf("FindStart = %d, want 100", got)
+	}
+	// 2 procs fit immediately.
+	if got := p.FindStart(0, 50, 2); got != 0 {
+		t.Fatalf("FindStart = %d, want 0", got)
+	}
+}
+
+func TestProfileFindStartHoleTooShort(t *testing.T) {
+	p := NewProfile(0, 10)
+	p.Reserve(0, 50, 8)
+	p.Reserve(60, 200, 8)
+	// A 4-wide 20s job: hole [50,60) is 10s, too short; must wait to 200.
+	if got := p.FindStart(0, 20, 4); got != 200 {
+		t.Fatalf("FindStart = %d, want 200", got)
+	}
+	// A 4-wide 10s job fits exactly in the hole.
+	if got := p.FindStart(0, 10, 4); got != 50 {
+		t.Fatalf("FindStart = %d, want 50", got)
+	}
+}
+
+func TestProfileFindStartRespectsEarliest(t *testing.T) {
+	p := NewProfile(0, 10)
+	if got := p.FindStart(77, 10, 1); got != 77 {
+		t.Fatalf("FindStart = %d, want 77", got)
+	}
+}
+
+func TestProfileFindStartTooWide(t *testing.T) {
+	p := NewProfile(0, 10)
+	if got := p.FindStart(0, 10, 11); got != InfiniteTime {
+		t.Fatalf("FindStart = %d, want InfiniteTime", got)
+	}
+}
+
+func TestProfileFindThenReserveNeverPanics(t *testing.T) {
+	p := NewProfile(0, 16)
+	// Pseudo-random but deterministic job stream.
+	seed := int64(12345)
+	next := func(n int64) int64 {
+		seed = (seed*6364136223846793005 + 1442695040888963407) & 0x7fffffff
+		return seed % n
+	}
+	for i := 0; i < 500; i++ {
+		procs := 1 + next(16)
+		dur := 1 + next(1000)
+		earliest := next(5000)
+		start := p.FindStart(earliest, dur, procs)
+		if start < earliest {
+			t.Fatalf("start %d before earliest %d", start, earliest)
+		}
+		p.Reserve(start, start+dur, procs) // must not panic
+	}
+}
+
+func TestProfileFromMachine(t *testing.T) {
+	m := New(10)
+	m.Start(mkJob(1, 4, 0, 100))
+	m.Start(mkJob(2, 2, 0, 50))
+	p := ProfileFromMachine(m, 10)
+	if p.AvailableAt(10) != 4 {
+		t.Fatalf("available now = %d, want 4", p.AvailableAt(10))
+	}
+	if p.AvailableAt(60) != 6 {
+		t.Fatalf("available at 60 = %d, want 6", p.AvailableAt(60))
+	}
+	if p.AvailableAt(150) != 10 {
+		t.Fatalf("available at 150 = %d, want 10", p.AvailableAt(150))
+	}
+}
+
+func TestProfileFromMachineOverdue(t *testing.T) {
+	m := New(10)
+	m.Start(mkJob(1, 4, 0, 30)) // overdue at now=50
+	p := ProfileFromMachine(m, 50)
+	if p.AvailableAt(50) != 6 {
+		t.Fatalf("overdue job still holds procs at now: %d", p.AvailableAt(50))
+	}
+	if p.AvailableAt(52) != 10 {
+		t.Fatalf("overdue job should release just after now: %d", p.AvailableAt(52))
+	}
+}

@@ -1,0 +1,138 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile is a piecewise-constant availability timeline: available[i]
+// processors are free during [times[i], times[i+1]). The last segment
+// extends to infinity. It supports the find-earliest-hole and reserve
+// operations conservative backfilling needs.
+type Profile struct {
+	times     []int64
+	available []int64
+	total     int64
+}
+
+// NewProfile creates a profile with all processors free from the given
+// instant onward.
+func NewProfile(start int64, totalProcs int64) *Profile {
+	if totalProcs <= 0 {
+		panic(fmt.Sprintf("platform: non-positive profile capacity %d", totalProcs))
+	}
+	return &Profile{times: []int64{start}, available: []int64{totalProcs}, total: totalProcs}
+}
+
+// ProfileFromMachine builds the availability profile implied by the
+// machine's running jobs and their predicted completion times.
+func ProfileFromMachine(m *Machine, now int64) *Profile {
+	p := NewProfile(now, m.Total())
+	for _, j := range m.Running() {
+		end := j.PredictedEnd()
+		if end <= now {
+			end = now + 1 // overdue prediction: assume it releases immediately after now
+		}
+		p.Reserve(now, end, j.Procs)
+	}
+	return p
+}
+
+// Total returns the profile's capacity.
+func (p *Profile) Total() int64 { return p.total }
+
+// segmentAt returns the index of the segment containing t (t must be >=
+// the profile start).
+func (p *Profile) segmentAt(t int64) int {
+	// The first segment with times[i] > t, minus one.
+	i := sort.Search(len(p.times), func(i int) bool { return p.times[i] > t })
+	if i == 0 {
+		panic(fmt.Sprintf("platform: time %d precedes profile start %d", t, p.times[0]))
+	}
+	return i - 1
+}
+
+// AvailableAt returns the free processors at instant t.
+func (p *Profile) AvailableAt(t int64) int64 {
+	return p.available[p.segmentAt(t)]
+}
+
+// split ensures a breakpoint exists exactly at t and returns its segment
+// index.
+func (p *Profile) split(t int64) int {
+	i := p.segmentAt(t)
+	if p.times[i] == t {
+		return i
+	}
+	p.times = append(p.times, 0)
+	p.available = append(p.available, 0)
+	copy(p.times[i+2:], p.times[i+1:])
+	copy(p.available[i+2:], p.available[i+1:])
+	p.times[i+1] = t
+	p.available[i+1] = p.available[i]
+	return i + 1
+}
+
+// FindStart returns the earliest instant >= earliest at which procs
+// processors are continuously free for duration seconds.
+func (p *Profile) FindStart(earliest, duration, procs int64) int64 {
+	if procs > p.total {
+		return InfiniteTime
+	}
+	if duration <= 0 {
+		duration = 1
+	}
+	start := earliest
+	if start < p.times[0] {
+		start = p.times[0]
+	}
+	i := p.segmentAt(start)
+	for {
+		// Check whether [start, start+duration) fits from segment i on.
+		fits := true
+		end := start + duration
+		for k := i; k < len(p.times) && p.times[k] < end; k++ {
+			if p.available[k] < procs {
+				fits = false
+				// Restart after this segment.
+				if k+1 < len(p.times) {
+					i = k + 1
+					start = p.times[i]
+				} else {
+					// Last segment lacks capacity and lasts forever: only
+					// possible if procs > total, excluded above.
+					return InfiniteTime
+				}
+				break
+			}
+		}
+		if fits {
+			return start
+		}
+	}
+}
+
+// Reserve subtracts procs processors during [from, to). It panics if the
+// reservation would drive availability negative — callers must use
+// FindStart first.
+func (p *Profile) Reserve(from, to, procs int64) {
+	if from >= to {
+		panic(fmt.Sprintf("platform: empty reservation [%d,%d)", from, to))
+	}
+	i := p.split(from)
+	j := p.split(to)
+	for k := i; k < j; k++ {
+		p.available[k] -= procs
+		if p.available[k] < 0 {
+			panic(fmt.Sprintf("platform: reservation [%d,%d)x%d overbooks segment %d", from, to, procs, k))
+		}
+	}
+}
+
+// Segments returns a copy of the profile breakpoints, mainly for tests
+// and debugging.
+func (p *Profile) Segments() (times []int64, available []int64) {
+	times = append(times, p.times...)
+	available = append(available, p.available...)
+	return times, available
+}

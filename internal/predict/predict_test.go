@@ -1,0 +1,120 @@
+package predict
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/ml"
+)
+
+func j(id, user, procs, runtime, request int64) *job.Job {
+	return &job.Job{ID: id, User: user, Procs: procs, Runtime: runtime, Request: request}
+}
+
+func TestClairvoyant(t *testing.T) {
+	p := NewClairvoyant()
+	if p.Name() != "Clairvoyant" {
+		t.Fatal("name")
+	}
+	if got := p.Predict(j(1, 1, 1, 1234, 9999), 0); got != 1234 {
+		t.Fatalf("Predict = %d, want actual runtime", got)
+	}
+}
+
+func TestRequestedTime(t *testing.T) {
+	p := NewRequestedTime()
+	if p.Name() != "RequestedTime" {
+		t.Fatal("name")
+	}
+	if got := p.Predict(j(1, 1, 1, 1234, 9999), 0); got != 9999 {
+		t.Fatalf("Predict = %d, want request", got)
+	}
+}
+
+func TestUserAverageFallsBackToRequest(t *testing.T) {
+	p := NewUserAverage(2)
+	if got := p.Predict(j(1, 7, 1, 100, 5000), 0); got != 5000 {
+		t.Fatalf("no-history prediction = %d, want request 5000", got)
+	}
+}
+
+func TestUserAverageAveragesLastTwo(t *testing.T) {
+	p := NewUserAverage(2)
+	p.OnFinish(j(1, 7, 1, 100, 5000), 10)
+	if got := p.Predict(j(2, 7, 1, 0, 5000), 0); got != 100 {
+		t.Fatalf("single-history prediction = %d, want 100", got)
+	}
+	p.OnFinish(j(2, 7, 1, 300, 5000), 20)
+	if got := p.Predict(j(3, 7, 1, 0, 5000), 0); got != 200 {
+		t.Fatalf("prediction = %d, want (100+300)/2", got)
+	}
+	// A third completion evicts the oldest.
+	p.OnFinish(j(3, 7, 1, 500, 5000), 30)
+	if got := p.Predict(j(4, 7, 1, 0, 5000), 0); got != 400 {
+		t.Fatalf("prediction = %d, want (300+500)/2", got)
+	}
+}
+
+func TestUserAverageIsolatesUsers(t *testing.T) {
+	p := NewUserAverage(2)
+	p.OnFinish(j(1, 7, 1, 100, 5000), 10)
+	if got := p.Predict(j(2, 8, 1, 0, 7777), 0); got != 7777 {
+		t.Fatalf("user 8 saw user 7's history: %d", got)
+	}
+}
+
+func TestUserAverageName(t *testing.T) {
+	if NewUserAverage(2).Name() != "AVE2" || NewUserAverage(3).Name() != "AVE3" {
+		t.Fatal("names")
+	}
+}
+
+func TestUserAverageInvalidK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	NewUserAverage(0)
+}
+
+func TestLearningLifecycle(t *testing.T) {
+	p := NewLearning(ml.SquaredLoss)
+	if p.Name() == "" {
+		t.Fatal("empty name")
+	}
+	user := int64(3)
+	// Train on a stable pattern: runtime always 600, request always 7200.
+	for i := 0; i < 300; i++ {
+		jj := j(int64(i+1), user, 4, 600, 7200)
+		p.Predict(jj, int64(i*100))
+		p.OnSubmit(jj, int64(i*100))
+		p.OnStart(jj, int64(i*100))
+		p.OnFinish(jj, int64(i*100+600))
+	}
+	probe := j(1000, user, 4, 600, 7200)
+	got := p.Predict(probe, 100000)
+	if got < 200 || got > 1800 {
+		t.Fatalf("after 300 identical jobs, prediction = %d, want near 600", got)
+	}
+}
+
+func TestLearningFeatureMapCleanup(t *testing.T) {
+	p := NewLearning(ml.ELoss)
+	jj := j(1, 1, 2, 60, 600)
+	p.Predict(jj, 0)
+	if len(p.features) != 1 {
+		t.Fatalf("feature map size %d after predict", len(p.features))
+	}
+	p.OnFinish(jj, 100)
+	if len(p.features) != 0 {
+		t.Fatal("features not released after finish")
+	}
+}
+
+func TestLearningFinishWithoutPredict(t *testing.T) {
+	// A finish without a remembered prediction (defensive path) must not
+	// panic and must still update the tracker.
+	p := NewLearning(ml.ELoss)
+	p.OnFinish(j(1, 1, 2, 60, 600), 100)
+}

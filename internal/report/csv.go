@@ -1,0 +1,116 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/campaign"
+	"repro/internal/metrics"
+)
+
+// WriteResultsCSV dumps campaign results as CSV (one row per simulation),
+// the machine-readable companion of the text tables — convenient for
+// re-plotting the paper's figures with external tools.
+func WriteResultsCSV(w io.Writer, results []campaign.RunResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{"workload", "triple", "avebsld", "maxbsld", "meanwait_s", "utilization", "corrections", "mae_s", "mean_eloss"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			r.Workload,
+			r.Triple.Name(),
+			formatFloat(r.AVEbsld),
+			formatFloat(r.MaxBsld),
+			formatFloat(r.MeanWait),
+			formatFloat(r.Utilization),
+			strconv.Itoa(r.Corrections),
+			formatFloat(r.MAE),
+			formatFloat(r.MeanELoss),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteECDFCSV dumps the Figure-4/5 ECDF series as CSV: the first column
+// is the sample point (seconds), then one cumulative-probability column
+// per series. predicted selects the Figure-5 view (predicted values)
+// instead of the Figure-4 view (errors).
+func WriteECDFCSV(w io.Writer, series []PredictionSeries, lo, hi int64, points int, predicted bool) error {
+	if points < 2 {
+		return fmt.Errorf("report: need at least 2 points, got %d", points)
+	}
+	if hi <= lo {
+		return fmt.Errorf("report: empty range [%d, %d]", lo, hi)
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"x_seconds"}
+	var cdfs []*metrics.ECDF
+	for _, s := range series {
+		samples := s.Errors
+		if predicted {
+			samples = s.Predicted
+		}
+		if len(samples) == 0 {
+			continue
+		}
+		header = append(header, s.Name)
+		cdfs = append(cdfs, metrics.NewECDF(samples))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < points; i++ {
+		x := lo + (hi-lo)*int64(i)/int64(points-1)
+		rec := []string{strconv.FormatInt(x, 10)}
+		for _, c := range cdfs {
+			rec = append(rec, formatFloat(c.At(float64(x))))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScatterCSV dumps the Figure-3 scatter as CSV: triple name and the
+// AVEbsld on each of the two logs.
+func WriteScatterCSV(w io.Writer, results []campaign.RunResult, logX, logY string) error {
+	byW := campaign.ByWorkload(results)
+	xs, ys := map[string]float64{}, map[string]float64{}
+	for _, r := range byW[logX] {
+		xs[r.Triple.Name()] = r.AVEbsld
+	}
+	for _, r := range byW[logY] {
+		ys[r.Triple.Name()] = r.AVEbsld
+	}
+	var names []string
+	for n := range xs {
+		if _, ok := ys[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"triple", logX, logY}); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if err := cw.Write([]string{n, formatFloat(xs[n]), formatFloat(ys[n])}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }

@@ -1,0 +1,105 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteResultsCSV(t *testing.T) {
+	results := testResults(t)
+	var buf bytes.Buffer
+	if err := WriteResultsCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(results)+1 {
+		t.Fatalf("got %d rows, want %d", len(records), len(results)+1)
+	}
+	if records[0][0] != "workload" || records[0][2] != "avebsld" {
+		t.Fatalf("header wrong: %v", records[0])
+	}
+	// Every AVEbsld parses back and is >= 1.
+	for _, rec := range records[1:] {
+		v, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 1 {
+			t.Fatalf("AVEbsld %v < 1 in CSV", v)
+		}
+	}
+}
+
+func TestWriteECDFCSV(t *testing.T) {
+	series := []PredictionSeries{
+		{Name: "a", Errors: []float64{-100, 0, 100}, Predicted: []float64{1, 2, 3}},
+		{Name: "b", Errors: []float64{-50, 50}, Predicted: []float64{10, 20}},
+		{Name: "actual", Predicted: []float64{5, 6}}, // no errors
+	}
+	var buf bytes.Buffer
+	if err := WriteECDFCSV(&buf, series, -200, 200, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header: x + 2 series (the error view skips the actual-only series).
+	if len(records[0]) != 3 {
+		t.Fatalf("header = %v", records[0])
+	}
+	if len(records) != 6 {
+		t.Fatalf("got %d rows, want 6", len(records))
+	}
+	if records[1][0] != "-200" || records[5][0] != "200" {
+		t.Fatalf("x range wrong: %v ... %v", records[1][0], records[5][0])
+	}
+	// Last row must be cumulative probability 1 for both series.
+	if records[5][1] != "1" || records[5][2] != "1" {
+		t.Fatalf("final CDF values: %v", records[5])
+	}
+
+	// Predicted view includes all three series.
+	buf.Reset()
+	if err := WriteECDFCSV(&buf, series, 0, 30, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	records, _ = csv.NewReader(&buf).ReadAll()
+	if len(records[0]) != 4 {
+		t.Fatalf("predicted header = %v", records[0])
+	}
+}
+
+func TestWriteECDFCSVValidation(t *testing.T) {
+	if err := WriteECDFCSV(&bytes.Buffer{}, nil, 0, 10, 1, false); err == nil {
+		t.Fatal("1 point accepted")
+	}
+	if err := WriteECDFCSV(&bytes.Buffer{}, nil, 10, 10, 5, false); err == nil {
+		t.Fatal("empty range accepted")
+	}
+}
+
+func TestWriteScatterCSV(t *testing.T) {
+	results := testResults(t)
+	var buf bytes.Buffer
+	if err := WriteScatterCSV(&buf, results, "KTH-SP2", "CTC-SP2"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "triple,KTH-SP2,CTC-SP2") {
+		t.Fatalf("header wrong: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	records, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 5 {
+		t.Fatalf("too few scatter rows: %d", len(records))
+	}
+}

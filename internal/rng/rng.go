@@ -1,0 +1,229 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator and the distributions needed by the synthetic workload
+// generators. Determinism matters here: every experiment in the repository
+// must be exactly reproducible from a seed, across runs and platforms, so
+// we avoid math/rand's global state and implement xoshiro256** seeded via
+// SplitMix64.
+package rng
+
+import "math"
+
+// splitMix64 advances the given state and returns the next output.
+// It is used both as a seeding function and for stream splitting.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a deterministic xoshiro256** generator. The zero value is not
+// usable; construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from the given seed via SplitMix64, as
+// recommended by the xoshiro authors to avoid correlated low-entropy states.
+func New(seed uint64) *Source {
+	st := seed
+	var r Source
+	for i := range r.s {
+		r.s[i] = splitMix64(&st)
+	}
+	return &r
+}
+
+// Split derives an independent child stream. The child is a pure function
+// of the parent state and the label, so splitting is itself deterministic
+// and does not disturb the parent sequence.
+func (r *Source) Split(label uint64) *Source {
+	st := r.s[0] ^ rotl(r.s[2], 17) ^ label*0x9e3779b97f4a7c15
+	var c Source
+	for i := range c.s {
+		c.s[i] = splitMix64(&st)
+	}
+	return &c
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless method would be faster, but a simple
+	// modulo of a 64-bit draw has negligible bias for the small n used here.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal variate using the polar Box–Muller
+// (Marsaglia) method.
+func (r *Source) Norm() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// LogNormal returns exp(mu + sigma*Z) for standard normal Z.
+func (r *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Norm())
+}
+
+// Exponential returns an exponential variate with the given rate (mean 1/rate).
+func (r *Source) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential with non-positive rate")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// Gamma returns a gamma variate with the given shape and scale, using the
+// Marsaglia–Tsang method (with Johnk-style boosting for shape < 1).
+func (r *Source) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Gamma with non-positive parameter")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Weibull returns a Weibull variate with the given shape and scale.
+func (r *Source) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Weibull with non-positive parameter")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}
+
+// BoundedPareto returns a bounded Pareto variate on [lo, hi] with tail
+// index alpha. Used for heavy-tailed running times.
+func (r *Source) BoundedPareto(alpha, lo, hi float64) float64 {
+	if alpha <= 0 || lo <= 0 || hi <= lo {
+		panic("rng: BoundedPareto with invalid parameters")
+	}
+	u := r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Bernoulli returns true with probability p.
+func (r *Source) Bernoulli(p float64) bool { return r.Float64() < p }
+
+// Zipf draws ranks in [1, n] with probability proportional to 1/rank^s
+// using precomputed cumulative weights. Construct with NewZipf.
+type Zipf struct {
+	src *Source
+	cum []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(src *Source, n int, s float64) *Zipf {
+	if n <= 0 || s <= 0 {
+		panic("rng: NewZipf with invalid parameters")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 1; i <= n; i++ {
+		total += 1 / math.Pow(float64(i), s)
+		cum[i-1] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{src: src, cum: cum}
+}
+
+// Draw returns a rank in [1, n].
+func (z *Zipf) Draw() int {
+	u := z.src.Float64()
+	// Binary search for the first cumulative weight >= u.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Perm returns a random permutation of [0, n) using Fisher–Yates.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,275 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("children with different labels produced identical first draw")
+	}
+	// Splitting must not disturb the parent stream.
+	p1 := New(7)
+	p1.Split(1)
+	p1.Split(2)
+	p2 := New(7)
+	for i := 0; i < 100; i++ {
+		if p1.Uint64() != p2.Uint64() {
+			t.Fatalf("split disturbed parent stream at draw %d", i)
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(9).Split(5)
+	b := New(9).Split(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("split streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) covered only %d values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestInt63nRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Int63n(1 << 40)
+		if v < 0 || v >= 1<<40 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := New(17)
+	const n = 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.LogNormal(5, 1.5)
+	}
+	below := 0
+	median := math.Exp(5.0)
+	for _, v := range vals {
+		if v < median {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("lognormal median fraction %v too far from 0.5", frac)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(19)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(0.25)
+	}
+	mean := sum / n
+	if math.Abs(mean-4) > 0.1 {
+		t.Fatalf("exponential mean %v too far from 4", mean)
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	r := New(23)
+	const n = 100000
+	for _, tc := range []struct{ shape, scale float64 }{{2, 3}, {0.5, 2}, {5, 1}} {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += r.Gamma(tc.shape, tc.scale)
+		}
+		mean := sum / n
+		want := tc.shape * tc.scale
+		if math.Abs(mean-want)/want > 0.05 {
+			t.Fatalf("gamma(%v,%v) mean %v, want ~%v", tc.shape, tc.scale, mean, want)
+		}
+	}
+}
+
+func TestWeibullPositive(t *testing.T) {
+	r := New(29)
+	for i := 0; i < 10000; i++ {
+		if v := r.Weibull(0.7, 100); v <= 0 {
+			t.Fatalf("Weibull returned non-positive %v", v)
+		}
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	r := New(31)
+	for i := 0; i < 10000; i++ {
+		v := r.BoundedPareto(1.1, 10, 1000)
+		if v < 10-1e-9 || v > 1000+1e-9 {
+			t.Fatalf("BoundedPareto out of [10,1000]: %v", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	src := New(37)
+	z := NewZipf(src, 100, 1.2)
+	counts := make([]int, 101)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		rank := z.Draw()
+		if rank < 1 || rank > 100 {
+			t.Fatalf("Zipf rank out of range: %d", rank)
+		}
+		counts[rank]++
+	}
+	if counts[1] <= counts[50] {
+		t.Fatalf("Zipf not skewed: rank1=%d rank50=%d", counts[1], counts[50])
+	}
+	if counts[1] < n/20 {
+		t.Fatalf("Zipf rank 1 drew only %d of %d", counts[1], n)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(41)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestQuickFloat64Bounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSplitDeterministic(t *testing.T) {
+	f := func(seed, label uint64) bool {
+		a := New(seed).Split(label)
+		b := New(seed).Split(label)
+		return a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkLogNormal(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.LogNormal(5, 1.5)
+	}
+}

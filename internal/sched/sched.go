@@ -1,0 +1,153 @@
+// Package sched implements the scheduling policies of Section 5: plain
+// FCFS, EASY backfilling with either FCFS or shortest-predicted-job-first
+// (SJBF) backfill order, and — as the related-work baseline — conservative
+// backfilling. Policies are pure decision functions: given the instant,
+// the machine state and the FCFS waiting queue, Pick returns the single
+// next job to start now, or nil. The simulation engine starts that job
+// and asks again, so every decision is made against fully current state;
+// restarting the scan after each start is equivalent to the textbook
+// one-pass EASY scan (starting a feasible backfill job never moves the
+// head job's shadow time) and keeps the policies trivially testable.
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/platform"
+)
+
+// Policy selects the next waiting job to start.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick returns a waiting job to start at instant now, or nil if none
+	// may start. queue is in FCFS order and must not be mutated.
+	Pick(now int64, m *platform.Machine, queue []*job.Job) *job.Job
+}
+
+// Order is the backfill scan order inside EASY.
+type Order int
+
+const (
+	// FCFSOrder scans backfill candidates in arrival order (plain EASY).
+	FCFSOrder Order = iota
+	// SJBFOrder scans candidates shortest-predicted-first (EASY-SJBF,
+	// Tsafrir et al. [24]).
+	SJBFOrder
+)
+
+// String names the order.
+func (o Order) String() string {
+	if o == SJBFOrder {
+		return "SJBF"
+	}
+	return "FCFS"
+}
+
+// FCFS runs jobs strictly in arrival order with no backfilling: the head
+// job starts as soon as it fits; nothing overtakes it.
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "FCFS" }
+
+// Pick implements Policy.
+func (FCFS) Pick(_ int64, m *platform.Machine, queue []*job.Job) *job.Job {
+	if len(queue) == 0 {
+		return nil
+	}
+	if queue[0].Procs <= m.Free() {
+		return queue[0]
+	}
+	return nil
+}
+
+// EASY is aggressive backfilling with a single reservation: the queue
+// head gets a reservation at its shadow time, and any other job may jump
+// it if it fits now and either (a) is predicted to finish before the
+// shadow time or (b) uses only processors left over at the shadow time.
+type EASY struct {
+	// Backfill is the candidate scan order.
+	Backfill Order
+}
+
+// Name implements Policy.
+func (e EASY) Name() string {
+	if e.Backfill == SJBFOrder {
+		return "EASY-SJBF"
+	}
+	return "EASY"
+}
+
+// Pick implements Policy.
+func (e EASY) Pick(now int64, m *platform.Machine, queue []*job.Job) *job.Job {
+	if len(queue) == 0 {
+		return nil
+	}
+	head := queue[0]
+	free := m.Free()
+	if head.Procs <= free {
+		return head
+	}
+	if len(queue) == 1 {
+		return nil
+	}
+	shadow, extra := m.Reservation(now, head.Procs)
+	candidates := queue[1:]
+	if e.Backfill == SJBFOrder {
+		candidates = append([]*job.Job(nil), candidates...)
+		sort.SliceStable(candidates, func(a, b int) bool {
+			ca, cb := candidates[a], candidates[b]
+			if ca.Prediction != cb.Prediction {
+				return ca.Prediction < cb.Prediction
+			}
+			if ca.Submit != cb.Submit {
+				return ca.Submit < cb.Submit
+			}
+			return ca.ID < cb.ID
+		})
+	}
+	for _, c := range candidates {
+		if c.Procs > free {
+			continue
+		}
+		if now+c.Prediction <= shadow || c.Procs <= extra {
+			return c
+		}
+	}
+	return nil
+}
+
+// Conservative is conservative backfilling: every queued job holds a
+// reservation computed in arrival order against the predicted
+// availability profile, and a job starts only when its reservation is
+// now. Reservations are recomputed from scratch at every scheduling
+// event (the "recompute at each new event" variant the paper describes),
+// which lets completions earlier than predicted compress the schedule.
+type Conservative struct{}
+
+// Name implements Policy.
+func (Conservative) Name() string { return "Conservative" }
+
+// Pick implements Policy.
+func (Conservative) Pick(now int64, m *platform.Machine, queue []*job.Job) *job.Job {
+	if len(queue) == 0 {
+		return nil
+	}
+	profile := platform.ProfileFromMachine(m, now)
+	for _, c := range queue {
+		duration := c.Prediction
+		if duration < 1 {
+			duration = 1
+		}
+		start := profile.FindStart(now, duration, c.Procs)
+		if start == now {
+			return c
+		}
+		if start < platform.InfiniteTime {
+			profile.Reserve(start, start+duration, c.Procs)
+		}
+	}
+	return nil
+}

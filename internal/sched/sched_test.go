@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/platform"
+)
+
+func running(m *platform.Machine, id, procs, start, pred int64) *job.Job {
+	j := &job.Job{ID: id, Procs: procs, Start: start, Prediction: pred, Started: true}
+	m.Start(j)
+	return j
+}
+
+func waiting(id, procs, submit, pred int64) *job.Job {
+	return &job.Job{ID: id, Procs: procs, Submit: submit, Prediction: pred, Request: pred * 2}
+}
+
+func TestFCFSStartsHead(t *testing.T) {
+	m := platform.New(10)
+	q := []*job.Job{waiting(1, 4, 0, 100), waiting(2, 2, 1, 100)}
+	got := (FCFS{}).Pick(0, m, q)
+	if got == nil || got.ID != 1 {
+		t.Fatalf("FCFS should start the head, got %v", got)
+	}
+}
+
+func TestFCFSNeverOvertakes(t *testing.T) {
+	m := platform.New(10)
+	running(m, 99, 8, 0, 100)
+	// Head needs 4 (doesn't fit), second needs 1 (fits) — FCFS must refuse.
+	q := []*job.Job{waiting(1, 4, 0, 100), waiting(2, 1, 1, 10)}
+	if got := (FCFS{}).Pick(0, m, q); got != nil {
+		t.Fatalf("FCFS backfilled job %d", got.ID)
+	}
+}
+
+func TestFCFSEmptyQueue(t *testing.T) {
+	m := platform.New(10)
+	if got := (FCFS{}).Pick(0, m, nil); got != nil {
+		t.Fatal("empty queue should pick nothing")
+	}
+}
+
+func TestEASYStartsHeadWhenFits(t *testing.T) {
+	m := platform.New(10)
+	q := []*job.Job{waiting(1, 10, 0, 100)}
+	got := (EASY{}).Pick(0, m, q)
+	if got == nil || got.ID != 1 {
+		t.Fatal("EASY should start a fitting head")
+	}
+}
+
+func TestEASYBackfillBeforeShadow(t *testing.T) {
+	// Figure-2 style scenario: job 99 runs (6 procs until t=100); head
+	// needs 8 and must wait; a 4-proc candidate predicted to end before
+	// the shadow time backfills.
+	m := platform.New(10)
+	running(m, 99, 6, 0, 100)
+	head := waiting(1, 8, 10, 1000)
+	short := waiting(2, 4, 20, 50) // 20+50=70 <= shadow 100
+	got := (EASY{}).Pick(20, m, []*job.Job{head, short})
+	if got == nil || got.ID != 2 {
+		t.Fatalf("EASY should backfill job 2, got %v", got)
+	}
+}
+
+func TestEASYRejectsBackfillDelayingHead(t *testing.T) {
+	m := platform.New(10)
+	running(m, 99, 6, 0, 100)
+	head := waiting(1, 8, 10, 1000)
+	// Candidate ends at 20+200=220 > shadow 100 and needs 4 > extra 2.
+	long := waiting(2, 4, 20, 200)
+	if got := (EASY{}).Pick(20, m, []*job.Job{head, long}); got != nil {
+		t.Fatalf("EASY backfilled a head-delaying job %d", got.ID)
+	}
+}
+
+func TestEASYBackfillOnExtraProcs(t *testing.T) {
+	m := platform.New(10)
+	running(m, 99, 6, 0, 100)
+	head := waiting(1, 8, 10, 1000)
+	// Candidate ends past the shadow but fits in the extra processors:
+	// at shadow t=100 there are 10 free, head takes 8, extra = 2.
+	narrow := waiting(2, 2, 20, 100000)
+	narrow.Request = 200000
+	got := (EASY{}).Pick(20, m, []*job.Job{head, narrow})
+	if got == nil || got.ID != 2 {
+		t.Fatalf("EASY should backfill into extra processors, got %v", got)
+	}
+}
+
+func TestEASYFCFSOrderPrefersEarlierCandidate(t *testing.T) {
+	m := platform.New(10)
+	running(m, 99, 6, 0, 100)
+	head := waiting(1, 8, 10, 1000)
+	a := waiting(2, 4, 20, 60) // arrived first, longer
+	b := waiting(3, 4, 21, 10) // arrived later, shorter
+	got := (EASY{Backfill: FCFSOrder}).Pick(25, m, []*job.Job{head, a, b})
+	if got == nil || got.ID != 2 {
+		t.Fatalf("plain EASY must scan in FCFS order, got %v", got)
+	}
+}
+
+func TestEASYSJBFOrderPrefersShorterCandidate(t *testing.T) {
+	m := platform.New(10)
+	running(m, 99, 6, 0, 100)
+	head := waiting(1, 8, 10, 1000)
+	a := waiting(2, 4, 20, 60)
+	b := waiting(3, 4, 21, 10)
+	got := (EASY{Backfill: SJBFOrder}).Pick(25, m, []*job.Job{head, a, b})
+	if got == nil || got.ID != 3 {
+		t.Fatalf("EASY-SJBF must pick the shortest prediction, got %v", got)
+	}
+}
+
+func TestEASYSJBFTieBreaksBySubmit(t *testing.T) {
+	m := platform.New(10)
+	running(m, 99, 6, 0, 100)
+	head := waiting(1, 8, 10, 1000)
+	a := waiting(2, 4, 21, 10)
+	b := waiting(3, 4, 20, 10)
+	got := (EASY{Backfill: SJBFOrder}).Pick(25, m, []*job.Job{head, a, b})
+	if got == nil || got.ID != 3 {
+		t.Fatalf("SJBF tie must break by submit time, got %v", got)
+	}
+}
+
+func TestEASYQueueNotMutated(t *testing.T) {
+	m := platform.New(10)
+	running(m, 99, 6, 0, 100)
+	q := []*job.Job{waiting(1, 8, 10, 1000), waiting(2, 4, 20, 500), waiting(3, 4, 21, 10)}
+	ids := []int64{q[0].ID, q[1].ID, q[2].ID}
+	(EASY{Backfill: SJBFOrder}).Pick(25, m, q)
+	for i, j := range q {
+		if j.ID != ids[i] {
+			t.Fatal("Pick mutated the caller's queue order")
+		}
+	}
+}
+
+func TestEASYHeadTooWideForever(t *testing.T) {
+	m := platform.New(10)
+	// Queue head wider than the machine cannot be scheduled; EASY still
+	// must not crash and must refuse (the simulator rejects such jobs).
+	head := waiting(1, 11, 0, 100)
+	if got := (EASY{}).Pick(0, m, []*job.Job{head}); got != nil {
+		t.Fatal("impossible head was started")
+	}
+}
+
+func TestConservativeStartsWhenProfileAllows(t *testing.T) {
+	m := platform.New(10)
+	running(m, 99, 6, 0, 100)
+	head := waiting(1, 8, 10, 1000) // reserved at t=100
+	short := waiting(2, 4, 20, 50)  // hole [now,100) is 80s >= 50s
+	got := (Conservative{}).Pick(20, m, []*job.Job{head, short})
+	if got == nil || got.ID != 2 {
+		t.Fatalf("conservative should start the hole-filling job, got %v", got)
+	}
+}
+
+func TestConservativeRespectsEarlierReservations(t *testing.T) {
+	m := platform.New(10)
+	running(m, 99, 6, 0, 100)
+	head := waiting(1, 8, 10, 1000) // reserved [100, 1100) on 8 procs
+	// 4-proc job predicted 200s: hole before 100 too short; after the
+	// head's reservation only 2 procs free until 1100.
+	long := waiting(2, 4, 20, 200)
+	if got := (Conservative{}).Pick(20, m, []*job.Job{head, long}); got != nil {
+		t.Fatalf("conservative violated the head reservation with job %d", got.ID)
+	}
+	// A 2-proc job runs beside the head's reservation.
+	narrow := waiting(3, 2, 20, 100000)
+	narrow.Request = 200000
+	got := (Conservative{}).Pick(20, m, []*job.Job{head, narrow})
+	if got == nil || got.ID != 3 {
+		t.Fatalf("conservative should start the narrow job, got %v", got)
+	}
+}
+
+func TestConservativeHeadStartsImmediately(t *testing.T) {
+	m := platform.New(10)
+	q := []*job.Job{waiting(1, 10, 0, 100)}
+	got := (Conservative{}).Pick(0, m, q)
+	if got == nil || got.ID != 1 {
+		t.Fatal("conservative should start a fitting head")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (FCFS{}).Name() != "FCFS" {
+		t.Fatal("FCFS name")
+	}
+	if (EASY{}).Name() != "EASY" {
+		t.Fatal("EASY name")
+	}
+	if (EASY{Backfill: SJBFOrder}).Name() != "EASY-SJBF" {
+		t.Fatal("EASY-SJBF name")
+	}
+	if (Conservative{}).Name() != "Conservative" {
+		t.Fatal("Conservative name")
+	}
+	if FCFSOrder.String() != "FCFS" || SJBFOrder.String() != "SJBF" {
+		t.Fatal("order names")
+	}
+}

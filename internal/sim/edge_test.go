@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/predict"
+	"repro/internal/sched"
+)
+
+// TestSimultaneousSubmissions: many jobs submitted at the same instant
+// are processed in job-number order and scheduled consistently.
+func TestSimultaneousSubmissions(t *testing.T) {
+	w := wl(4,
+		[5]int64{1, 0, 100, 2, 100},
+		[5]int64{2, 0, 100, 2, 100},
+		[5]int64{3, 0, 100, 2, 100},
+		[5]int64{4, 0, 100, 2, 100},
+	)
+	res := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+	// Machine holds two 2-proc jobs at once: jobs 1,2 at t=0; 3,4 at t=100.
+	if jobByID(res, 1).start(t) != 0 || jobByID(res, 2).start(t) != 0 {
+		t.Error("first two simultaneous jobs should start immediately")
+	}
+	if jobByID(res, 3).start(t) != 100 || jobByID(res, 4).start(t) != 100 {
+		t.Error("next two should start at the first completions")
+	}
+}
+
+// TestFinishAndSubmitSameInstant: a submission at the exact moment other
+// jobs complete sees the freed processors.
+func TestFinishAndSubmitSameInstant(t *testing.T) {
+	w := wl(4,
+		[5]int64{1, 0, 50, 4, 50},
+		[5]int64{2, 50, 10, 4, 10},
+	)
+	res := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+	if got := jobByID(res, 2).start(t); got != 50 {
+		t.Fatalf("job 2 should start at 50 (finish processed before submit), got %d", got)
+	}
+}
+
+// TestOneSecondJobs: minimal runtimes flow through prediction clamping,
+// bsld bounding and the event loop without corner-case failures.
+func TestOneSecondJobs(t *testing.T) {
+	w := wl(2,
+		[5]int64{1, 0, 1, 1, 1},
+		[5]int64{2, 0, 1, 2, 1},
+		[5]int64{3, 1, 1, 2, 1},
+	)
+	res := mustRun(t, w, Config{Policy: sched.EASY{Backfill: sched.SJBFOrder}, Predictor: predict.NewClairvoyant()})
+	for _, j := range res.Jobs {
+		if !j.Finished {
+			t.Fatalf("job %d unfinished", j.ID)
+		}
+	}
+}
+
+// TestFullMachineJob: a job as wide as the machine serializes everything.
+func TestFullMachineJob(t *testing.T) {
+	w := wl(8,
+		[5]int64{1, 0, 100, 8, 100},
+		[5]int64{2, 10, 10, 1, 10},
+		[5]int64{3, 20, 100, 8, 100},
+	)
+	res := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+	if got := jobByID(res, 2).start(t); got != 100 {
+		t.Fatalf("job 2 should backfill at 100 (ends before job 3's shadow), got %d", got)
+	}
+	if got := jobByID(res, 3).start(t); got != 110 {
+		t.Fatalf("full-width job 3 should start at 110, got %d", got)
+	}
+}
+
+// TestZeroWaitWorkload: an empty machine with spaced arrivals gives
+// every job zero wait and AVEbsld exactly 1.
+func TestZeroWaitWorkload(t *testing.T) {
+	w := wl(16,
+		[5]int64{1, 0, 10, 1, 10},
+		[5]int64{2, 1000, 10, 1, 10},
+		[5]int64{3, 2000, 10, 1, 10},
+	)
+	res := mustRun(t, w, Config{Policy: sched.FCFS{}, Predictor: predict.NewRequestedTime()})
+	for _, j := range res.Jobs {
+		if j.Wait() != 0 {
+			t.Fatalf("job %d waited %d on an empty machine", j.ID, j.Wait())
+		}
+	}
+}
+
+// TestMakespanRecorded: makespan equals the last completion.
+func TestMakespanRecorded(t *testing.T) {
+	w := wl(4,
+		[5]int64{1, 0, 100, 4, 100},
+		[5]int64{2, 5, 30, 4, 30},
+	)
+	res := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+	if res.Makespan != 130 {
+		t.Fatalf("makespan = %d, want 130", res.Makespan)
+	}
+}
+
+// TestCorrectionCountsPerJob: per-job and total correction counters agree.
+func TestCorrectionCountTotals(t *testing.T) {
+	w := wl(4,
+		[5]int64{1, 0, 10, 1, 100000},
+		[5]int64{2, 0, 10, 1, 100000},
+		[5]int64{3, 100, 50000, 1, 100000},
+		[5]int64{4, 200, 30000, 1, 100000},
+	)
+	res := mustRun(t, w, Config{
+		Policy:    sched.EASY{},
+		Predictor: predict.NewUserAverage(2),
+		Corrector: nil, // defaults to RequestedTime correction
+	})
+	sum := 0
+	for _, j := range res.Jobs {
+		sum += j.Corrections
+	}
+	if sum != res.Corrections {
+		t.Fatalf("per-job corrections %d != total %d", sum, res.Corrections)
+	}
+	if sum == 0 {
+		t.Fatal("expected corrections for the under-predicted long jobs")
+	}
+}

@@ -1,0 +1,182 @@
+// Package sim is the discrete-event scheduling simulator (the Go
+// equivalent of the pyss fork the paper used). It replays a workload
+// through a scheduling policy wired to a prediction technique and a
+// correction mechanism — one "heuristic triple" — and records the
+// realized schedule for metric computation.
+//
+// Event semantics follow Section 5: predictions are made once at
+// submission; when a running job outlives its prediction, an expiry
+// event fires and the correction mechanism supplies a new total-runtime
+// estimate (bounded by the requested time); completions, expiries and
+// submissions at the same instant are processed in that order; after
+// every event the policy is offered start decisions until it declines.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/correct"
+	"repro/internal/eventq"
+	"repro/internal/job"
+	"repro/internal/platform"
+	"repro/internal/predict"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Config is one heuristic triple plus the workload-independent knobs.
+type Config struct {
+	// Policy is the backfilling variant.
+	Policy sched.Policy
+	// Predictor is the running-time prediction technique.
+	Predictor predict.Predictor
+	// Corrector handles expired predictions. Nil defaults to
+	// correct.RequestedTime (fall back to the user estimate).
+	Corrector correct.Corrector
+}
+
+// Name renders the triple as "policy/predictor/corrector".
+func (c Config) Name() string {
+	corr := c.Corrector
+	if corr == nil {
+		corr = correct.RequestedTime{}
+	}
+	return c.Policy.Name() + "/" + c.Predictor.Name() + "/" + corr.Name()
+}
+
+// Result is the realized schedule of one simulation.
+type Result struct {
+	// Triple names the heuristic triple that produced the schedule.
+	Triple string
+	// Workload names the input workload.
+	Workload string
+	// MaxProcs is the machine size.
+	MaxProcs int64
+	// Jobs holds every job with Start/End/Prediction state filled in,
+	// in submission order.
+	Jobs []*job.Job
+	// Corrections is the total number of prediction-expiry corrections.
+	Corrections int
+	// Makespan is the completion time of the last job.
+	Makespan int64
+}
+
+// Run simulates the workload under the given configuration. It returns
+// an error only for structurally impossible inputs; scheduling-logic
+// violations (overbooking, double starts) panic, since they are bugs.
+func Run(w *trace.Workload, cfg Config) (*Result, error) {
+	if cfg.Policy == nil || cfg.Predictor == nil {
+		return nil, fmt.Errorf("sim: policy and predictor are required")
+	}
+	corrector := cfg.Corrector
+	if corrector == nil {
+		corrector = correct.RequestedTime{}
+	}
+
+	jobs := make([]*job.Job, len(w.Jobs))
+	var q eventq.Queue[*job.Job]
+	for i := range w.Jobs {
+		r := &w.Jobs[i]
+		if r.Procs() > w.MaxProcs {
+			return nil, fmt.Errorf("sim: job %d wider (%d) than machine (%d)", r.JobNumber, r.Procs(), w.MaxProcs)
+		}
+		j := job.FromSWF(r)
+		jobs[i] = j
+		q.Push(j.Submit, eventq.Submit, j)
+	}
+
+	machine := platform.New(w.MaxProcs)
+	queue := make([]*job.Job, 0, 64)
+	res := &Result{Triple: cfg.Name(), Workload: w.Name, MaxProcs: w.MaxProcs, Jobs: jobs}
+
+	startJob := func(j *job.Job, now int64) {
+		j.Started = true
+		j.Start = now
+		machine.Start(j)
+		cfg.Predictor.OnStart(j, now)
+		q.Push(now+j.Runtime, eventq.Finish, j)
+		if j.Prediction < j.Runtime {
+			q.Push(now+j.Prediction, eventq.Expiry, j)
+		}
+	}
+
+	schedulePass := func(now int64) {
+		for {
+			next := cfg.Policy.Pick(now, machine, queue)
+			if next == nil {
+				return
+			}
+			removed := false
+			for i, qj := range queue {
+				if qj == next {
+					queue = append(queue[:i], queue[i+1:]...)
+					removed = true
+					break
+				}
+			}
+			if !removed {
+				panic(fmt.Sprintf("sim: policy %s picked job %d not in queue", cfg.Policy.Name(), next.ID))
+			}
+			startJob(next, now)
+		}
+	}
+
+	for {
+		ev, ok := q.Pop()
+		if !ok {
+			break
+		}
+		now := ev.Time
+		j := ev.Payload
+		switch ev.Kind {
+		case eventq.Submit:
+			j.Prediction = j.ClampPrediction(cfg.Predictor.Predict(j, now))
+			j.SubmitPrediction = j.Prediction
+			cfg.Predictor.OnSubmit(j, now)
+			queue = append(queue, j)
+		case eventq.Finish:
+			machine.Finish(j)
+			j.Finished = true
+			j.End = now
+			if j.End > res.Makespan {
+				res.Makespan = j.End
+			}
+			cfg.Predictor.OnFinish(j, now)
+		case eventq.Expiry:
+			if j.Finished || !j.Started {
+				continue // stale: the job completed at this same instant or earlier
+			}
+			if j.PredictedEnd() > now {
+				continue // stale: a correction already extended the prediction
+			}
+			elapsed := now - j.Start
+			next := corrector.Correct(elapsed, j.Request, j.Corrections)
+			next = j.ClampPrediction(next)
+			if next <= elapsed {
+				// Progress guard: a correction that does not extend the
+				// prediction would loop; push it just past the present.
+				next = elapsed + 1
+				if next > j.Request {
+					next = j.Request
+				}
+			}
+			j.Prediction = next
+			j.Corrections++
+			res.Corrections++
+			if j.PredictedEnd() < j.Start+j.Runtime {
+				q.Push(j.PredictedEnd(), eventq.Expiry, j)
+			}
+		}
+		schedulePass(now)
+	}
+
+	if len(queue) != 0 {
+		return nil, fmt.Errorf("sim: %d jobs never started (first: %d)", len(queue), queue[0].ID)
+	}
+	for _, j := range jobs {
+		if !j.Finished {
+			return nil, fmt.Errorf("sim: job %d never finished", j.ID)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,349 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/correct"
+	"repro/internal/ml"
+	"repro/internal/predict"
+	"repro/internal/sched"
+	"repro/internal/swf"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// wl builds a workload from shorthand job tuples.
+func wl(maxProcs int64, jobs ...[5]int64) *trace.Workload {
+	tr := &swf.Trace{Header: swf.Header{MaxProcs: maxProcs}}
+	for _, j := range jobs {
+		tr.Jobs = append(tr.Jobs, swf.Job{
+			JobNumber: j[0], SubmitTime: j[1], RunTime: j[2],
+			RequestedProcs: j[3], RequestedTime: j[4], UserID: 1, Status: 1,
+		})
+	}
+	w, err := trace.FromSWF("test", tr, maxProcs)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func mustRun(t *testing.T, w *trace.Workload, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := ValidateResult(res); len(errs) != 0 {
+		t.Fatalf("invalid schedule: %v", errs)
+	}
+	return res
+}
+
+func jobByID(res *Result, id int64) *jobState { return &jobState{res, id} }
+
+type jobState struct {
+	res *Result
+	id  int64
+}
+
+func (s *jobState) start(t *testing.T) int64 {
+	t.Helper()
+	for _, j := range s.res.Jobs {
+		if j.ID == s.id {
+			return j.Start
+		}
+	}
+	t.Fatalf("job %d not found", s.id)
+	return -1
+}
+
+func TestSingleJobRunsImmediately(t *testing.T) {
+	w := wl(10, [5]int64{1, 5, 100, 4, 200})
+	res := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+	j := res.Jobs[0]
+	if j.Start != 5 || j.End != 105 {
+		t.Fatalf("start=%d end=%d, want 5,105", j.Start, j.End)
+	}
+	if res.Makespan != 105 {
+		t.Fatalf("makespan = %d", res.Makespan)
+	}
+}
+
+func TestFigure2Scenario(t *testing.T) {
+	// Job 1 occupies 6/10 procs for 100s. Job 2 (8 procs) must wait for
+	// it. Job 3 (4 procs, 50s) backfills because it ends before job 2's
+	// shadow time.
+	w := wl(10,
+		[5]int64{1, 0, 100, 6, 100},
+		[5]int64{2, 10, 100, 8, 100},
+		[5]int64{3, 20, 50, 4, 50},
+	)
+	res := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+	if got := jobByID(res, 3).start(t); got != 20 {
+		t.Errorf("job 3 should backfill at 20, started %d", got)
+	}
+	if got := jobByID(res, 2).start(t); got != 100 {
+		t.Errorf("job 2 should start at 100, started %d", got)
+	}
+}
+
+func TestFCFSBlocksBackfill(t *testing.T) {
+	w := wl(10,
+		[5]int64{1, 0, 100, 6, 100},
+		[5]int64{2, 10, 100, 8, 100},
+		[5]int64{3, 20, 50, 4, 50},
+	)
+	res := mustRun(t, w, Config{Policy: sched.FCFS{}, Predictor: predict.NewRequestedTime()})
+	if got := jobByID(res, 3).start(t); got != 200 {
+		t.Errorf("under FCFS job 3 must wait for job 2: started %d, want 200", got)
+	}
+}
+
+func TestClairvoyantTightensBackfill(t *testing.T) {
+	// With requested times job 3 (requested 90, runs 90) cannot backfill:
+	// the shadow is at t=100 (job 1 requested 100) and 20+90 > 100. With
+	// clairvoyant predictions job 1 is known to end at t=50 < 20+90, so
+	// the shadow moves earlier... job 3 still cannot end before it; but
+	// job 2 starts at 50 instead of 100.
+	w := wl(10,
+		[5]int64{1, 0, 50, 6, 100},
+		[5]int64{2, 10, 100, 8, 100},
+		[5]int64{3, 20, 90, 4, 90},
+	)
+	reqRes := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+	clairRes := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewClairvoyant()})
+	if got := jobByID(clairRes, 2).start(t); got != 50 {
+		t.Errorf("clairvoyant: job 2 should start at 50, got %d", got)
+	}
+	if got := jobByID(reqRes, 2).start(t); got != 50 {
+		// Even with requested times, job 1 actually ends at 50 and EASY
+		// reacts to the completion event.
+		t.Errorf("requested: job 2 should start at 50 on completion, got %d", got)
+	}
+}
+
+func TestUnderPredictionTriggersCorrection(t *testing.T) {
+	// AVE2 predicts from history: user's previous jobs ran 10s, so the
+	// third job (runtime 1000) is predicted 10s and must be corrected.
+	w := wl(4,
+		[5]int64{1, 0, 10, 1, 2000},
+		[5]int64{2, 0, 10, 1, 2000},
+		[5]int64{3, 100, 1000, 1, 2000},
+	)
+	res := mustRun(t, w, Config{
+		Policy:    sched.EASY{Backfill: sched.SJBFOrder},
+		Predictor: predict.NewUserAverage(2),
+		Corrector: correct.Incremental{},
+	})
+	if res.Corrections == 0 {
+		t.Fatal("under-predicted job produced no corrections")
+	}
+	j := res.Jobs[2]
+	if j.SubmitPrediction != 10 {
+		t.Fatalf("submit prediction = %d, want 10", j.SubmitPrediction)
+	}
+	if j.Prediction <= j.SubmitPrediction {
+		t.Fatal("final prediction not extended by corrections")
+	}
+	if j.Corrections < 2 {
+		// 10 -> +1min (70) -> +5min (370) -> +15min (1270) covers 1000s.
+		t.Fatalf("expected at least 2 corrections, got %d", j.Corrections)
+	}
+}
+
+func TestRecursiveDoublingCorrections(t *testing.T) {
+	w := wl(4,
+		[5]int64{1, 0, 100, 1, 100000},
+		[5]int64{2, 0, 100, 1, 100000},
+		[5]int64{3, 500, 64000, 1, 100000},
+	)
+	res := mustRun(t, w, Config{
+		Policy:    sched.EASY{},
+		Predictor: predict.NewUserAverage(2),
+		Corrector: correct.RecursiveDoubling{},
+	})
+	j := res.Jobs[2]
+	// Prediction 100 doubles until it covers 64000: ~10 corrections.
+	if j.Corrections < 8 || j.Corrections > 12 {
+		t.Fatalf("recursive doubling corrections = %d, want ~10", j.Corrections)
+	}
+}
+
+func TestRequestedTimeCorrectionJumpsToRequest(t *testing.T) {
+	w := wl(4,
+		[5]int64{1, 0, 100, 1, 100000},
+		[5]int64{2, 0, 100, 1, 100000},
+		[5]int64{3, 500, 64000, 1, 100000},
+	)
+	res := mustRun(t, w, Config{
+		Policy:    sched.EASY{},
+		Predictor: predict.NewUserAverage(2),
+		Corrector: correct.RequestedTime{},
+	})
+	j := res.Jobs[2]
+	if j.Corrections != 1 {
+		t.Fatalf("requested-time correction should fire once, got %d", j.Corrections)
+	}
+	if j.Prediction != j.Request {
+		t.Fatalf("prediction = %d, want request %d", j.Prediction, j.Request)
+	}
+}
+
+func TestNoCorrectionsWithRequestedTimePredictor(t *testing.T) {
+	// Runtime never exceeds the request, so predictions never expire.
+	w := wl(4,
+		[5]int64{1, 0, 50, 2, 100},
+		[5]int64{2, 5, 80, 2, 100},
+		[5]int64{3, 10, 100, 2, 100},
+	)
+	res := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+	if res.Corrections != 0 {
+		t.Fatalf("requested-time predictions produced %d corrections", res.Corrections)
+	}
+}
+
+func TestSJBFBeatsFCFSOrderForShortJob(t *testing.T) {
+	// Both backfill candidates are queued while the machine is full; the
+	// backfill window (4 procs) opens at t=30. FCFS order gives it to the
+	// earlier long candidate; SJBF to the shorter one.
+	w := wl(10,
+		[5]int64{1, 0, 130, 6, 130}, // busy until 130
+		[5]int64{2, 0, 30, 4, 30},   // busy until 30
+		[5]int64{3, 5, 100, 8, 100}, // head: must wait for job 1 (shadow 130)
+		[5]int64{4, 6, 80, 4, 80},   // long candidate: 30+80 <= 130
+		[5]int64{5, 7, 10, 4, 10},   // short candidate
+	)
+	fcfs := mustRun(t, w, Config{Policy: sched.EASY{Backfill: sched.FCFSOrder}, Predictor: predict.NewRequestedTime()})
+	sjbf := mustRun(t, w, Config{Policy: sched.EASY{Backfill: sched.SJBFOrder}, Predictor: predict.NewRequestedTime()})
+	if got := jobByID(fcfs, 4).start(t); got != 30 {
+		t.Errorf("FCFS order: long candidate should backfill at 30, started %d", got)
+	}
+	if got := jobByID(fcfs, 5).start(t); got != 110 {
+		t.Errorf("FCFS order: short candidate should start at 110, started %d", got)
+	}
+	if got := jobByID(sjbf, 5).start(t); got != 30 {
+		t.Errorf("SJBF order: short candidate should backfill at 30, started %d", got)
+	}
+	if got := jobByID(sjbf, 4).start(t); got != 40 {
+		t.Errorf("SJBF order: long candidate should follow at 40, started %d", got)
+	}
+}
+
+func TestConservativeEndToEnd(t *testing.T) {
+	w := wl(10,
+		[5]int64{1, 0, 100, 6, 100},
+		[5]int64{2, 10, 100, 8, 100},
+		[5]int64{3, 20, 50, 4, 50},
+		[5]int64{4, 30, 300, 2, 300},
+	)
+	res := mustRun(t, w, Config{Policy: sched.Conservative{}, Predictor: predict.NewRequestedTime()})
+	if got := jobByID(res, 3).start(t); got != 20 {
+		t.Errorf("conservative should fill the hole at 20, got %d", got)
+	}
+}
+
+func TestMLTripleEndToEnd(t *testing.T) {
+	cfg, err := workload.Scaled("KTH-SP2", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, w, Config{
+		Policy:    sched.EASY{Backfill: sched.SJBFOrder},
+		Predictor: predict.NewLearning(ml.ELoss),
+		Corrector: correct.Incremental{},
+	})
+	if res.Makespan <= 0 {
+		t.Fatal("makespan not recorded")
+	}
+	for _, j := range res.Jobs {
+		if j.SubmitPrediction < 1 || j.SubmitPrediction > j.Request {
+			t.Fatalf("job %d submit prediction %d outside [1, %d]", j.ID, j.SubmitPrediction, j.Request)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	cfg, _ := workload.Scaled("CTC-SP2", 400)
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() Config {
+		return Config{
+			Policy:    sched.EASY{Backfill: sched.SJBFOrder},
+			Predictor: predict.NewLearning(ml.ELoss),
+			Corrector: correct.Incremental{},
+		}
+	}
+	a := mustRun(t, w, mk())
+	b := mustRun(t, w, mk())
+	for i := range a.Jobs {
+		if a.Jobs[i].Start != b.Jobs[i].Start {
+			t.Fatalf("job %d start differs across identical runs: %d vs %d",
+				a.Jobs[i].ID, a.Jobs[i].Start, b.Jobs[i].Start)
+		}
+	}
+}
+
+func TestRunRejectsMissingPieces(t *testing.T) {
+	w := wl(10, [5]int64{1, 0, 10, 1, 20})
+	if _, err := Run(w, Config{Policy: sched.EASY{}}); err == nil {
+		t.Fatal("missing predictor accepted")
+	}
+	if _, err := Run(w, Config{Predictor: predict.NewRequestedTime()}); err == nil {
+		t.Fatal("missing policy accepted")
+	}
+}
+
+func TestRunRejectsTooWideJob(t *testing.T) {
+	tr := &swf.Trace{Header: swf.Header{MaxProcs: 100}}
+	tr.Jobs = append(tr.Jobs, swf.Job{JobNumber: 1, RunTime: 10, RequestedProcs: 4, RequestedTime: 20, UserID: 1})
+	w, err := trace.FromSWF("x", tr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.MaxProcs = 2 // sabotage after cleaning
+	if _, err := Run(w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()}); err == nil {
+		t.Fatal("too-wide job accepted")
+	}
+}
+
+func TestQuickAllPoliciesProduceValidSchedules(t *testing.T) {
+	policies := []sched.Policy{
+		sched.FCFS{},
+		sched.EASY{Backfill: sched.FCFSOrder},
+		sched.EASY{Backfill: sched.SJBFOrder},
+		sched.Conservative{},
+	}
+	f := func(seed uint64) bool {
+		cfg, _ := workload.Scaled("SDSC-SP2", 150)
+		cfg.Seed = seed
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			return false
+		}
+		for _, p := range policies {
+			res, err := Run(w, Config{
+				Policy:    p,
+				Predictor: predict.NewUserAverage(2),
+				Corrector: correct.Incremental{},
+			})
+			if err != nil {
+				return false
+			}
+			if len(ValidateResult(res)) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ValidateResult checks the physical invariants of a realized schedule:
+// every job started at or after its submission, ran for exactly its
+// actual running time, and the machine capacity was never exceeded.
+// It returns every violation found (empty means the schedule is valid).
+func ValidateResult(res *Result) []error {
+	var errs []error
+	type delta struct {
+		at    int64
+		procs int64
+		isEnd bool
+		id    int64
+	}
+	deltas := make([]delta, 0, 2*len(res.Jobs))
+	for _, j := range res.Jobs {
+		if !j.Started || !j.Finished {
+			errs = append(errs, fmt.Errorf("job %d incomplete (started=%v finished=%v)", j.ID, j.Started, j.Finished))
+			continue
+		}
+		if j.Start < j.Submit {
+			errs = append(errs, fmt.Errorf("job %d started at %d before submission %d", j.ID, j.Start, j.Submit))
+		}
+		if j.End-j.Start != j.Runtime {
+			errs = append(errs, fmt.Errorf("job %d ran %d, actual runtime %d", j.ID, j.End-j.Start, j.Runtime))
+		}
+		if j.Prediction < 1 || j.Prediction > j.Request {
+			errs = append(errs, fmt.Errorf("job %d final prediction %d outside [1,%d]", j.ID, j.Prediction, j.Request))
+		}
+		deltas = append(deltas,
+			delta{at: j.Start, procs: j.Procs, id: j.ID},
+			delta{at: j.End, procs: -j.Procs, isEnd: true, id: j.ID})
+	}
+	sort.Slice(deltas, func(a, b int) bool {
+		if deltas[a].at != deltas[b].at {
+			return deltas[a].at < deltas[b].at
+		}
+		// Releases before allocations at the same instant.
+		if deltas[a].isEnd != deltas[b].isEnd {
+			return deltas[a].isEnd
+		}
+		return deltas[a].id < deltas[b].id
+	})
+	var used int64
+	for _, d := range deltas {
+		used += d.procs
+		if used > res.MaxProcs {
+			errs = append(errs, fmt.Errorf("capacity exceeded at t=%d: %d > %d", d.at, used, res.MaxProcs))
+			break
+		}
+	}
+	return errs
+}

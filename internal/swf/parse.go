@@ -1,0 +1,145 @@
+package swf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads an SWF trace from r. Malformed data lines produce an error
+// naming the line number; unknown header directives are preserved
+// verbatim in Header.Fields.
+func Parse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	tr := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			parseHeaderLine(&tr.Header, line)
+			continue
+		}
+		job, err := parseJobLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("swf: line %d: %w", lineNo, err)
+		}
+		tr.Jobs = append(tr.Jobs, job)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("swf: read: %w", err)
+	}
+	return tr, nil
+}
+
+func parseHeaderLine(h *Header, line string) {
+	body := strings.TrimSpace(strings.TrimPrefix(line, ";"))
+	idx := strings.Index(body, ":")
+	if idx < 0 {
+		return
+	}
+	key := strings.TrimSpace(body[:idx])
+	value := strings.TrimSpace(body[idx+1:])
+	if key == "" {
+		return
+	}
+	h.Fields = append(h.Fields, HeaderField{Key: key, Value: value})
+	n, err := strconv.ParseInt(strings.Fields(value + " 0")[0], 10, 64)
+	if err != nil {
+		return
+	}
+	switch key {
+	case "MaxNodes":
+		h.MaxNodes = n
+	case "MaxProcs":
+		h.MaxProcs = n
+	case "MaxJobs":
+		h.MaxJobs = n
+	case "UnixStartTime":
+		h.UnixStartTime = n
+	}
+}
+
+func parseJobLine(line string) (Job, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 18 {
+		return Job{}, fmt.Errorf("expected 18 fields, got %d", len(fields))
+	}
+	var vals [18]int64
+	for i := 0; i < 18; i++ {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			// Some archive logs use floats in field 6 (avg CPU time).
+			f, ferr := strconv.ParseFloat(fields[i], 64)
+			if ferr != nil {
+				return Job{}, fmt.Errorf("field %d %q: %v", i+1, fields[i], err)
+			}
+			v = int64(f)
+		}
+		vals[i] = v
+	}
+	return Job{
+		JobNumber:       vals[0],
+		SubmitTime:      vals[1],
+		WaitTime:        vals[2],
+		RunTime:         vals[3],
+		AllocatedProcs:  vals[4],
+		AvgCPUTime:      vals[5],
+		UsedMemory:      vals[6],
+		RequestedProcs:  vals[7],
+		RequestedTime:   vals[8],
+		RequestedMemory: vals[9],
+		Status:          vals[10],
+		UserID:          vals[11],
+		GroupID:         vals[12],
+		Executable:      vals[13],
+		Queue:           vals[14],
+		Partition:       vals[15],
+		PrecedingJob:    vals[16],
+		ThinkTime:       vals[17],
+	}, nil
+}
+
+// Write serializes the trace to w in SWF format, emitting header
+// directives first and then one line per job.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range tr.Header.Fields {
+		if _, err := fmt.Fprintf(bw, "; %s: %s\n", f.Key, f.Value); err != nil {
+			return err
+		}
+	}
+	if len(tr.Header.Fields) == 0 {
+		// Emit the structural directives so the output is self-describing.
+		if tr.Header.MaxProcs > 0 {
+			fmt.Fprintf(bw, "; MaxProcs: %d\n", tr.Header.MaxProcs)
+		}
+		if tr.Header.MaxNodes > 0 {
+			fmt.Fprintf(bw, "; MaxNodes: %d\n", tr.Header.MaxNodes)
+		}
+		if tr.Header.MaxJobs > 0 {
+			fmt.Fprintf(bw, "; MaxJobs: %d\n", tr.Header.MaxJobs)
+		}
+		if tr.Header.UnixStartTime > 0 {
+			fmt.Fprintf(bw, "; UnixStartTime: %d\n", tr.Header.UnixStartTime)
+		}
+	}
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		_, err := fmt.Fprintf(bw, "%d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d\n",
+			j.JobNumber, j.SubmitTime, j.WaitTime, j.RunTime, j.AllocatedProcs,
+			j.AvgCPUTime, j.UsedMemory, j.RequestedProcs, j.RequestedTime,
+			j.RequestedMemory, j.Status, j.UserID, j.GroupID, j.Executable,
+			j.Queue, j.Partition, j.PrecedingJob, j.ThinkTime)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

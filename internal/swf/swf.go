@@ -1,0 +1,113 @@
+// Package swf implements the Standard Workload Format (SWF) version 2.2
+// used by the Parallel Workloads Archive. Every log the paper evaluates
+// (KTH-SP2, CTC-SP2, SDSC-SP2, SDSC-BLUE, Curie, Metacentrum) is
+// distributed in this format; the package parses and serializes it so
+// that real archive logs can be fed to the simulator unchanged, and so
+// that the synthetic generators can emit interoperable traces.
+//
+// An SWF file is a sequence of lines. Comment/header lines start with
+// ';' and may carry "; Key: Value" directives (MaxNodes, MaxProcs, ...).
+// Data lines carry 18 whitespace-separated integer fields per job; a
+// value of -1 means "unknown / not applicable".
+package swf
+
+// Job is one record of an SWF trace: the 18 standard fields.
+// Times are in seconds; -1 denotes a missing value.
+type Job struct {
+	// JobNumber is the 1-based job identifier (field 1).
+	JobNumber int64
+	// SubmitTime is the submission (release) time in seconds from the
+	// start of the log (field 2).
+	SubmitTime int64
+	// WaitTime is the recorded time spent in the queue (field 3).
+	WaitTime int64
+	// RunTime is the actual running time pj (field 4).
+	RunTime int64
+	// AllocatedProcs is the number of processors the job actually used
+	// (field 5).
+	AllocatedProcs int64
+	// AvgCPUTime is the average CPU time used (field 6).
+	AvgCPUTime int64
+	// UsedMemory is the average used memory in KB per node (field 7).
+	UsedMemory int64
+	// RequestedProcs is the requested processor count qj (field 8).
+	RequestedProcs int64
+	// RequestedTime is the user's requested running time p̃j, an upper
+	// bound on RunTime (field 9).
+	RequestedTime int64
+	// RequestedMemory is the requested memory in KB per node (field 10).
+	RequestedMemory int64
+	// Status is the completion status (field 11): 1 completed, 0 failed,
+	// 5 cancelled, -1 unknown.
+	Status int64
+	// UserID identifies the submitting user (field 12).
+	UserID int64
+	// GroupID identifies the submitting group (field 13).
+	GroupID int64
+	// Executable identifies the application (field 14).
+	Executable int64
+	// Queue identifies the submission queue (field 15).
+	Queue int64
+	// Partition identifies the machine partition (field 16).
+	Partition int64
+	// PrecedingJob is the job this one depends on (field 17).
+	PrecedingJob int64
+	// ThinkTime is the delay after the preceding job (field 18).
+	ThinkTime int64
+}
+
+// Procs returns the effective processor requirement of the job: the
+// requested count if present, otherwise the allocated count. This is the
+// qj the schedulers use.
+func (j *Job) Procs() int64 {
+	if j.RequestedProcs > 0 {
+		return j.RequestedProcs
+	}
+	return j.AllocatedProcs
+}
+
+// Request returns the effective requested running time: the user estimate
+// if present, otherwise the actual running time (clairvoyant fallback used
+// by the archive for logs without estimates).
+func (j *Job) Request() int64 {
+	if j.RequestedTime > 0 {
+		return j.RequestedTime
+	}
+	return j.RunTime
+}
+
+// Header carries the standard SWF header directives that matter to
+// scheduling simulations, plus all raw directives for round-tripping.
+type Header struct {
+	// MaxNodes is the node count declared by the log, or 0 if absent.
+	MaxNodes int64
+	// MaxProcs is the processor count declared by the log, or 0 if absent.
+	MaxProcs int64
+	// MaxJobs is the number of jobs declared by the log, or 0 if absent.
+	MaxJobs int64
+	// UnixStartTime is the epoch time of the first instant of the log.
+	UnixStartTime int64
+	// Fields holds every "; Key: Value" directive in order of appearance.
+	Fields []HeaderField
+}
+
+// HeaderField is one raw header directive.
+type HeaderField struct {
+	Key   string
+	Value string
+}
+
+// Procs returns the best-effort machine size declared by the header:
+// MaxProcs if set, else MaxNodes.
+func (h *Header) Procs() int64 {
+	if h.MaxProcs > 0 {
+		return h.MaxProcs
+	}
+	return h.MaxNodes
+}
+
+// Trace is a fully parsed SWF log.
+type Trace struct {
+	Header Header
+	Jobs   []Job
+}

@@ -1,0 +1,227 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleSWF = `; Version: 2.2
+; Computer: IBM SP2
+; MaxJobs: 3
+; MaxProcs: 100
+; UnixStartTime: 820454400
+1 0 10 3600 4 -1 -1 4 7200 -1 1 5 1 3 1 1 -1 -1
+2 60 0 120 1 -1 -1 1 600 -1 1 6 1 2 1 1 -1 -1
+3 120 -1 86400 100 -1 -1 100 90000 -1 0 5 1 3 1 1 -1 -1
+`
+
+func TestParseHeader(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sampleSWF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.MaxProcs != 100 {
+		t.Errorf("MaxProcs = %d, want 100", tr.Header.MaxProcs)
+	}
+	if tr.Header.MaxJobs != 3 {
+		t.Errorf("MaxJobs = %d, want 3", tr.Header.MaxJobs)
+	}
+	if tr.Header.UnixStartTime != 820454400 {
+		t.Errorf("UnixStartTime = %d", tr.Header.UnixStartTime)
+	}
+	if len(tr.Header.Fields) != 5 {
+		t.Errorf("got %d header fields, want 5", len(tr.Header.Fields))
+	}
+}
+
+func TestParseJobs(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sampleSWF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 3 {
+		t.Fatalf("got %d jobs, want 3", len(tr.Jobs))
+	}
+	j := tr.Jobs[0]
+	if j.JobNumber != 1 || j.SubmitTime != 0 || j.WaitTime != 10 ||
+		j.RunTime != 3600 || j.RequestedProcs != 4 || j.RequestedTime != 7200 ||
+		j.UserID != 5 || j.Executable != 3 {
+		t.Errorf("job 1 parsed incorrectly: %+v", j)
+	}
+	if tr.Jobs[2].WaitTime != -1 {
+		t.Errorf("missing value should parse as -1, got %d", tr.Jobs[2].WaitTime)
+	}
+}
+
+func TestParseFloatField(t *testing.T) {
+	line := "1 0 10 3600 4 123.5 -1 4 7200 -1 1 5 1 3 1 1 -1 -1\n"
+	tr, err := Parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs[0].AvgCPUTime != 123 {
+		t.Errorf("float field truncated to %d, want 123", tr.Jobs[0].AvgCPUTime)
+	}
+}
+
+func TestParseShortLineFails(t *testing.T) {
+	_, err := Parse(strings.NewReader("1 2 3\n"))
+	if err == nil {
+		t.Fatal("expected error for short line")
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error should name the line: %v", err)
+	}
+}
+
+func TestParseGarbageFieldFails(t *testing.T) {
+	_, err := Parse(strings.NewReader("1 x 10 3600 4 -1 -1 4 7200 -1 1 5 1 3 1 1 -1 -1\n"))
+	if err == nil {
+		t.Fatal("expected error for non-numeric field")
+	}
+}
+
+func TestParseSkipsBlankLines(t *testing.T) {
+	tr, err := Parse(strings.NewReader("\n\n" + sampleSWF + "\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 3 {
+		t.Fatalf("got %d jobs, want 3", len(tr.Jobs))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sampleSWF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Jobs) != len(tr.Jobs) {
+		t.Fatalf("round trip lost jobs: %d -> %d", len(tr.Jobs), len(tr2.Jobs))
+	}
+	for i := range tr.Jobs {
+		if tr.Jobs[i] != tr2.Jobs[i] {
+			t.Errorf("job %d changed: %+v -> %+v", i, tr.Jobs[i], tr2.Jobs[i])
+		}
+	}
+	if tr2.Header.MaxProcs != tr.Header.MaxProcs {
+		t.Errorf("header MaxProcs changed")
+	}
+}
+
+func TestWriteSynthesizedHeader(t *testing.T) {
+	tr := &Trace{Header: Header{MaxProcs: 64, MaxJobs: 1}}
+	tr.Jobs = append(tr.Jobs, Job{JobNumber: 1, RunTime: 10, RequestedProcs: 1, RequestedTime: 20, UserID: 1})
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "; MaxProcs: 64") {
+		t.Errorf("synthesized header missing MaxProcs: %q", out)
+	}
+}
+
+func TestProcsFallback(t *testing.T) {
+	j := Job{RequestedProcs: -1, AllocatedProcs: 8}
+	if j.Procs() != 8 {
+		t.Errorf("Procs fallback = %d, want 8", j.Procs())
+	}
+	j = Job{RequestedProcs: 16, AllocatedProcs: 8}
+	if j.Procs() != 16 {
+		t.Errorf("Procs = %d, want requested 16", j.Procs())
+	}
+}
+
+func TestRequestFallback(t *testing.T) {
+	j := Job{RequestedTime: -1, RunTime: 100}
+	if j.Request() != 100 {
+		t.Errorf("Request fallback = %d, want 100", j.Request())
+	}
+}
+
+func TestValidateDetectsProblems(t *testing.T) {
+	tr := &Trace{Header: Header{MaxProcs: 10}}
+	tr.Jobs = []Job{
+		{JobNumber: 1, SubmitTime: 100, RunTime: 50, RequestedProcs: 4, RequestedTime: 60},
+		{JobNumber: 2, SubmitTime: 50, RunTime: -5, RequestedProcs: 20, RequestedTime: 10},
+		{JobNumber: 3, SubmitTime: 60, RunTime: 100, RequestedProcs: 2, RequestedTime: 50},
+	}
+	issues := Validate(tr, 0)
+	if len(issues) < 4 {
+		t.Fatalf("expected >=4 issues (unsorted, negative runtime, too wide, runtime>request), got %d: %v", len(issues), issues)
+	}
+}
+
+func TestValidateCleanTrace(t *testing.T) {
+	tr := &Trace{Header: Header{MaxProcs: 10}}
+	tr.Jobs = []Job{
+		{JobNumber: 1, SubmitTime: 0, RunTime: 50, RequestedProcs: 4, RequestedTime: 60},
+		{JobNumber: 2, SubmitTime: 50, RunTime: 5, RequestedProcs: 10, RequestedTime: 10},
+	}
+	if issues := Validate(tr, 0); len(issues) != 0 {
+		t.Fatalf("clean trace reported issues: %v", issues)
+	}
+}
+
+func TestClean(t *testing.T) {
+	tr := &Trace{Header: Header{MaxProcs: 10}}
+	tr.Jobs = []Job{
+		{JobNumber: 3, SubmitTime: 100, RunTime: 120, RequestedProcs: 4, RequestedTime: 60},
+		{JobNumber: 1, SubmitTime: 200, RunTime: 0, RequestedProcs: 4, RequestedTime: 60},
+		{JobNumber: 2, SubmitTime: 50, RunTime: 10, RequestedProcs: 99, RequestedTime: 20},
+		{JobNumber: 4, SubmitTime: 10, RunTime: 30, RequestedProcs: 2, RequestedTime: -1},
+	}
+	out := Clean(tr, 0)
+	if len(out.Jobs) != 2 {
+		t.Fatalf("Clean kept %d jobs, want 2", len(out.Jobs))
+	}
+	if out.Jobs[0].JobNumber != 4 {
+		t.Errorf("Clean did not sort by submit time: first job %d", out.Jobs[0].JobNumber)
+	}
+	if out.Jobs[0].RequestedTime != 30 {
+		t.Errorf("Clean should backfill missing request with runtime, got %d", out.Jobs[0].RequestedTime)
+	}
+	if out.Jobs[1].RunTime != 60 {
+		t.Errorf("Clean should cap runtime at request, got %d", out.Jobs[1].RunTime)
+	}
+	if issues := Validate(out, 0); len(issues) != 0 {
+		t.Errorf("Clean output still invalid: %v", issues)
+	}
+}
+
+func TestQuickCleanProducesValidTraces(t *testing.T) {
+	f := func(submits []int64, runs []int64, procs []int64) bool {
+		n := len(submits)
+		if len(runs) < n {
+			n = len(runs)
+		}
+		if len(procs) < n {
+			n = len(procs)
+		}
+		tr := &Trace{Header: Header{MaxProcs: 128}}
+		for i := 0; i < n; i++ {
+			tr.Jobs = append(tr.Jobs, Job{
+				JobNumber:      int64(i + 1),
+				SubmitTime:     submits[i] % 1000000,
+				RunTime:        runs[i] % 100000,
+				RequestedProcs: procs[i] % 256,
+				RequestedTime:  runs[i]%100000 + 10,
+			})
+		}
+		return len(Validate(Clean(tr, 0), 0)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,293 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func smallConfig() Config {
+	cfg, err := Scaled("KTH-SP2", 2000)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+func TestGenerateBasics(t *testing.T) {
+	w, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 2000 {
+		t.Fatalf("got %d jobs, want 2000", len(w.Jobs))
+	}
+	if w.MaxProcs != 32 {
+		// 2000/28000 of 100 processors, floored at 32.
+		t.Fatalf("MaxProcs = %d, want scaled floor 32", w.MaxProcs)
+	}
+	if issues := w.Validate(); len(issues) != 0 {
+		t.Fatalf("generated workload invalid: %v", issues[:min(len(issues), 5)])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	cfg := smallConfig()
+	a, _ := Generate(cfg)
+	cfg.Seed++
+	b, _ := Generate(cfg)
+	same := 0
+	for i := range a.Jobs {
+		if a.Jobs[i].RunTime == b.Jobs[i].RunTime {
+			same++
+		}
+	}
+	if same == len(a.Jobs) {
+		t.Fatal("different seeds produced identical runtimes")
+	}
+}
+
+func TestGenerateInvariants(t *testing.T) {
+	w, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(0)
+	for i := range w.Jobs {
+		j := &w.Jobs[i]
+		if j.RunTime <= 0 {
+			t.Fatalf("job %d has runtime %d", j.JobNumber, j.RunTime)
+		}
+		if j.RunTime > j.RequestedTime {
+			t.Fatalf("job %d runtime %d > request %d", j.JobNumber, j.RunTime, j.RequestedTime)
+		}
+		if j.Procs() <= 0 || j.Procs() > w.MaxProcs {
+			t.Fatalf("job %d procs %d out of range", j.JobNumber, j.Procs())
+		}
+		if j.SubmitTime < prev {
+			t.Fatalf("job %d submits at %d before previous %d", j.JobNumber, j.SubmitTime, prev)
+		}
+		prev = j.SubmitTime
+		if j.UserID <= 0 {
+			t.Fatalf("job %d has user %d", j.JobNumber, j.UserID)
+		}
+	}
+}
+
+func TestGenerateLoadCalibration(t *testing.T) {
+	cfg := smallConfig()
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := w.OfferedLoad()
+	if load < cfg.TargetLoad*0.5 || load > cfg.TargetLoad*1.3 {
+		t.Fatalf("offered load %v too far from target %v", load, cfg.TargetLoad)
+	}
+}
+
+func TestGenerateOverestimation(t *testing.T) {
+	w, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumRatio float64
+	for i := range w.Jobs {
+		j := &w.Jobs[i]
+		sumRatio += float64(j.RequestedTime) / float64(j.RunTime)
+	}
+	mean := sumRatio / float64(len(w.Jobs))
+	if mean < 1.5 {
+		t.Fatalf("mean over-estimation ratio %v too small — requested times should be loose", mean)
+	}
+}
+
+func TestGenerateUserLocality(t *testing.T) {
+	// A user's consecutive runtimes should correlate far better than
+	// random pairs: that's the locality AVE2 exploits.
+	w, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := make(map[int64]int64)
+	var sumAbsUser, sumAbsRand float64
+	var nUser int
+	var prevAny int64 = -1
+	for i := range w.Jobs {
+		j := &w.Jobs[i]
+		if p, ok := last[j.UserID]; ok {
+			sumAbsUser += math.Abs(logRatio(j.RunTime, p))
+			nUser++
+		}
+		last[j.UserID] = j.RunTime
+		if prevAny > 0 {
+			sumAbsRand += math.Abs(logRatio(j.RunTime, prevAny))
+		}
+		prevAny = j.RunTime
+	}
+	if nUser < 100 {
+		t.Fatalf("too few repeat users: %d", nUser)
+	}
+	userErr := sumAbsUser / float64(nUser)
+	randErr := sumAbsRand / float64(len(w.Jobs)-1)
+	if userErr >= randErr {
+		t.Fatalf("no per-user locality: same-user log err %v >= cross-user %v", userErr, randErr)
+	}
+}
+
+func logRatio(a, b int64) float64 { return math.Log(float64(a)) - math.Log(float64(b)) }
+
+func TestPresetsExist(t *testing.T) {
+	names := PresetNames()
+	want := []string{"KTH-SP2", "CTC-SP2", "SDSC-SP2", "SDSC-BLUE", "Curie", "Metacentrum"}
+	if len(names) != len(want) {
+		t.Fatalf("presets = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("preset order: got %s at %d, want %s", names[i], i, n)
+		}
+		cfg, err := Preset(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", n, err)
+		}
+	}
+}
+
+func TestPresetTable4Sizes(t *testing.T) {
+	// Machine sizes and job counts must match Table 4 of the paper.
+	table4 := map[string]struct {
+		procs int64
+		jobs  int
+	}{
+		"KTH-SP2":     {100, 28000},
+		"CTC-SP2":     {338, 77000},
+		"SDSC-SP2":    {128, 59000},
+		"SDSC-BLUE":   {1152, 243000},
+		"Curie":       {80640, 312000},
+		"Metacentrum": {3356, 495000},
+	}
+	for name, want := range table4 {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.MaxProcs != want.procs {
+			t.Errorf("%s: MaxProcs = %d, want %d", name, cfg.MaxProcs, want.procs)
+		}
+		if cfg.Jobs != want.jobs {
+			t.Errorf("%s: Jobs = %d, want %d", name, cfg.Jobs, want.jobs)
+		}
+	}
+}
+
+func TestPresetUnknown(t *testing.T) {
+	if _, err := Preset("nope"); err == nil {
+		t.Fatal("expected error for unknown preset")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	cfg, err := Scaled("Curie", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Jobs != 5000 {
+		t.Errorf("Jobs = %d", cfg.Jobs)
+	}
+	if cfg.Users < 20 {
+		t.Errorf("Users = %d, want >= 20", cfg.Users)
+	}
+	if cfg.MaxProcs >= 80640 || cfg.MaxProcs < 32 {
+		t.Errorf("scaled machine size %d should shrink proportionally (floor 32)", cfg.MaxProcs)
+	}
+	// Scaling above the full size is a no-op.
+	cfg, _ = Scaled("KTH-SP2", 10_000_000)
+	if cfg.Jobs != 28000 {
+		t.Errorf("oversize scale changed job count to %d", cfg.Jobs)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := smallConfig()
+	bad := []func(*Config){
+		func(c *Config) { c.MaxProcs = 0 },
+		func(c *Config) { c.Jobs = 0 },
+		func(c *Config) { c.Users = -1 },
+		func(c *Config) { c.TargetLoad = 0 },
+		func(c *Config) { c.TargetLoad = 5 },
+		func(c *Config) { c.MaxRuntime = 0 },
+		func(c *Config) { c.ClassesPerUser = 0 },
+	}
+	for i, mutate := range bad {
+		c := good
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate config", i)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestRoundUp(t *testing.T) {
+	cases := []struct{ in, want int64 }{
+		{1, 300}, {300, 300}, {301, 600}, {3600, 3600}, {3601, 7200},
+		{100 * 3600, 100 * 3600}, {121 * 3600, 121 * 3600},
+	}
+	for _, c := range cases {
+		if got := roundUp(c.in); got != c.want {
+			t.Errorf("roundUp(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuickGeneratedJobsRespectBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := smallConfig()
+		cfg.Jobs = 200
+		cfg.Users = 20
+		cfg.Seed = seed
+		w, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		for i := range w.Jobs {
+			j := &w.Jobs[i]
+			if j.RunTime <= 0 || j.RunTime > j.RequestedTime || j.Procs() > cfg.MaxProcs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
