@@ -123,13 +123,13 @@ func buildConfig(triple, policy, predictor, lossName, corrector string) (sim.Con
 	cfg := sim.Config{Predictor: t.NewPredictor(), Corrector: t.Corrector}
 	switch strings.ToLower(policy) {
 	case "fcfs":
-		cfg.Policy = sched.FCFS{}
+		cfg.Policy = sched.NewFCFS()
 	case "easy":
-		cfg.Policy = sched.EASY{Backfill: sched.FCFSOrder}
+		cfg.Policy = sched.NewEASY(sched.FCFSOrder)
 	case "easy-sjbf":
-		cfg.Policy = sched.EASY{Backfill: sched.SJBFOrder}
+		cfg.Policy = sched.NewEASY(sched.SJBFOrder)
 	case "conservative":
-		cfg.Policy = sched.Conservative{}
+		cfg.Policy = sched.NewConservative()
 	default:
 		return sim.Config{}, fmt.Errorf("unknown policy %q", policy)
 	}

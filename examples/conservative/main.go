@@ -40,16 +40,18 @@ func main() {
 		func() predict.Predictor { return predict.NewUserAverage(2) },
 		func() predict.Predictor { return predict.NewClairvoyant() },
 	}
-	policies := []sched.Policy{
-		sched.EASY{Backfill: sched.FCFSOrder},
-		sched.EASY{Backfill: sched.SJBFOrder},
-		sched.Conservative{},
-		sched.FCFS{},
+	// Policies are stateful scheduling sessions: instantiate fresh state
+	// for every simulation, like the predictors.
+	policies := []func() sched.Policy{
+		func() sched.Policy { return sched.NewEASY(sched.FCFSOrder) },
+		func() sched.Policy { return sched.NewEASY(sched.SJBFOrder) },
+		func() sched.Policy { return sched.NewConservative() },
+		func() sched.Policy { return sched.NewFCFS() },
 	}
 
 	fmt.Printf("%-14s", "AVEbsld")
 	for _, p := range policies {
-		fmt.Printf(" %14s", p.Name())
+		fmt.Printf(" %14s", p().Name())
 	}
 	fmt.Println()
 	for _, mk := range predictors {
@@ -57,7 +59,7 @@ func main() {
 		fmt.Printf("%-14s", name)
 		for _, p := range policies {
 			res, err := sim.Run(w, sim.Config{
-				Policy:    p,
+				Policy:    p(),
 				Predictor: mk(),
 				Corrector: correct.Incremental{},
 			})

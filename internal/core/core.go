@@ -81,12 +81,13 @@ func (t Triple) NewPredictor() predict.Predictor {
 	}
 }
 
-// Policy instantiates the scheduling policy.
+// Policy instantiates fresh scheduling-policy state (policies are
+// stateful scheduling sessions; one instance per simulation).
 func (t Triple) Policy() sched.Policy {
 	if t.NoBackfill {
-		return sched.FCFS{}
+		return sched.NewFCFS()
 	}
-	return sched.EASY{Backfill: t.Backfill}
+	return sched.NewEASY(t.Backfill)
 }
 
 // Config builds a simulation configuration with fresh state.

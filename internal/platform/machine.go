@@ -79,13 +79,27 @@ func (m *Machine) Running() []*job.Job {
 // InfiniteTime stands in for "never" in reservation computations.
 const InfiniteTime = int64(math.MaxInt64 / 4)
 
+// ReleaseInstant returns the instant a running job's processors should be
+// treated as released by availability computations: its predicted end, or
+// now+1 when the prediction is overdue (the job has outlived it but is
+// still running, so "any moment now" — strictly after now, since the
+// processors are demonstrably not free at now). Machine.Reservation and
+// ProfileFromMachine must both use this helper so the EASY and
+// conservative availability views cannot drift apart.
+func ReleaseInstant(j *job.Job, now int64) int64 {
+	if end := j.PredictedEnd(); end > now {
+		return end
+	}
+	return now + 1
+}
+
 // Reservation computes EASY's single reservation for a job of width
 // procs: the shadow time (earliest instant the job is predicted to have
 // enough processors) and the extra processors (processors free at the
 // shadow time beyond the reserved job's need, usable by backfilled jobs
 // that outlive the shadow time). Completion instants are taken from the
-// running jobs' predictions, clamped to now (an overdue prediction means
-// "any moment now").
+// running jobs' predictions via ReleaseInstant (an overdue prediction
+// means "just after now").
 func (m *Machine) Reservation(now int64, procs int64) (shadow int64, extra int64) {
 	if procs <= m.free {
 		return now, m.free - procs
@@ -100,11 +114,7 @@ func (m *Machine) Reservation(now int64, procs int64) (shadow int64, extra int64
 	}
 	releases := make([]release, 0, len(m.running))
 	for _, j := range m.Running() {
-		at := j.PredictedEnd()
-		if at < now {
-			at = now
-		}
-		releases = append(releases, release{at: at, procs: j.Procs, id: j.ID})
+		releases = append(releases, release{at: ReleaseInstant(j, now), procs: j.Procs, id: j.ID})
 	}
 	sort.Slice(releases, func(a, b int) bool {
 		if releases[a].at != releases[b].at {

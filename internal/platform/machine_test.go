@@ -129,8 +129,36 @@ func TestReservationOverduePrediction(t *testing.T) {
 	m := New(10)
 	m.Start(mkJob(1, 10, 0, 30)) // predicted end 30, but it is now 50
 	shadow, _ := m.Reservation(50, 5)
-	if shadow != 50 {
-		t.Fatalf("overdue prediction should clamp to now: shadow=%d", shadow)
+	// The overdue job's processors are demonstrably busy at now, so the
+	// release is clamped to now+1 — the same ReleaseInstant clamp
+	// ProfileFromMachine applies, so the EASY and conservative
+	// availability views agree.
+	if shadow != 51 {
+		t.Fatalf("overdue prediction should clamp to just after now: shadow=%d", shadow)
+	}
+}
+
+func TestReleaseInstantSharedClamp(t *testing.T) {
+	j := mkJob(1, 4, 0, 30)
+	if got := ReleaseInstant(j, 10); got != 30 {
+		t.Fatalf("live prediction should release at its end: %d", got)
+	}
+	if got := ReleaseInstant(j, 30); got != 31 {
+		t.Fatalf("prediction expiring exactly now should release at now+1: %d", got)
+	}
+	if got := ReleaseInstant(j, 50); got != 51 {
+		t.Fatalf("overdue prediction should release at now+1: %d", got)
+	}
+	// The two availability views must agree on the overdue release.
+	m := New(10)
+	m.Start(j)
+	p := ProfileFromMachine(m, 50)
+	shadow, _ := m.Reservation(50, 8)
+	if p.AvailableAt(shadow) < 8 {
+		t.Fatalf("profile and reservation disagree: only %d free at shadow %d", p.AvailableAt(shadow), shadow)
+	}
+	if p.AvailableAt(50) != 6 || p.AvailableAt(51) != 10 {
+		t.Fatalf("profile overdue clamp wrong: %d at 50, %d at 51", p.AvailableAt(50), p.AvailableAt(51))
 	}
 }
 

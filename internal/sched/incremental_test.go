@@ -1,0 +1,217 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/platform"
+)
+
+// The tests here target the incremental machinery directly: hook-driven
+// state maintenance, the fallback rebuilds when Pick is called without
+// hooks, and the per-instant decision caches. The end-to-end guarantee —
+// schedules identical to the reference policies — lives in the sim
+// package's property tests.
+
+// TestEASYPickWithoutHooksMatchesReference: a hook-less Pick must fall
+// back to rebuilding the SJBF index from the queue and agree with the
+// from-scratch reference.
+func TestEASYPickWithoutHooksMatchesReference(t *testing.T) {
+	m := platform.New(10)
+	running(m, 99, 6, 0, 100)
+	q := []*job.Job{waiting(1, 8, 10, 1000), waiting(2, 4, 20, 60), waiting(3, 4, 21, 10)}
+	got := NewEASY(SJBFOrder).Pick(25, m, q)
+	want := (ReferenceEASY{Backfill: SJBFOrder}).Pick(25, m, q)
+	if got != want {
+		t.Fatalf("fallback Pick = %v, reference = %v", got, want)
+	}
+	if got == nil || got.ID != 3 {
+		t.Fatalf("SJBF should pick the shortest prediction, got %v", got)
+	}
+}
+
+// TestEASYIndexMaintainedByHooks drives the SJBF index purely through
+// OnSubmit/OnStart and checks scan order follows predictions.
+func TestEASYIndexMaintainedByHooks(t *testing.T) {
+	m := platform.New(10)
+	running(m, 99, 6, 0, 100)
+	e := NewEASY(SJBFOrder)
+	head := waiting(1, 8, 10, 1000)
+	a := waiting(2, 2, 20, 60)
+	b := waiting(3, 2, 21, 10)
+	// Prime the machine association, then submit via hooks.
+	if got := e.Pick(10, m, []*job.Job{head}); got != nil {
+		t.Fatalf("head should not fit, got %v", got)
+	}
+	e.OnSubmit(head, 10)
+	e.OnSubmit(a, 20)
+	e.OnSubmit(b, 21)
+	q := []*job.Job{head, a, b}
+	if got := e.Pick(25, m, q); got == nil || got.ID != 3 {
+		t.Fatalf("hook-maintained index should pick job 3, got %v", got)
+	}
+	// Start the picked job: it leaves the index, the next scan picks a.
+	e.OnStart(b, 25)
+	m.Start(&job.Job{ID: b.ID, Procs: b.Procs, Start: 25, Prediction: b.Prediction, Started: true})
+	if got := e.Pick(25, m, []*job.Job{head, a}); got == nil || got.ID != 2 {
+		t.Fatalf("after start, index should pick job 2, got %v", got)
+	}
+}
+
+// TestEASYExtraConsumedIncrementally: a backfill start that outlives the
+// shadow must shrink the cached extra processors so a second candidate of
+// the same width is rejected within the same instant — exactly what the
+// from-scratch recomputation would decide.
+func TestEASYExtraConsumedIncrementally(t *testing.T) {
+	m := platform.New(10)
+	running(m, 99, 6, 0, 100)
+	e := NewEASY(FCFSOrder)
+	head := waiting(1, 8, 10, 1000)
+	// Two narrow long jobs: each fits the extra (10-8=2) alone, but only
+	// one may start — the second would steal the head's processors.
+	n1 := waiting(2, 2, 20, 100000)
+	n2 := waiting(3, 2, 21, 100000)
+	q := []*job.Job{head, n1, n2}
+	got := e.Pick(25, m, q)
+	if got == nil || got.ID != 2 {
+		t.Fatalf("first narrow job should backfill, got %v", got)
+	}
+	started := &job.Job{ID: n1.ID, Procs: n1.Procs, Start: 25, Prediction: n1.Prediction, Started: true}
+	m.Start(started)
+	e.OnStart(started, 25)
+	if got := e.Pick(25, m, []*job.Job{head, n2}); got != nil {
+		t.Fatalf("second narrow job must not also backfill, got job %d", got.ID)
+	}
+	// The reference agrees.
+	if got := (ReferenceEASY{}).Pick(25, m, []*job.Job{head, n2}); got != nil {
+		t.Fatalf("reference disagrees: job %d", got.ID)
+	}
+}
+
+// TestConservativePickWithoutHooksMatchesReference: with no hook driving,
+// Pick resyncs from the machine and must agree with the reference.
+func TestConservativePickWithoutHooksMatchesReference(t *testing.T) {
+	m := platform.New(10)
+	running(m, 99, 6, 0, 100)
+	head := waiting(1, 8, 10, 1000)
+	short := waiting(2, 4, 20, 50)
+	long := waiting(3, 4, 20, 200)
+	for _, q := range [][]*job.Job{
+		{head, short},
+		{head, long},
+		{head, long, short},
+	} {
+		got := NewConservative().Pick(20, m, q)
+		want := (ReferenceConservative{}).Pick(20, m, q)
+		if got != want {
+			t.Fatalf("queue %v: incremental %v, reference %v", q, got, want)
+		}
+	}
+}
+
+// TestConservativeDecisionCache: within one instant the scan runs once;
+// repeated Picks pop cached decisions as the engine starts each job.
+func TestConservativeDecisionCache(t *testing.T) {
+	m := platform.New(10)
+	c := NewConservative()
+	a := waiting(1, 4, 0, 100)
+	b := waiting(2, 4, 0, 100)
+	wide := waiting(3, 8, 0, 100)
+	q := []*job.Job{a, b, wide}
+	got := c.Pick(0, m, q)
+	if got == nil || got.ID != 1 {
+		t.Fatalf("first pick should be job 1, got %v", got)
+	}
+	sa := &job.Job{ID: a.ID, Procs: a.Procs, Start: 0, Prediction: a.Prediction, Started: true}
+	m.Start(sa)
+	c.OnStart(sa, 0)
+	got = c.Pick(0, m, []*job.Job{b, wide})
+	if got == nil || got.ID != 2 {
+		t.Fatalf("second pick should be job 2, got %v", got)
+	}
+	sb := &job.Job{ID: b.ID, Procs: b.Procs, Start: 0, Prediction: b.Prediction, Started: true}
+	m.Start(sb)
+	c.OnStart(sb, 0)
+	if got = c.Pick(0, m, []*job.Job{wide}); got != nil {
+		t.Fatalf("wide job cannot start now, got job %d", got.ID)
+	}
+}
+
+// TestConservativeEarlyFinishCompressesProfile: a completion before its
+// predicted end must make the freed window usable immediately (the
+// Profile.Release path), matching the reference rebuild.
+func TestConservativeEarlyFinishCompressesProfile(t *testing.T) {
+	m := platform.New(10)
+	c := NewConservative()
+	long := &job.Job{ID: 99, Procs: 6, Start: 0, Prediction: 1000, Started: true}
+	m.Start(long)
+	head := waiting(1, 8, 0, 500)
+	if got := c.Pick(0, m, []*job.Job{head}); got != nil {
+		t.Fatalf("head cannot start while the long job runs, got %v", got)
+	}
+	// The first Pick already tracked the running job via resync, so this
+	// out-of-step OnStart must trigger the duplicate guard (desync and
+	// rebuild at the next Pick) instead of double-reserving.
+	c.OnStart(long, 0)
+	// The long job finishes at t=10, far before its predicted end 1000.
+	m.Finish(long)
+	c.OnFinish(long, 10)
+	got := c.Pick(10, m, []*job.Job{head})
+	want := (ReferenceConservative{}).Pick(10, m, []*job.Job{head})
+	if want == nil || want.ID != head.ID {
+		t.Fatalf("reference should start the head after the early finish, got %v", want)
+	}
+	if got != want {
+		t.Fatalf("incremental %v, reference %v after early finish", got, want)
+	}
+}
+
+// TestConservativeExpiryExtendsProfile: a corrected prediction must push
+// the job's reservation out so a queued job no longer fits before it.
+func TestConservativeExpiryExtendsProfile(t *testing.T) {
+	m := platform.New(10)
+	c := NewConservative()
+	runner := &job.Job{ID: 99, Procs: 6, Start: 0, Prediction: 50, Started: true}
+	m.Start(runner)
+	c.OnStart(runner, 0)
+	// A 4-wide job predicted for 40s fits in the hole before t=50.
+	fits := waiting(1, 8, 0, 500)
+	filler := waiting(2, 4, 0, 40)
+	got := c.Pick(0, m, []*job.Job{fits, filler})
+	if got == nil || got.ID != 2 {
+		t.Fatalf("filler should fit before the predicted release, got %v", got)
+	}
+	// Instead, at t=50 the runner outlives its prediction; the
+	// correction extends it to 200. The filler no longer fits... but
+	// conservative may still start it at t=50: only 6 procs are busy.
+	runner.Prediction = 200
+	c.OnExpiry(runner, 50)
+	got = c.Pick(50, m, []*job.Job{fits, filler})
+	want := (ReferenceConservative{}).Pick(50, m, []*job.Job{fits, filler})
+	if got != want {
+		t.Fatalf("after expiry: incremental %v, reference %v", got, want)
+	}
+}
+
+// TestPolicyHooksAreNoOpsForStateless: FCFS and the reference policies
+// accept hook calls without effect (they satisfy the Policy interface).
+func TestPolicyHooksAreNoOpsForStateless(t *testing.T) {
+	j := waiting(1, 2, 0, 10)
+	for _, p := range []Policy{NewFCFS(), ReferenceEASY{}, ReferenceConservative{}} {
+		p.OnSubmit(j, 0)
+		p.OnStart(j, 0)
+		p.OnFinish(j, 5)
+		p.OnExpiry(j, 5)
+	}
+}
+
+// TestReferenceNames: the reference policies report the same names as
+// the incremental ones so result tables line up.
+func TestReferenceNames(t *testing.T) {
+	if (ReferenceEASY{}).Name() != "EASY" || (ReferenceEASY{Backfill: SJBFOrder}).Name() != "EASY-SJBF" {
+		t.Fatal("reference EASY names")
+	}
+	if (ReferenceConservative{}).Name() != "Conservative" {
+		t.Fatal("reference conservative name")
+	}
+}

@@ -20,7 +20,7 @@ func waiting(id, procs, submit, pred int64) *job.Job {
 func TestFCFSStartsHead(t *testing.T) {
 	m := platform.New(10)
 	q := []*job.Job{waiting(1, 4, 0, 100), waiting(2, 2, 1, 100)}
-	got := (FCFS{}).Pick(0, m, q)
+	got := NewFCFS().Pick(0, m, q)
 	if got == nil || got.ID != 1 {
 		t.Fatalf("FCFS should start the head, got %v", got)
 	}
@@ -31,14 +31,14 @@ func TestFCFSNeverOvertakes(t *testing.T) {
 	running(m, 99, 8, 0, 100)
 	// Head needs 4 (doesn't fit), second needs 1 (fits) — FCFS must refuse.
 	q := []*job.Job{waiting(1, 4, 0, 100), waiting(2, 1, 1, 10)}
-	if got := (FCFS{}).Pick(0, m, q); got != nil {
+	if got := NewFCFS().Pick(0, m, q); got != nil {
 		t.Fatalf("FCFS backfilled job %d", got.ID)
 	}
 }
 
 func TestFCFSEmptyQueue(t *testing.T) {
 	m := platform.New(10)
-	if got := (FCFS{}).Pick(0, m, nil); got != nil {
+	if got := NewFCFS().Pick(0, m, nil); got != nil {
 		t.Fatal("empty queue should pick nothing")
 	}
 }
@@ -46,7 +46,7 @@ func TestFCFSEmptyQueue(t *testing.T) {
 func TestEASYStartsHeadWhenFits(t *testing.T) {
 	m := platform.New(10)
 	q := []*job.Job{waiting(1, 10, 0, 100)}
-	got := (EASY{}).Pick(0, m, q)
+	got := NewEASY(FCFSOrder).Pick(0, m, q)
 	if got == nil || got.ID != 1 {
 		t.Fatal("EASY should start a fitting head")
 	}
@@ -60,7 +60,7 @@ func TestEASYBackfillBeforeShadow(t *testing.T) {
 	running(m, 99, 6, 0, 100)
 	head := waiting(1, 8, 10, 1000)
 	short := waiting(2, 4, 20, 50) // 20+50=70 <= shadow 100
-	got := (EASY{}).Pick(20, m, []*job.Job{head, short})
+	got := NewEASY(FCFSOrder).Pick(20, m, []*job.Job{head, short})
 	if got == nil || got.ID != 2 {
 		t.Fatalf("EASY should backfill job 2, got %v", got)
 	}
@@ -72,7 +72,7 @@ func TestEASYRejectsBackfillDelayingHead(t *testing.T) {
 	head := waiting(1, 8, 10, 1000)
 	// Candidate ends at 20+200=220 > shadow 100 and needs 4 > extra 2.
 	long := waiting(2, 4, 20, 200)
-	if got := (EASY{}).Pick(20, m, []*job.Job{head, long}); got != nil {
+	if got := NewEASY(FCFSOrder).Pick(20, m, []*job.Job{head, long}); got != nil {
 		t.Fatalf("EASY backfilled a head-delaying job %d", got.ID)
 	}
 }
@@ -85,7 +85,7 @@ func TestEASYBackfillOnExtraProcs(t *testing.T) {
 	// at shadow t=100 there are 10 free, head takes 8, extra = 2.
 	narrow := waiting(2, 2, 20, 100000)
 	narrow.Request = 200000
-	got := (EASY{}).Pick(20, m, []*job.Job{head, narrow})
+	got := NewEASY(FCFSOrder).Pick(20, m, []*job.Job{head, narrow})
 	if got == nil || got.ID != 2 {
 		t.Fatalf("EASY should backfill into extra processors, got %v", got)
 	}
@@ -97,7 +97,7 @@ func TestEASYFCFSOrderPrefersEarlierCandidate(t *testing.T) {
 	head := waiting(1, 8, 10, 1000)
 	a := waiting(2, 4, 20, 60) // arrived first, longer
 	b := waiting(3, 4, 21, 10) // arrived later, shorter
-	got := (EASY{Backfill: FCFSOrder}).Pick(25, m, []*job.Job{head, a, b})
+	got := NewEASY(FCFSOrder).Pick(25, m, []*job.Job{head, a, b})
 	if got == nil || got.ID != 2 {
 		t.Fatalf("plain EASY must scan in FCFS order, got %v", got)
 	}
@@ -109,7 +109,7 @@ func TestEASYSJBFOrderPrefersShorterCandidate(t *testing.T) {
 	head := waiting(1, 8, 10, 1000)
 	a := waiting(2, 4, 20, 60)
 	b := waiting(3, 4, 21, 10)
-	got := (EASY{Backfill: SJBFOrder}).Pick(25, m, []*job.Job{head, a, b})
+	got := NewEASY(SJBFOrder).Pick(25, m, []*job.Job{head, a, b})
 	if got == nil || got.ID != 3 {
 		t.Fatalf("EASY-SJBF must pick the shortest prediction, got %v", got)
 	}
@@ -121,7 +121,7 @@ func TestEASYSJBFTieBreaksBySubmit(t *testing.T) {
 	head := waiting(1, 8, 10, 1000)
 	a := waiting(2, 4, 21, 10)
 	b := waiting(3, 4, 20, 10)
-	got := (EASY{Backfill: SJBFOrder}).Pick(25, m, []*job.Job{head, a, b})
+	got := NewEASY(SJBFOrder).Pick(25, m, []*job.Job{head, a, b})
 	if got == nil || got.ID != 3 {
 		t.Fatalf("SJBF tie must break by submit time, got %v", got)
 	}
@@ -132,7 +132,7 @@ func TestEASYQueueNotMutated(t *testing.T) {
 	running(m, 99, 6, 0, 100)
 	q := []*job.Job{waiting(1, 8, 10, 1000), waiting(2, 4, 20, 500), waiting(3, 4, 21, 10)}
 	ids := []int64{q[0].ID, q[1].ID, q[2].ID}
-	(EASY{Backfill: SJBFOrder}).Pick(25, m, q)
+	NewEASY(SJBFOrder).Pick(25, m, q)
 	for i, j := range q {
 		if j.ID != ids[i] {
 			t.Fatal("Pick mutated the caller's queue order")
@@ -145,7 +145,7 @@ func TestEASYHeadTooWideForever(t *testing.T) {
 	// Queue head wider than the machine cannot be scheduled; EASY still
 	// must not crash and must refuse (the simulator rejects such jobs).
 	head := waiting(1, 11, 0, 100)
-	if got := (EASY{}).Pick(0, m, []*job.Job{head}); got != nil {
+	if got := NewEASY(FCFSOrder).Pick(0, m, []*job.Job{head}); got != nil {
 		t.Fatal("impossible head was started")
 	}
 }
@@ -155,7 +155,7 @@ func TestConservativeStartsWhenProfileAllows(t *testing.T) {
 	running(m, 99, 6, 0, 100)
 	head := waiting(1, 8, 10, 1000) // reserved at t=100
 	short := waiting(2, 4, 20, 50)  // hole [now,100) is 80s >= 50s
-	got := (Conservative{}).Pick(20, m, []*job.Job{head, short})
+	got := NewConservative().Pick(20, m, []*job.Job{head, short})
 	if got == nil || got.ID != 2 {
 		t.Fatalf("conservative should start the hole-filling job, got %v", got)
 	}
@@ -168,13 +168,13 @@ func TestConservativeRespectsEarlierReservations(t *testing.T) {
 	// 4-proc job predicted 200s: hole before 100 too short; after the
 	// head's reservation only 2 procs free until 1100.
 	long := waiting(2, 4, 20, 200)
-	if got := (Conservative{}).Pick(20, m, []*job.Job{head, long}); got != nil {
+	if got := NewConservative().Pick(20, m, []*job.Job{head, long}); got != nil {
 		t.Fatalf("conservative violated the head reservation with job %d", got.ID)
 	}
 	// A 2-proc job runs beside the head's reservation.
 	narrow := waiting(3, 2, 20, 100000)
 	narrow.Request = 200000
-	got := (Conservative{}).Pick(20, m, []*job.Job{head, narrow})
+	got := NewConservative().Pick(20, m, []*job.Job{head, narrow})
 	if got == nil || got.ID != 3 {
 		t.Fatalf("conservative should start the narrow job, got %v", got)
 	}
@@ -183,23 +183,23 @@ func TestConservativeRespectsEarlierReservations(t *testing.T) {
 func TestConservativeHeadStartsImmediately(t *testing.T) {
 	m := platform.New(10)
 	q := []*job.Job{waiting(1, 10, 0, 100)}
-	got := (Conservative{}).Pick(0, m, q)
+	got := NewConservative().Pick(0, m, q)
 	if got == nil || got.ID != 1 {
 		t.Fatal("conservative should start a fitting head")
 	}
 }
 
 func TestPolicyNames(t *testing.T) {
-	if (FCFS{}).Name() != "FCFS" {
+	if NewFCFS().Name() != "FCFS" {
 		t.Fatal("FCFS name")
 	}
-	if (EASY{}).Name() != "EASY" {
+	if NewEASY(FCFSOrder).Name() != "EASY" {
 		t.Fatal("EASY name")
 	}
-	if (EASY{Backfill: SJBFOrder}).Name() != "EASY-SJBF" {
+	if NewEASY(SJBFOrder).Name() != "EASY-SJBF" {
 		t.Fatal("EASY-SJBF name")
 	}
-	if (Conservative{}).Name() != "Conservative" {
+	if NewConservative().Name() != "Conservative" {
 		t.Fatal("Conservative name")
 	}
 	if FCFSOrder.String() != "FCFS" || SJBFOrder.String() != "SJBF" {

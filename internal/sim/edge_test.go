@@ -16,7 +16,7 @@ func TestSimultaneousSubmissions(t *testing.T) {
 		[5]int64{3, 0, 100, 2, 100},
 		[5]int64{4, 0, 100, 2, 100},
 	)
-	res := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+	res := mustRun(t, w, Config{Policy: sched.NewEASY(sched.FCFSOrder), Predictor: predict.NewRequestedTime()})
 	// Machine holds two 2-proc jobs at once: jobs 1,2 at t=0; 3,4 at t=100.
 	if jobByID(res, 1).start(t) != 0 || jobByID(res, 2).start(t) != 0 {
 		t.Error("first two simultaneous jobs should start immediately")
@@ -33,7 +33,7 @@ func TestFinishAndSubmitSameInstant(t *testing.T) {
 		[5]int64{1, 0, 50, 4, 50},
 		[5]int64{2, 50, 10, 4, 10},
 	)
-	res := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+	res := mustRun(t, w, Config{Policy: sched.NewEASY(sched.FCFSOrder), Predictor: predict.NewRequestedTime()})
 	if got := jobByID(res, 2).start(t); got != 50 {
 		t.Fatalf("job 2 should start at 50 (finish processed before submit), got %d", got)
 	}
@@ -47,7 +47,7 @@ func TestOneSecondJobs(t *testing.T) {
 		[5]int64{2, 0, 1, 2, 1},
 		[5]int64{3, 1, 1, 2, 1},
 	)
-	res := mustRun(t, w, Config{Policy: sched.EASY{Backfill: sched.SJBFOrder}, Predictor: predict.NewClairvoyant()})
+	res := mustRun(t, w, Config{Policy: sched.NewEASY(sched.SJBFOrder), Predictor: predict.NewClairvoyant()})
 	for _, j := range res.Jobs {
 		if !j.Finished {
 			t.Fatalf("job %d unfinished", j.ID)
@@ -62,7 +62,7 @@ func TestFullMachineJob(t *testing.T) {
 		[5]int64{2, 10, 10, 1, 10},
 		[5]int64{3, 20, 100, 8, 100},
 	)
-	res := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+	res := mustRun(t, w, Config{Policy: sched.NewEASY(sched.FCFSOrder), Predictor: predict.NewRequestedTime()})
 	if got := jobByID(res, 2).start(t); got != 100 {
 		t.Fatalf("job 2 should backfill at 100 (ends before job 3's shadow), got %d", got)
 	}
@@ -79,7 +79,7 @@ func TestZeroWaitWorkload(t *testing.T) {
 		[5]int64{2, 1000, 10, 1, 10},
 		[5]int64{3, 2000, 10, 1, 10},
 	)
-	res := mustRun(t, w, Config{Policy: sched.FCFS{}, Predictor: predict.NewRequestedTime()})
+	res := mustRun(t, w, Config{Policy: sched.NewFCFS(), Predictor: predict.NewRequestedTime()})
 	for _, j := range res.Jobs {
 		if j.Wait() != 0 {
 			t.Fatalf("job %d waited %d on an empty machine", j.ID, j.Wait())
@@ -93,7 +93,7 @@ func TestMakespanRecorded(t *testing.T) {
 		[5]int64{1, 0, 100, 4, 100},
 		[5]int64{2, 5, 30, 4, 30},
 	)
-	res := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+	res := mustRun(t, w, Config{Policy: sched.NewEASY(sched.FCFSOrder), Predictor: predict.NewRequestedTime()})
 	if res.Makespan != 130 {
 		t.Fatalf("makespan = %d, want 130", res.Makespan)
 	}
@@ -108,7 +108,7 @@ func TestCorrectionCountTotals(t *testing.T) {
 		[5]int64{4, 200, 30000, 1, 100000},
 	)
 	res := mustRun(t, w, Config{
-		Policy:    sched.EASY{},
+		Policy:    sched.NewEASY(sched.FCFSOrder),
 		Predictor: predict.NewUserAverage(2),
 		Corrector: nil, // defaults to RequestedTime correction
 	})

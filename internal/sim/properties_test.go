@@ -22,7 +22,7 @@ func TestQuickFCFSPreservesOrder(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := sim.Run(w, sim.Config{Policy: sched.FCFS{}, Predictor: predict.NewRequestedTime()})
+		res, err := sim.Run(w, sim.Config{Policy: sched.NewFCFS(), Predictor: predict.NewRequestedTime()})
 		if err != nil {
 			return false
 		}
@@ -58,11 +58,11 @@ func TestQuickBackfillingHelps(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		fcfs, err := sim.Run(w, sim.Config{Policy: sched.FCFS{}, Predictor: predict.NewRequestedTime()})
+		fcfs, err := sim.Run(w, sim.Config{Policy: sched.NewFCFS(), Predictor: predict.NewRequestedTime()})
 		if err != nil {
 			return false
 		}
-		easy, err := sim.Run(w, sim.Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+		easy, err := sim.Run(w, sim.Config{Policy: sched.NewEASY(sched.FCFSOrder), Predictor: predict.NewRequestedTime()})
 		if err != nil {
 			return false
 		}
@@ -87,7 +87,7 @@ func TestQuickCorrectionsBounded(t *testing.T) {
 		}
 		for _, corr := range correct.All() {
 			res, err := sim.Run(w, sim.Config{
-				Policy:    sched.EASY{Backfill: sched.SJBFOrder},
+				Policy:    sched.NewEASY(sched.SJBFOrder),
 				Predictor: predict.NewUserAverage(2),
 				Corrector: corr,
 			})
@@ -120,7 +120,7 @@ func TestQuickWaitStatsConsistent(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := sim.Run(w, sim.Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+		res, err := sim.Run(w, sim.Config{Policy: sched.NewEASY(sched.FCFSOrder), Predictor: predict.NewRequestedTime()})
 		if err != nil {
 			return false
 		}
@@ -144,7 +144,7 @@ func TestExtremeValuesObservation(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := sim.Run(w, sim.Config{
-		Policy:    sched.EASY{Backfill: sched.SJBFOrder},
+		Policy:    sched.NewEASY(sched.SJBFOrder),
 		Predictor: predict.NewUserAverage(2),
 		Corrector: correct.Incremental{},
 	})

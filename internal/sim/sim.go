@@ -10,6 +10,9 @@
 // estimate (bounded by the requested time); completions, expiries and
 // submissions at the same instant are processed in that order; after
 // every event the policy is offered start decisions until it declines.
+// The policy is driven through its lifecycle hooks (OnSubmit/OnStart/
+// OnFinish/OnExpiry) in lockstep with the machine so stateful policies
+// can maintain incremental acceleration structures across decisions.
 package sim
 
 import (
@@ -94,6 +97,7 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 		j.Start = now
 		machine.Start(j)
 		cfg.Predictor.OnStart(j, now)
+		cfg.Policy.OnStart(j, now)
 		q.Push(now+j.Runtime, eventq.Finish, j)
 		if j.Prediction < j.Runtime {
 			q.Push(now+j.Prediction, eventq.Expiry, j)
@@ -134,6 +138,7 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 			j.SubmitPrediction = j.Prediction
 			cfg.Predictor.OnSubmit(j, now)
 			queue = append(queue, j)
+			cfg.Policy.OnSubmit(j, now)
 		case eventq.Finish:
 			machine.Finish(j)
 			j.Finished = true
@@ -142,6 +147,7 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 				res.Makespan = j.End
 			}
 			cfg.Predictor.OnFinish(j, now)
+			cfg.Policy.OnFinish(j, now)
 		case eventq.Expiry:
 			if j.Finished || !j.Started {
 				continue // stale: the job completed at this same instant or earlier
@@ -163,6 +169,7 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 			j.Prediction = next
 			j.Corrections++
 			res.Corrections++
+			cfg.Policy.OnExpiry(j, now)
 			if j.PredictedEnd() < j.Start+j.Runtime {
 				q.Push(j.PredictedEnd(), eventq.Expiry, j)
 			}

@@ -61,7 +61,7 @@ func (s *jobState) start(t *testing.T) int64 {
 
 func TestSingleJobRunsImmediately(t *testing.T) {
 	w := wl(10, [5]int64{1, 5, 100, 4, 200})
-	res := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+	res := mustRun(t, w, Config{Policy: sched.NewEASY(sched.FCFSOrder), Predictor: predict.NewRequestedTime()})
 	j := res.Jobs[0]
 	if j.Start != 5 || j.End != 105 {
 		t.Fatalf("start=%d end=%d, want 5,105", j.Start, j.End)
@@ -80,7 +80,7 @@ func TestFigure2Scenario(t *testing.T) {
 		[5]int64{2, 10, 100, 8, 100},
 		[5]int64{3, 20, 50, 4, 50},
 	)
-	res := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+	res := mustRun(t, w, Config{Policy: sched.NewEASY(sched.FCFSOrder), Predictor: predict.NewRequestedTime()})
 	if got := jobByID(res, 3).start(t); got != 20 {
 		t.Errorf("job 3 should backfill at 20, started %d", got)
 	}
@@ -95,7 +95,7 @@ func TestFCFSBlocksBackfill(t *testing.T) {
 		[5]int64{2, 10, 100, 8, 100},
 		[5]int64{3, 20, 50, 4, 50},
 	)
-	res := mustRun(t, w, Config{Policy: sched.FCFS{}, Predictor: predict.NewRequestedTime()})
+	res := mustRun(t, w, Config{Policy: sched.NewFCFS(), Predictor: predict.NewRequestedTime()})
 	if got := jobByID(res, 3).start(t); got != 200 {
 		t.Errorf("under FCFS job 3 must wait for job 2: started %d, want 200", got)
 	}
@@ -112,8 +112,8 @@ func TestClairvoyantTightensBackfill(t *testing.T) {
 		[5]int64{2, 10, 100, 8, 100},
 		[5]int64{3, 20, 90, 4, 90},
 	)
-	reqRes := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
-	clairRes := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewClairvoyant()})
+	reqRes := mustRun(t, w, Config{Policy: sched.NewEASY(sched.FCFSOrder), Predictor: predict.NewRequestedTime()})
+	clairRes := mustRun(t, w, Config{Policy: sched.NewEASY(sched.FCFSOrder), Predictor: predict.NewClairvoyant()})
 	if got := jobByID(clairRes, 2).start(t); got != 50 {
 		t.Errorf("clairvoyant: job 2 should start at 50, got %d", got)
 	}
@@ -133,7 +133,7 @@ func TestUnderPredictionTriggersCorrection(t *testing.T) {
 		[5]int64{3, 100, 1000, 1, 2000},
 	)
 	res := mustRun(t, w, Config{
-		Policy:    sched.EASY{Backfill: sched.SJBFOrder},
+		Policy:    sched.NewEASY(sched.SJBFOrder),
 		Predictor: predict.NewUserAverage(2),
 		Corrector: correct.Incremental{},
 	})
@@ -160,7 +160,7 @@ func TestRecursiveDoublingCorrections(t *testing.T) {
 		[5]int64{3, 500, 64000, 1, 100000},
 	)
 	res := mustRun(t, w, Config{
-		Policy:    sched.EASY{},
+		Policy:    sched.NewEASY(sched.FCFSOrder),
 		Predictor: predict.NewUserAverage(2),
 		Corrector: correct.RecursiveDoubling{},
 	})
@@ -178,7 +178,7 @@ func TestRequestedTimeCorrectionJumpsToRequest(t *testing.T) {
 		[5]int64{3, 500, 64000, 1, 100000},
 	)
 	res := mustRun(t, w, Config{
-		Policy:    sched.EASY{},
+		Policy:    sched.NewEASY(sched.FCFSOrder),
 		Predictor: predict.NewUserAverage(2),
 		Corrector: correct.RequestedTime{},
 	})
@@ -198,7 +198,7 @@ func TestNoCorrectionsWithRequestedTimePredictor(t *testing.T) {
 		[5]int64{2, 5, 80, 2, 100},
 		[5]int64{3, 10, 100, 2, 100},
 	)
-	res := mustRun(t, w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()})
+	res := mustRun(t, w, Config{Policy: sched.NewEASY(sched.FCFSOrder), Predictor: predict.NewRequestedTime()})
 	if res.Corrections != 0 {
 		t.Fatalf("requested-time predictions produced %d corrections", res.Corrections)
 	}
@@ -215,8 +215,8 @@ func TestSJBFBeatsFCFSOrderForShortJob(t *testing.T) {
 		[5]int64{4, 6, 80, 4, 80},   // long candidate: 30+80 <= 130
 		[5]int64{5, 7, 10, 4, 10},   // short candidate
 	)
-	fcfs := mustRun(t, w, Config{Policy: sched.EASY{Backfill: sched.FCFSOrder}, Predictor: predict.NewRequestedTime()})
-	sjbf := mustRun(t, w, Config{Policy: sched.EASY{Backfill: sched.SJBFOrder}, Predictor: predict.NewRequestedTime()})
+	fcfs := mustRun(t, w, Config{Policy: sched.NewEASY(sched.FCFSOrder), Predictor: predict.NewRequestedTime()})
+	sjbf := mustRun(t, w, Config{Policy: sched.NewEASY(sched.SJBFOrder), Predictor: predict.NewRequestedTime()})
 	if got := jobByID(fcfs, 4).start(t); got != 30 {
 		t.Errorf("FCFS order: long candidate should backfill at 30, started %d", got)
 	}
@@ -238,7 +238,7 @@ func TestConservativeEndToEnd(t *testing.T) {
 		[5]int64{3, 20, 50, 4, 50},
 		[5]int64{4, 30, 300, 2, 300},
 	)
-	res := mustRun(t, w, Config{Policy: sched.Conservative{}, Predictor: predict.NewRequestedTime()})
+	res := mustRun(t, w, Config{Policy: sched.NewConservative(), Predictor: predict.NewRequestedTime()})
 	if got := jobByID(res, 3).start(t); got != 20 {
 		t.Errorf("conservative should fill the hole at 20, got %d", got)
 	}
@@ -254,7 +254,7 @@ func TestMLTripleEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := mustRun(t, w, Config{
-		Policy:    sched.EASY{Backfill: sched.SJBFOrder},
+		Policy:    sched.NewEASY(sched.SJBFOrder),
 		Predictor: predict.NewLearning(ml.ELoss),
 		Corrector: correct.Incremental{},
 	})
@@ -276,7 +276,7 @@ func TestDeterministicReplay(t *testing.T) {
 	}
 	mk := func() Config {
 		return Config{
-			Policy:    sched.EASY{Backfill: sched.SJBFOrder},
+			Policy:    sched.NewEASY(sched.SJBFOrder),
 			Predictor: predict.NewLearning(ml.ELoss),
 			Corrector: correct.Incremental{},
 		}
@@ -293,7 +293,7 @@ func TestDeterministicReplay(t *testing.T) {
 
 func TestRunRejectsMissingPieces(t *testing.T) {
 	w := wl(10, [5]int64{1, 0, 10, 1, 20})
-	if _, err := Run(w, Config{Policy: sched.EASY{}}); err == nil {
+	if _, err := Run(w, Config{Policy: sched.NewEASY(sched.FCFSOrder)}); err == nil {
 		t.Fatal("missing predictor accepted")
 	}
 	if _, err := Run(w, Config{Predictor: predict.NewRequestedTime()}); err == nil {
@@ -309,17 +309,17 @@ func TestRunRejectsTooWideJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.MaxProcs = 2 // sabotage after cleaning
-	if _, err := Run(w, Config{Policy: sched.EASY{}, Predictor: predict.NewRequestedTime()}); err == nil {
+	if _, err := Run(w, Config{Policy: sched.NewEASY(sched.FCFSOrder), Predictor: predict.NewRequestedTime()}); err == nil {
 		t.Fatal("too-wide job accepted")
 	}
 }
 
 func TestQuickAllPoliciesProduceValidSchedules(t *testing.T) {
 	policies := []sched.Policy{
-		sched.FCFS{},
-		sched.EASY{Backfill: sched.FCFSOrder},
-		sched.EASY{Backfill: sched.SJBFOrder},
-		sched.Conservative{},
+		sched.NewFCFS(),
+		sched.NewEASY(sched.FCFSOrder),
+		sched.NewEASY(sched.SJBFOrder),
+		sched.NewConservative(),
 	}
 	f := func(seed uint64) bool {
 		cfg, _ := workload.Scaled("SDSC-SP2", 150)
