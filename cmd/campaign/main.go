@@ -1,24 +1,32 @@
 // Command campaign runs the paper's full experiment campaign — every
 // heuristic triple over the six Table-4 preset workloads — and prints the
-// requested tables and figure series.
+// requested tables and figure series. With -robustness it instead runs
+// the disruption sweep: a compact triple set under randomized node
+// drains, maintenance windows and job cancellations at every intensity
+// level, rendered as the robustness table.
 //
 // Usage:
 //
 //	campaign -jobs 3000                  # everything
 //	campaign -jobs 3000 -table 1        # just Table 1
 //	campaign -jobs 3000 -figure 4       # just Figure 4 (Curie ECDFs)
+//	campaign -jobs 3000 -robustness     # disruption sweep
 //
 // Table/figure numbers follow the paper: tables 1, 6, 7, 8 and figures
-// 3, 4, 5.
+// 3, 4, 5. Progress and an ETA are reported on stderr while the grid
+// runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -27,7 +35,14 @@ func main() {
 	table := flag.Int("table", 0, "print only this table (1, 6, 7 or 8; 0 = all)")
 	figure := flag.Int("figure", 0, "print only this figure (3, 4 or 5; 0 = all)")
 	par := flag.Int("p", 0, "parallel simulations (0 = GOMAXPROCS)")
+	robustness := flag.Bool("robustness", false, "run the disruption sweep instead of the paper tables")
+	seed := flag.Uint64("seed", 1, "disruption-script seed for -robustness")
 	flag.Parse()
+
+	if *robustness {
+		runRobustness(*jobs, *par, *seed)
+		return
+	}
 
 	wantTable := func(n int) bool { return (*table == 0 && *figure == 0) || *table == n }
 	wantFigure := func(n int) bool { return (*table == 0 && *figure == 0) || *figure == n }
@@ -39,7 +54,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		c := &campaign.Campaign{Workloads: ws, Parallelism: *par}
+		c := &campaign.Campaign{Workloads: ws, Parallelism: *par, Progress: progressReporter("campaign")}
 		fmt.Fprintf(os.Stderr, "campaign: running %d simulations (%d workloads x 130 triples)...\n", len(ws)*130, len(ws))
 		results, err = c.Run()
 		if err != nil {
@@ -86,6 +101,53 @@ func main() {
 		if wantFigure(5) {
 			fmt.Println(report.Figure5(series))
 		}
+	}
+}
+
+func runRobustness(jobs, par int, seed uint64) {
+	ws, err := campaign.DefaultWorkloads(jobs)
+	if err != nil {
+		fatal(err)
+	}
+	r := &campaign.Robustness{
+		Workloads:   ws,
+		Seed:        seed,
+		Parallelism: par,
+		Progress:    progressReporter("robustness"),
+	}
+	triples, intensities := len(campaign.DefaultRobustnessTriples()), len(scenario.Intensities)
+	fmt.Fprintf(os.Stderr, "campaign: running %d disrupted simulations (%d workloads x %d triples x %d intensities)...\n",
+		len(ws)*triples*intensities, len(ws), triples, intensities)
+	results, err := r.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(report.RobustnessTable(results))
+}
+
+// progressReporter returns a goroutine-safe Progress callback that
+// writes throttled progress/ETA lines to stderr — minutes-long grids
+// should not be silent until the final tables print.
+func progressReporter(label string) func(done, total int) {
+	var mu sync.Mutex
+	start := time.Now()
+	lastPrint := start
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if done != total && now.Sub(lastPrint) < 2*time.Second {
+			return
+		}
+		lastPrint = now
+		elapsed := now.Sub(start)
+		msg := fmt.Sprintf("%s: %d/%d (%.0f%%) elapsed %s", label, done, total,
+			100*float64(done)/float64(total), elapsed.Round(time.Second))
+		if done > 0 && done < total {
+			eta := time.Duration(float64(elapsed) * float64(total-done) / float64(done))
+			msg += fmt.Sprintf(" eta %s", eta.Round(time.Second))
+		}
+		fmt.Fprintln(os.Stderr, msg)
 	}
 }
 

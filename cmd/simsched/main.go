@@ -7,6 +7,8 @@
 //
 //	simsched -preset Curie -jobs 5000 -triple best
 //	simsched -swf CTC-SP2-1996-3.1-cln.swf -triple easy++
+//	simsched -swf CTC-SP2-1996-3.1-cln.swf -status replay        # honor the log's cancellations
+//	simsched -preset KTH-SP2 -disrupt moderate -disrupt-seed 7   # synthetic drains + cancels
 //	simsched -preset KTH-SP2 -policy easy-sjbf -predictor ml -loss "over=sq,under=lin,w=largearea" -corrector incremental
 package main
 
@@ -20,8 +22,10 @@ import (
 	"repro/internal/correct"
 	"repro/internal/metrics"
 	"repro/internal/ml"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/swf"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -31,6 +35,9 @@ func main() {
 	jobs := flag.Int("jobs", 5000, "scale the preset to this many jobs (0 = full size)")
 	swfPath := flag.String("swf", "", "load this SWF file instead of generating a preset")
 	maxProcs := flag.Int64("maxprocs", 0, "machine size override for -swf (0 = use header)")
+	status := flag.String("status", "keep", "how -swf honors cancelled/failed jobs: keep | skip | truncate | replay (replay re-kills never-ran cancelled jobs at their logged instant)")
+	disrupt := flag.String("disrupt", "none", "synthetic disruption intensity: none | light | moderate | heavy")
+	disruptSeed := flag.Uint64("disrupt-seed", 1, "seed for the synthetic disruption generator")
 	triple := flag.String("triple", "", "named triple: easy | easy++ | best | clairvoyant | clairvoyant-sjbf")
 	policy := flag.String("policy", "easy-sjbf", "scheduling policy: fcfs | easy | easy-sjbf | conservative")
 	predictor := flag.String("predictor", "ml", "prediction technique: clairvoyant | requested | ave2 | ml")
@@ -38,7 +45,7 @@ func main() {
 	corrector := flag.String("corrector", "incremental", "correction: requested | incremental | doubling")
 	flag.Parse()
 
-	w, err := loadWorkload(*preset, *jobs, *swfPath, *maxProcs)
+	w, script, err := loadWorkload(*preset, *jobs, *swfPath, *maxProcs, *status)
 	if err != nil {
 		fatal(err)
 	}
@@ -46,6 +53,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *disrupt != "none" {
+		in, ok := scenario.IntensityByName(*disrupt)
+		if !ok {
+			fatal(fmt.Errorf("unknown disruption intensity %q", *disrupt))
+		}
+		script = scenario.Merge(fmt.Sprintf("%s+%s", *disrupt, *status), script, scenario.Generate(w, in, *disruptSeed))
+	}
+	cfg.Script = script
 
 	res, err := sim.Run(w, cfg)
 	if err != nil {
@@ -56,6 +71,11 @@ func main() {
 	}
 	fmt.Printf("workload      %s (%d jobs, %d procs)\n", w.Name, len(w.Jobs), w.MaxProcs)
 	fmt.Printf("triple        %s\n", res.Triple)
+	if !script.Empty() {
+		drains, restores, cancels := script.Counts()
+		fmt.Printf("scenario      %s (%d drains, %d restores, %d cancel events)\n", res.Scenario, drains, restores, cancels)
+		fmt.Printf("canceled      %d jobs, %d capacity changes\n", res.Canceled, len(res.CapacitySteps))
+	}
 	fmt.Printf("AVEbsld       %.2f\n", metrics.AVEbsld(res))
 	fmt.Printf("max bsld      %.1f\n", metrics.MaxBsld(res))
 	fmt.Printf("mean wait     %.0f s\n", metrics.MeanWait(res))
@@ -64,15 +84,40 @@ func main() {
 	fmt.Printf("prediction MAE %.0f s, mean E-Loss %.3g\n", metrics.MAE(res.Jobs), metrics.MeanELoss(res.Jobs))
 }
 
-func loadWorkload(preset string, jobs int, swfPath string, maxProcs int64) (*trace.Workload, error) {
+// loadWorkload builds the scheduling problem. For SWF files the status
+// mode is applied before cleaning; replay mode additionally derives the
+// cancellation script from the log's own status fields.
+func loadWorkload(preset string, jobs int, swfPath string, maxProcs int64, status string) (*trace.Workload, *scenario.Script, error) {
 	if swfPath != "" {
-		return trace.LoadFile(swfPath, swfPath, maxProcs)
+		mode, err := swf.ParseStatusMode(status)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := os.Open(swfPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		raw, err := swf.Parse(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		w, err := trace.FromSWF(swfPath, swf.ApplyStatus(raw, mode), maxProcs)
+		if err != nil {
+			return nil, nil, err
+		}
+		var script *scenario.Script
+		if mode == swf.StatusReplay {
+			script = scenario.CancellationsFromSWF(swfPath+"/cancellations", raw)
+		}
+		return w, script, nil
 	}
 	cfg, err := workload.Scaled(preset, jobs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return workload.Generate(cfg)
+	w, err := workload.Generate(cfg)
+	return w, nil, err
 }
 
 func buildConfig(triple, policy, predictor, lossName, corrector string) (sim.Config, error) {

@@ -1,0 +1,92 @@
+// Resilience: inject dynamic platform and workload events — a
+// maintenance window that drains half the machine, node failures, and
+// job cancellations — into a simulation and measure how much of the
+// paper's learned-prediction advantage survives the churn.
+//
+// Part 1 walks one hand-written scenario (built with the composable
+// scenario.Builder DSL) through the paper's best triple and prints the
+// realized capacity timeline the engine recorded. Part 2 runs the
+// robustness sweep — the compact triple set under randomized disruption
+// scripts at every intensity level — and renders the robustness table.
+//
+// The pattern to observe: disruptions hurt every heuristic, but the
+// ordering usually survives — learned predictions keep their edge over
+// plain EASY under platform churn, which is the property the
+// -robustness campaign quantifies across all presets.
+//
+// Run with:
+//
+//	go run ./examples/resilience
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg, err := workload.Scaled("KTH-SP2", 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s — %d jobs on %d processors\n\n", w.Name, len(w.Jobs), w.MaxProcs)
+
+	// --- Part 1: one explicit scenario through the scenario DSL -------
+	//
+	// A third of the trace in, half the machine goes down for
+	// maintenance; mid-window another two nodes fail and recover only
+	// much later; meanwhile three early jobs are cancelled.
+	span := w.Duration()
+	script := scenario.NewBuilder("maintenance+failures").
+		Maintenance(span/3, span/3+span/10, w.MaxProcs/2).
+		Drain(span/3+span/20, 2).
+		Restore(2*span/3, 2).
+		Cancel(w.Jobs[10].SubmitTime+30, w.Jobs[10].JobNumber).
+		Cancel(w.Jobs[11].SubmitTime+1000, w.Jobs[11].JobNumber).
+		Cancel(w.Jobs[12].SubmitTime+5000, w.Jobs[12].JobNumber).
+		MustBuild()
+
+	fmt.Printf("scenario %q: min eventual capacity %d of %d procs\n",
+		script.Name, script.MinEventualCapacity(w.MaxProcs), w.MaxProcs)
+
+	for _, triple := range []core.Triple{core.EASY(), core.PaperBest()} {
+		simCfg := triple.Config()
+		simCfg.Script = script
+		res, err := sim.Run(w, simCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if errs := sim.ValidateResult(res); len(errs) != 0 {
+			log.Fatalf("invalid schedule: %v", errs[0])
+		}
+		fmt.Printf("  %-58s AVEbsld %6.1f  (%d jobs canceled)\n", res.Triple, metrics.AVEbsld(res), res.Canceled)
+		if triple.Predictor == core.PredLearning {
+			fmt.Println("  realized capacity timeline:")
+			for _, step := range res.CapacitySteps {
+				fmt.Printf("    t=%-8d %d procs in service\n", step.At, step.Capacity)
+			}
+		}
+	}
+
+	// --- Part 2: the robustness sweep ---------------------------------
+	fmt.Println("\nrunning the robustness sweep (randomized scripts, all intensities)...")
+	r := &campaign.Robustness{Workloads: []*trace.Workload{w}, Seed: 1}
+	results, err := r.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.RobustnessTable(results))
+}

@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -31,6 +33,9 @@ type RunResult struct {
 	Utilization float64
 	// Corrections is the number of prediction corrections performed.
 	Corrections int
+	// Canceled is the number of jobs removed by scenario cancellations
+	// (always 0 for the undisrupted campaign).
+	Canceled int
 	// MAE and MeanELoss judge the submission-time predictions.
 	MAE       float64
 	MeanELoss float64
@@ -45,6 +50,11 @@ type Campaign struct {
 	Triples []core.Triple
 	// Parallelism bounds concurrent simulations (defaults to GOMAXPROCS).
 	Parallelism int
+	// Progress, when non-nil, is called after every completed
+	// simulation with the number done so far and the grid total. It is
+	// invoked from worker goroutines and must be safe for concurrent
+	// use.
+	Progress func(done, total int)
 }
 
 // DefaultWorkloads generates the six paper presets scaled to jobsPerLog
@@ -83,6 +93,7 @@ func (c *Campaign) Run() ([]RunResult, error) {
 	tasks := make(chan task)
 	results := make([]RunResult, len(c.Workloads)*len(triples))
 	errs := make([]error, len(results))
+	var done atomic.Int64
 	var wg sync.WaitGroup
 	for k := 0; k < par; k++ {
 		wg.Add(1)
@@ -90,7 +101,10 @@ func (c *Campaign) Run() ([]RunResult, error) {
 			defer wg.Done()
 			for tk := range tasks {
 				idx := tk.wi*len(triples) + tk.ti
-				results[idx], errs[idx] = runOne(c.Workloads[tk.wi], triples[tk.ti])
+				results[idx], errs[idx] = runOne(c.Workloads[tk.wi], triples[tk.ti], nil)
+				if c.Progress != nil {
+					c.Progress(int(done.Add(1)), len(results))
+				}
 			}
 		}()
 	}
@@ -109,8 +123,12 @@ func (c *Campaign) Run() ([]RunResult, error) {
 	return results, nil
 }
 
-func runOne(w *trace.Workload, tr core.Triple) (RunResult, error) {
-	res, err := sim.Run(w, tr.Config())
+// runOne simulates one (workload, triple) cell, optionally under a
+// disruption script, and validates the realized schedule.
+func runOne(w *trace.Workload, tr core.Triple, script *scenario.Script) (RunResult, error) {
+	cfg := tr.Config()
+	cfg.Script = script
+	res, err := sim.Run(w, cfg)
 	if err != nil {
 		return RunResult{}, fmt.Errorf("campaign: %s on %s: %w", tr.Name(), w.Name, err)
 	}
@@ -125,6 +143,7 @@ func runOne(w *trace.Workload, tr core.Triple) (RunResult, error) {
 		MeanWait:    metrics.MeanWait(res),
 		Utilization: metrics.Utilization(res),
 		Corrections: res.Corrections,
+		Canceled:    res.Canceled,
 		MAE:         metrics.MAE(res.Jobs),
 		MeanELoss:   metrics.MeanELoss(res.Jobs),
 	}, nil

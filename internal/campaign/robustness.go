@@ -1,0 +1,129 @@
+package campaign
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// RobustnessResult is one cell of the robustness grid: a (workload,
+// disruption-intensity, triple) simulation.
+type RobustnessResult struct {
+	RunResult
+	// Intensity names the disruption level ("none", "light", ...).
+	Intensity string
+	// Scenario summarizes the script the cell ran under.
+	Drains       int
+	CancelEvents int
+}
+
+// Robustness is the disruption-sweep harness: it runs every triple over
+// every workload under every disruption intensity, with one shared
+// deterministic script per (workload, intensity) pair so triples stay
+// comparable within a column.
+type Robustness struct {
+	// Workloads are the inputs.
+	Workloads []*trace.Workload
+	// Triples is the heuristic-triple set (defaults to
+	// DefaultRobustnessTriples when empty).
+	Triples []core.Triple
+	// Intensities is the disruption ladder (defaults to
+	// scenario.Intensities when empty).
+	Intensities []scenario.Intensity
+	// Seed drives the deterministic script generation.
+	Seed uint64
+	// Parallelism bounds concurrent simulations (defaults to GOMAXPROCS).
+	Parallelism int
+	// Progress, when non-nil, is called after every completed
+	// simulation (concurrently; must be goroutine-safe).
+	Progress func(done, total int)
+}
+
+// DefaultRobustnessTriples is the compact comparison set of the
+// robustness table: the production baseline, Tsafrir's EASY++, the
+// paper's best learning triple, the clairvoyant bound and the
+// conservative related-work baseline.
+func DefaultRobustnessTriples() []core.Triple {
+	return []core.Triple{
+		core.EASY(),
+		core.EASYPlusPlus(),
+		core.PaperBest(),
+		core.ClairvoyantSJBF(),
+		core.ConservativeBF(),
+	}
+}
+
+// Run executes the grid. Results are ordered workload-major,
+// intensity-middle, triple-minor regardless of completion order.
+func (r *Robustness) Run() ([]RobustnessResult, error) {
+	triples := r.Triples
+	if len(triples) == 0 {
+		triples = DefaultRobustnessTriples()
+	}
+	intensities := r.Intensities
+	if len(intensities) == 0 {
+		intensities = scenario.Intensities
+	}
+	par := r.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	// One script per (workload, intensity), shared by every triple in
+	// the cell so the disruption sequence is identical across policies.
+	scripts := make([]*scenario.Script, len(r.Workloads)*len(intensities))
+	for wi, w := range r.Workloads {
+		for ii, in := range intensities {
+			seed := r.Seed ^ (uint64(wi)*0x9e3779b97f4a7c15 + uint64(ii)*0xbf58476d1ce4e5b9)
+			scripts[wi*len(intensities)+ii] = scenario.Generate(w, in, seed)
+		}
+	}
+
+	type task struct{ wi, ii, ti int }
+	tasks := make(chan task)
+	results := make([]RobustnessResult, len(r.Workloads)*len(intensities)*len(triples))
+	errs := make([]error, len(results))
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < par; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range tasks {
+				idx := (tk.wi*len(intensities)+tk.ii)*len(triples) + tk.ti
+				script := scripts[tk.wi*len(intensities)+tk.ii]
+				run, err := runOne(r.Workloads[tk.wi], triples[tk.ti], script)
+				drains, _, cancels := script.Counts()
+				results[idx] = RobustnessResult{
+					RunResult:    run,
+					Intensity:    intensities[tk.ii].Name,
+					Drains:       drains,
+					CancelEvents: cancels,
+				}
+				errs[idx] = err
+				if r.Progress != nil {
+					r.Progress(int(done.Add(1)), len(results))
+				}
+			}
+		}()
+	}
+	for wi := range r.Workloads {
+		for ii := range intensities {
+			for ti := range triples {
+				tasks <- task{wi, ii, ti}
+			}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

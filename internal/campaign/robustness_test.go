@@ -1,0 +1,88 @@
+package campaign
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+func TestRobustnessRun(t *testing.T) {
+	ws := miniWorkloads(t, 300, "KTH-SP2")
+	triples := []core.Triple{core.EASY(), core.EASYPlusPlus(), core.ConservativeBF()}
+	r := &Robustness{Workloads: ws, Triples: triples, Seed: 11}
+	results, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(ws) * len(scenario.Intensities) * len(triples)
+	if len(results) != want {
+		t.Fatalf("got %d results, want %d", len(results), want)
+	}
+	sawDisruption := false
+	for _, res := range results {
+		if res.AVEbsld < 1 {
+			t.Errorf("%s/%s: AVEbsld %v < 1", res.Triple.Name(), res.Intensity, res.AVEbsld)
+		}
+		if res.Intensity == "none" {
+			if res.Canceled != 0 || res.Drains != 0 {
+				t.Errorf("undisrupted cell reports %d cancels, %d drains", res.Canceled, res.Drains)
+			}
+		}
+		if res.Intensity == "heavy" && (res.Canceled > 0 || res.Drains > 0) {
+			sawDisruption = true
+		}
+	}
+	if !sawDisruption {
+		t.Fatal("heavy intensity produced no disruptions at all")
+	}
+}
+
+// TestRobustnessSharedScriptsAcrossTriples: within one (workload,
+// intensity) column every triple faces the same disruption volume.
+func TestRobustnessSharedScriptsAcrossTriples(t *testing.T) {
+	ws := miniWorkloads(t, 250, "CTC-SP2")
+	r := &Robustness{Workloads: ws, Triples: []core.Triple{core.EASY(), core.PaperBest()}, Seed: 3}
+	results, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byIntensity := map[string]map[int]bool{}
+	for _, res := range results {
+		if byIntensity[res.Intensity] == nil {
+			byIntensity[res.Intensity] = map[int]bool{}
+		}
+		byIntensity[res.Intensity][res.CancelEvents] = true
+	}
+	for in, set := range byIntensity {
+		if len(set) != 1 {
+			t.Errorf("%s: cancel-event counts differ across triples: %v", in, set)
+		}
+	}
+}
+
+func TestCampaignProgressCallback(t *testing.T) {
+	ws := miniWorkloads(t, 200, "KTH-SP2")
+	triples := []core.Triple{core.EASY(), core.EASYPlusPlus()}
+	var mu sync.Mutex
+	calls := 0
+	last := 0
+	c := &Campaign{Workloads: ws, Triples: triples, Progress: func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if done > last {
+			last = done
+		}
+		if total != len(ws)*len(triples) {
+			t.Errorf("total = %d, want %d", total, len(ws)*len(triples))
+		}
+	}}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(ws)*len(triples) || last != calls {
+		t.Fatalf("progress called %d times (last done %d), want %d", calls, last, len(ws)*len(triples))
+	}
+}

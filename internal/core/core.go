@@ -61,6 +61,9 @@ type Triple struct {
 	// NoBackfill selects plain FCFS instead of EASY (used for the
 	// clairvoyant FCFS column of Table 6).
 	NoBackfill bool
+	// Conservative selects conservative backfilling instead of EASY
+	// (the related-work baseline; Backfill is ignored).
+	Conservative bool
 }
 
 // Name renders the triple compactly, e.g.
@@ -86,6 +89,9 @@ func (t Triple) NewPredictor() predict.Predictor {
 func (t Triple) Policy() sched.Policy {
 	if t.NoBackfill {
 		return sched.NewFCFS()
+	}
+	if t.Conservative {
+		return sched.NewConservative()
 	}
 	return sched.NewEASY(t.Backfill)
 }
@@ -128,6 +134,13 @@ func ClairvoyantSJBF() Triple {
 // learning predictor, Incremental correction and EASY-SJBF.
 func PaperBest() Triple {
 	return Triple{Predictor: PredLearning, Loss: ml.ELoss, Corrector: correct.Incremental{}, Backfill: sched.SJBFOrder}
+}
+
+// ConservativeBF is conservative backfilling with requested times — the
+// related-work baseline of Section 5, kept in the robustness campaign to
+// see how per-job reservations fare under platform churn.
+func ConservativeBF() Triple {
+	return Triple{Predictor: PredRequested, Corrector: correct.RequestedTime{}, Conservative: true}
 }
 
 // CampaignTriples enumerates the full experiment campaign of Section 6.2

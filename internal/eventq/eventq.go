@@ -1,9 +1,10 @@
 // Package eventq implements the discrete-event core of the simulator: a
 // binary-heap priority queue of timestamped events with fully
 // deterministic ordering. Events at equal timestamps are ordered by kind
-// (completions before prediction expiries before submissions, so that
-// freed resources and corrected predictions are visible to scheduling
-// decisions made at the same instant) and then by insertion sequence.
+// (completions, then cancellations and capacity changes, then prediction
+// expiries, then submissions — so that freed resources, disruptions and
+// corrected predictions are all visible to scheduling decisions made at
+// the same instant) and then by insertion sequence.
 package eventq
 
 // Kind classifies simulation events. The numeric order is the processing
@@ -11,8 +12,18 @@ package eventq
 type Kind int
 
 const (
-	// Finish is a job completion.
+	// Finish is a job completion. It precedes Cancel so that a
+	// cancellation landing on the job's completion instant is stale.
 	Finish Kind = iota
+	// Cancel removes a job from the system (scenario disruption). It
+	// precedes Submit so that a cancellation at the submission instant
+	// drops the job before it ever queues.
+	Cancel
+	// Drain takes processors out of service (scenario disruption).
+	Drain
+	// Restore returns drained processors to service (scenario
+	// disruption).
+	Restore
 	// Expiry fires when a running job outlives its predicted running time.
 	Expiry
 	// Submit is a job arrival.
@@ -24,6 +35,12 @@ func (k Kind) String() string {
 	switch k {
 	case Finish:
 		return "finish"
+	case Cancel:
+		return "cancel"
+	case Drain:
+		return "drain"
+	case Restore:
+		return "restore"
 	case Expiry:
 		return "expiry"
 	case Submit:

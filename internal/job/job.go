@@ -42,6 +42,11 @@ type Job struct {
 	Finished bool
 	Start    int64
 	End      int64
+	// Canceled marks a job removed by a scenario cancellation: dropped
+	// before submission or pulled from the queue (Started stays false,
+	// the job never runs) or killed while running (Finished is set and
+	// Runtime is truncated to the time actually executed).
+	Canceled bool
 
 	// Record points at the original SWF record, which carries the extra
 	// descriptive fields (executable, queue, ...) used by learning.

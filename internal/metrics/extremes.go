@@ -26,9 +26,15 @@ func ComputeWaitStats(res *sim.Result) WaitStats {
 	waits := make([]int64, 0, len(res.Jobs))
 	var sum int64
 	for _, j := range res.Jobs {
+		if !j.Finished {
+			continue // canceled before running: no realized wait
+		}
 		w := j.Wait()
 		waits = append(waits, w)
 		sum += w
+	}
+	if len(waits) == 0 {
+		return WaitStats{}
 	}
 	sort.Slice(waits, func(a, b int) bool { return waits[a] < waits[b] })
 	pick := func(q float64) int64 {
@@ -39,7 +45,7 @@ func ComputeWaitStats(res *sim.Result) WaitStats {
 		return waits[i]
 	}
 	return WaitStats{
-		Mean: float64(sum) / float64(len(res.Jobs)),
+		Mean: float64(sum) / float64(len(waits)),
 		Max:  waits[len(waits)-1],
 		P50:  pick(0.50),
 		P95:  pick(0.95),
@@ -72,7 +78,12 @@ func ComputeExtremes(res *sim.Result, threshold float64) ExtremeStats {
 		return s
 	}
 	var totalSum, cappedSum float64
+	finished := 0
 	for _, j := range res.Jobs {
+		if !j.Finished {
+			continue // canceled before running: no realized schedule
+		}
+		finished++
 		b := Bsld(j.Wait(), j.Runtime)
 		totalSum += b
 		if b > threshold {
@@ -84,7 +95,10 @@ func ComputeExtremes(res *sim.Result, threshold float64) ExtremeStats {
 			cappedSum += b
 		}
 	}
-	n := float64(len(res.Jobs))
+	if finished == 0 {
+		return s
+	}
+	n := float64(finished)
 	s.Fraction = float64(s.Count) / n
 	s.ContributionToAVE = (totalSum - cappedSum) / n
 	return s

@@ -34,15 +34,22 @@ func Bsld(wait, runtime int64) float64 {
 }
 
 // AVEbsld returns the average bounded slowdown of a realized schedule.
+// Jobs a scenario canceled before they ever ran are excluded (they have
+// no realized schedule); killed jobs count with their truncated runtime.
 func AVEbsld(res *sim.Result) float64 {
-	if len(res.Jobs) == 0 {
+	var sum float64
+	n := 0
+	for _, j := range res.Jobs {
+		if !j.Finished {
+			continue
+		}
+		sum += Bsld(j.Wait(), j.Runtime)
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	var sum float64
-	for _, j := range res.Jobs {
-		sum += Bsld(j.Wait(), j.Runtime)
-	}
-	return sum / float64(len(res.Jobs))
+	return sum / float64(n)
 }
 
 // MaxBsld returns the worst bounded slowdown (the extreme values the
@@ -50,6 +57,9 @@ func AVEbsld(res *sim.Result) float64 {
 func MaxBsld(res *sim.Result) float64 {
 	var worst float64
 	for _, j := range res.Jobs {
+		if !j.Finished {
+			continue
+		}
 		if b := Bsld(j.Wait(), j.Runtime); b > worst {
 			worst = b
 		}
@@ -57,26 +67,37 @@ func MaxBsld(res *sim.Result) float64 {
 	return worst
 }
 
-// MeanWait returns the average waiting time in seconds.
+// MeanWait returns the average waiting time in seconds over the jobs
+// that ran.
 func MeanWait(res *sim.Result) float64 {
-	if len(res.Jobs) == 0 {
+	var sum int64
+	n := 0
+	for _, j := range res.Jobs {
+		if !j.Finished {
+			continue
+		}
+		sum += j.Wait()
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	var sum int64
-	for _, j := range res.Jobs {
-		sum += j.Wait()
-	}
-	return float64(sum) / float64(len(res.Jobs))
+	return float64(sum) / float64(n)
 }
 
-// Utilization returns consumed work divided by machine capacity over the
-// schedule's makespan.
+// Utilization returns consumed work divided by nominal machine capacity
+// over the schedule's makespan. Under a disruption scenario the nominal
+// capacity overstates what was actually in service, so this is a lower
+// bound on the in-service utilization.
 func Utilization(res *sim.Result) float64 {
 	if res.Makespan <= 0 || res.MaxProcs <= 0 {
 		return 0
 	}
 	var work int64
 	for _, j := range res.Jobs {
+		if !j.Finished {
+			continue
+		}
 		work += j.Runtime * j.Procs
 	}
 	return float64(work) / (float64(res.Makespan) * float64(res.MaxProcs))
@@ -93,29 +114,40 @@ func PredictionError(jobs []*job.Job) []float64 {
 }
 
 // MAE returns the mean absolute error of submission-time predictions, in
-// seconds (Table 8's first column).
+// seconds (Table 8's first column). Jobs without a realized runtime
+// (canceled before running) are excluded.
 func MAE(jobs []*job.Job) float64 {
-	if len(jobs) == 0 {
+	var sum float64
+	n := 0
+	for _, j := range jobs {
+		if !j.Finished {
+			continue
+		}
+		sum += math.Abs(float64(j.SubmitPrediction - j.Runtime))
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	var sum float64
-	for _, j := range jobs {
-		sum += math.Abs(float64(j.SubmitPrediction - j.Runtime))
-	}
-	return sum / float64(len(jobs))
+	return sum / float64(n)
 }
 
 // MeanELoss returns the mean E-Loss of submission-time predictions
 // (Table 8's second column).
 func MeanELoss(jobs []*job.Job) float64 {
-	if len(jobs) == 0 {
+	var sum float64
+	n := 0
+	for _, j := range jobs {
+		if !j.Finished {
+			continue
+		}
+		sum += ml.ELoss.Eval(float64(j.SubmitPrediction), float64(j.Runtime), float64(j.Procs))
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	var sum float64
-	for _, j := range jobs {
-		sum += ml.ELoss.Eval(float64(j.SubmitPrediction), float64(j.Runtime), float64(j.Procs))
-	}
-	return sum / float64(len(jobs))
+	return sum / float64(n)
 }
 
 // ECDF is an empirical cumulative distribution function: for each sorted

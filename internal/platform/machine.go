@@ -1,11 +1,20 @@
 // Package platform models the computing resource the jobs compete for: a
-// pool of m identical processors (the paper assumes no interconnection
-// topology). It tracks free capacity and the set of running jobs with
-// their *predicted* completion times, and answers the two questions
-// backfilling needs: "when can a job of width q start at the latest
-// estimate?" (the EASY shadow time and extra processors) and "what does
-// the whole future availability profile look like?" (conservative
-// backfilling).
+// pool of identical processors (the paper assumes no interconnection
+// topology). Unlike the paper's static testbed, the pool's capacity is a
+// step function of time: node drains and maintenance windows remove
+// processors from service and restores return them, so the machine tracks
+// both its nominal size and the capacity currently (and eventually) in
+// service. It tracks free capacity and the set of running jobs with their
+// *predicted* completion times, and answers the two questions backfilling
+// needs: "when can a job of width q start at the latest estimate?" (the
+// EASY shadow time and extra processors) and "what does the whole future
+// availability profile look like?" (conservative backfilling).
+//
+// Drains are graceful: a drain claims idle processors immediately and
+// waits for busy ones, absorbing them as their jobs complete. Running
+// jobs are never killed by a capacity change, so the invariant
+// used <= Capacity() holds at every instant, and PendingDrain() > 0
+// implies Free() == 0.
 package platform
 
 import (
@@ -18,23 +27,39 @@ import (
 
 // Machine is the processor pool plus running-job bookkeeping.
 type Machine struct {
-	total   int64
-	free    int64
-	running map[int64]*job.Job // keyed by job ID
+	total        int64              // nominal machine size m
+	capacity     int64              // processors currently in service (total - applied drains)
+	free         int64              // processors in service and idle
+	pendingDrain int64              // drained-but-busy processors, absorbed as jobs finish
+	running      map[int64]*job.Job // keyed by job ID
 }
 
-// New creates a machine with the given processor count.
+// New creates a machine with the given processor count, fully in service.
 func New(totalProcs int64) *Machine {
 	if totalProcs <= 0 {
 		panic(fmt.Sprintf("platform: non-positive machine size %d", totalProcs))
 	}
-	return &Machine{total: totalProcs, free: totalProcs, running: make(map[int64]*job.Job)}
+	return &Machine{total: totalProcs, capacity: totalProcs, free: totalProcs, running: make(map[int64]*job.Job)}
 }
 
-// Total returns the machine size m.
+// Total returns the nominal machine size m.
 func (m *Machine) Total() int64 { return m.total }
 
-// Free returns the currently idle processor count.
+// Capacity returns the processors currently in service (drained
+// processors excluded). Always >= the running jobs' usage.
+func (m *Machine) Capacity() int64 { return m.capacity }
+
+// PendingDrain returns the processors a drain has claimed but that are
+// still busy; they leave service as their jobs complete.
+func (m *Machine) PendingDrain() int64 { return m.pendingDrain }
+
+// EventualCapacity returns the capacity the machine converges to once
+// all pending drains are absorbed: Capacity() - PendingDrain(). This is
+// the ceiling availability planning must use — absorbed processors never
+// come back without a Restore.
+func (m *Machine) EventualCapacity() int64 { return m.capacity - m.pendingDrain }
+
+// Free returns the currently idle in-service processor count.
 func (m *Machine) Free() int64 { return m.free }
 
 // RunningCount returns the number of running jobs.
@@ -54,16 +79,77 @@ func (m *Machine) Start(j *job.Job) {
 	m.running[j.ID] = j
 }
 
-// Finish releases the job's processors.
+// Finish releases the job's processors. A pending drain absorbs the
+// freed processors before they return to the idle pool, shrinking the
+// in-service capacity.
 func (m *Machine) Finish(j *job.Job) {
 	if _, ok := m.running[j.ID]; !ok {
 		panic(fmt.Sprintf("platform: job %d finished but was not running", j.ID))
 	}
 	delete(m.running, j.ID)
-	m.free += j.Procs
-	if m.free > m.total {
-		panic(fmt.Sprintf("platform: free %d exceeds total %d after finishing job %d", m.free, m.total, j.ID))
+	freed := j.Procs
+	if m.pendingDrain > 0 {
+		take := m.pendingDrain
+		if take > freed {
+			take = freed
+		}
+		m.pendingDrain -= take
+		m.capacity -= take
+		freed -= take
 	}
+	m.free += freed
+	if m.free > m.capacity {
+		panic(fmt.Sprintf("platform: free %d exceeds capacity %d after finishing job %d", m.free, m.capacity, j.ID))
+	}
+}
+
+// Drain removes up to procs processors from service (a node failure or
+// the start of a maintenance window). Idle processors leave immediately;
+// busy ones are marked pending and absorbed as their jobs complete. The
+// request is clamped so the eventual capacity never goes negative. It
+// returns the processors taken out of service immediately.
+func (m *Machine) Drain(procs int64) (applied int64) {
+	if procs <= 0 {
+		panic(fmt.Sprintf("platform: non-positive drain %d", procs))
+	}
+	if eventual := m.EventualCapacity(); procs > eventual {
+		procs = eventual
+	}
+	if procs <= 0 {
+		return 0
+	}
+	applied = procs
+	if applied > m.free {
+		applied = m.free
+	}
+	m.free -= applied
+	m.capacity -= applied
+	m.pendingDrain += procs - applied
+	return applied
+}
+
+// Restore returns up to procs processors to service (a node recovery or
+// the end of a maintenance window). It first cancels pending drains,
+// then brings drained capacity back, never exceeding the nominal size.
+// It returns the processors returned to service immediately.
+func (m *Machine) Restore(procs int64) (restored int64) {
+	if procs <= 0 {
+		panic(fmt.Sprintf("platform: non-positive restore %d", procs))
+	}
+	if cancel := m.pendingDrain; cancel > 0 {
+		if cancel > procs {
+			cancel = procs
+		}
+		m.pendingDrain -= cancel
+		procs -= cancel
+	}
+	restored = m.total - m.capacity
+	if restored > procs {
+		restored = procs
+	}
+	m.capacity += restored
+	m.free += restored
+	return restored
 }
 
 // Running returns the running jobs in deterministic (ID) order.
@@ -84,8 +170,8 @@ const InfiniteTime = int64(math.MaxInt64 / 4)
 // now+1 when the prediction is overdue (the job has outlived it but is
 // still running, so "any moment now" — strictly after now, since the
 // processors are demonstrably not free at now). Machine.Reservation and
-// ProfileFromMachine must both use this helper so the EASY and
-// conservative availability views cannot drift apart.
+// FillAvailability must both use this helper so the EASY and conservative
+// availability views cannot drift apart.
 func ReleaseInstant(j *job.Job, now int64) int64 {
 	if end := j.PredictedEnd(); end > now {
 		return end
@@ -93,25 +179,17 @@ func ReleaseInstant(j *job.Job, now int64) int64 {
 	return now + 1
 }
 
-// Reservation computes EASY's single reservation for a job of width
-// procs: the shadow time (earliest instant the job is predicted to have
-// enough processors) and the extra processors (processors free at the
-// shadow time beyond the reserved job's need, usable by backfilled jobs
-// that outlive the shadow time). Completion instants are taken from the
-// running jobs' predictions via ReleaseInstant (an overdue prediction
-// means "just after now").
-func (m *Machine) Reservation(now int64, procs int64) (shadow int64, extra int64) {
-	if procs <= m.free {
-		return now, m.free - procs
-	}
-	if procs > m.total {
-		return InfiniteTime, 0
-	}
-	type release struct {
-		at    int64
-		procs int64
-		id    int64
-	}
+// release is one running job's predicted processor release.
+type release struct {
+	at    int64
+	procs int64
+	id    int64
+}
+
+// predictedReleases returns the running jobs' releases in deterministic
+// (instant, ID) order — the order a pending drain is predicted to absorb
+// them in.
+func (m *Machine) predictedReleases(now int64) []release {
 	releases := make([]release, 0, len(m.running))
 	for _, j := range m.Running() {
 		releases = append(releases, release{at: ReleaseInstant(j, now), procs: j.Procs, id: j.ID})
@@ -122,17 +200,75 @@ func (m *Machine) Reservation(now int64, procs int64) (shadow int64, extra int64
 		}
 		return releases[a].id < releases[b].id
 	})
+	return releases
+}
+
+// Reservation computes EASY's single reservation for a job of width
+// procs: the shadow time (earliest instant the job is predicted to have
+// enough processors) and the extra processors (processors free at the
+// shadow time beyond the reserved job's need, usable by backfilled jobs
+// that outlive the shadow time). Completion instants are taken from the
+// running jobs' predictions via ReleaseInstant (an overdue prediction
+// means "just after now"); a pending drain absorbs the earliest releases,
+// so their processors never rejoin the pool. A job wider than the
+// eventual capacity gets (InfiniteTime, 0): it cannot start until a
+// restore grows the machine.
+func (m *Machine) Reservation(now int64, procs int64) (shadow int64, extra int64) {
+	if procs <= m.free {
+		return now, m.free - procs
+	}
+	if procs > m.EventualCapacity() {
+		return InfiniteTime, 0
+	}
+	releases := m.predictedReleases(now)
 	avail := m.free
+	pending := m.pendingDrain
 	for i := 0; i < len(releases); {
 		t := releases[i].at
 		for i < len(releases) && releases[i].at == t {
-			avail += releases[i].procs
+			gain := releases[i].procs
+			if pending > 0 {
+				take := pending
+				if take > gain {
+					take = gain
+				}
+				pending -= take
+				gain -= take
+			}
+			avail += gain
 			i++
 		}
 		if avail >= procs {
 			return t, avail - procs
 		}
 	}
-	// Unreachable for procs <= total, since all jobs eventually release.
+	// Unreachable for procs <= EventualCapacity(): every job eventually
+	// releases and pending drains never exceed the running usage.
 	return InfiniteTime, 0
+}
+
+// FillAvailability resets p to the machine's predicted availability view
+// from now on: capacity ceiling at the eventual capacity, the current
+// idle processors free at now, and each running job's release (net of
+// pending-drain absorption, in ReleaseInstant order) growing availability
+// at its predicted end. It is the one construction conservative
+// backfilling plans against, shared by the incremental policy and
+// ProfileFromMachine so the two cannot drift apart.
+func (m *Machine) FillAvailability(p *Profile, now int64) {
+	p.Reset(now, m.EventualCapacity())
+	pending := m.pendingDrain
+	for _, r := range m.predictedReleases(now) {
+		gain := r.procs
+		if pending > 0 {
+			take := pending
+			if take > gain {
+				take = gain
+			}
+			pending -= take
+			gain -= take
+		}
+		if gain > 0 {
+			p.Reserve(now, r.at, gain)
+		}
+	}
 }

@@ -23,22 +23,23 @@ type Profile struct {
 }
 
 // NewProfile creates a profile with all processors free from the given
-// instant onward.
+// instant onward. A zero capacity is legal — it models a machine fully
+// drained for maintenance, on which nothing can be placed — but a
+// negative one is a bug.
 func NewProfile(start int64, totalProcs int64) *Profile {
-	if totalProcs <= 0 {
-		panic(fmt.Sprintf("platform: non-positive profile capacity %d", totalProcs))
+	if totalProcs < 0 {
+		panic(fmt.Sprintf("platform: negative profile capacity %d", totalProcs))
 	}
 	return &Profile{times: []int64{start}, available: []int64{totalProcs}, total: totalProcs}
 }
 
 // ProfileFromMachine builds the availability profile implied by the
 // machine's running jobs and their predicted completion times (overdue
-// predictions release at ReleaseInstant).
+// predictions release at ReleaseInstant), net of pending-drain
+// absorption. See Machine.FillAvailability for the construction.
 func ProfileFromMachine(m *Machine, now int64) *Profile {
-	p := NewProfile(now, m.Total())
-	for _, j := range m.Running() {
-		p.Reserve(now, ReleaseInstant(j, now), j.Procs)
-	}
+	p := &Profile{}
+	m.FillAvailability(p, now)
 	return p
 }
 
@@ -49,10 +50,10 @@ func (p *Profile) Total() int64 { return p.total }
 func (p *Profile) Start() int64 { return p.times[0] }
 
 // Reset reinitializes the profile to fully-free from start, keeping the
-// backing arrays.
+// backing arrays. Like NewProfile, a zero capacity is legal.
 func (p *Profile) Reset(start, totalProcs int64) {
-	if totalProcs <= 0 {
-		panic(fmt.Sprintf("platform: non-positive profile capacity %d", totalProcs))
+	if totalProcs < 0 {
+		panic(fmt.Sprintf("platform: negative profile capacity %d", totalProcs))
 	}
 	p.times = append(p.times[:0], start)
 	p.available = append(p.available[:0], totalProcs)

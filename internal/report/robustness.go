@@ -1,0 +1,83 @@
+package report
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/campaign"
+)
+
+// RobustnessTable renders the disruption sweep: one block per workload,
+// triples as rows, disruption intensities as columns, AVEbsld in the
+// cells — how much of each heuristic's advantage survives node drains,
+// maintenance windows and job cancellations. A footer line per block
+// reports the disruption volume (canceled jobs are identical across
+// triples only up to scheduling: a job that finished before its cancel
+// instant under one policy may be killed under another, so the footer
+// shows the per-intensity range).
+func RobustnessTable(results []campaign.RobustnessResult) string {
+	var b strings.Builder
+	b.WriteString("Robustness: AVEbsld per heuristic triple x disruption intensity\n")
+	byWorkload := map[string][]campaign.RobustnessResult{}
+	var workloads []string
+	for _, r := range results {
+		if _, seen := byWorkload[r.Workload]; !seen {
+			workloads = append(workloads, r.Workload)
+		}
+		byWorkload[r.Workload] = append(byWorkload[r.Workload], r)
+	}
+	for _, w := range workloads {
+		rs := byWorkload[w]
+		var intensities, triples []string
+		cells := map[string]map[string]campaign.RobustnessResult{} // triple -> intensity -> cell
+		canceledLo := map[string]int{}
+		canceledHi := map[string]int{}
+		for _, r := range rs {
+			name := r.Triple.Name()
+			if cells[name] == nil {
+				cells[name] = map[string]campaign.RobustnessResult{}
+				triples = append(triples, name)
+			}
+			if _, seen := cells[name][r.Intensity]; !seen {
+				cells[name][r.Intensity] = r
+			}
+			if !slices.Contains(intensities, r.Intensity) {
+				intensities = append(intensities, r.Intensity)
+			}
+			if lo, ok := canceledLo[r.Intensity]; !ok || r.Canceled < lo {
+				canceledLo[r.Intensity] = r.Canceled
+			}
+			if hi, ok := canceledHi[r.Intensity]; !ok || r.Canceled > hi {
+				canceledHi[r.Intensity] = r.Canceled
+			}
+		}
+		fmt.Fprintf(&b, "\n%s:\n", w)
+		tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "Triple\t%s\t\n", strings.Join(intensities, "\t"))
+		for _, name := range triples {
+			fmt.Fprintf(tw, "%s", name)
+			for _, in := range intensities {
+				if cell, ok := cells[name][in]; ok {
+					fmt.Fprintf(tw, "\t%.1f", cell.AVEbsld)
+				} else {
+					fmt.Fprintf(tw, "\t-")
+				}
+			}
+			fmt.Fprintf(tw, "\t\n")
+		}
+		fmt.Fprintf(tw, "(jobs canceled)")
+		for _, in := range intensities {
+			lo, hi := canceledLo[in], canceledHi[in]
+			if lo == hi {
+				fmt.Fprintf(tw, "\t%d", lo)
+			} else {
+				fmt.Fprintf(tw, "\t%d-%d", lo, hi)
+			}
+		}
+		fmt.Fprintf(tw, "\t\n")
+		tw.Flush()
+	}
+	return b.String()
+}

@@ -1,0 +1,34 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+)
+
+func TestRobustnessTable(t *testing.T) {
+	mk := func(w, in string, tr core.Triple, bsld float64, canceled int) campaign.RobustnessResult {
+		return campaign.RobustnessResult{
+			RunResult: campaign.RunResult{Workload: w, Triple: tr, AVEbsld: bsld, Canceled: canceled},
+			Intensity: in,
+		}
+	}
+	results := []campaign.RobustnessResult{
+		mk("KTH-SP2", "none", core.EASY(), 20.0, 0),
+		mk("KTH-SP2", "none", core.PaperBest(), 12.0, 0),
+		mk("KTH-SP2", "heavy", core.EASY(), 55.5, 40),
+		mk("KTH-SP2", "heavy", core.PaperBest(), 31.2, 38),
+	}
+	out := RobustnessTable(results)
+	for _, want := range []string{"KTH-SP2", "none", "heavy", "55.5", "31.2", "EASY/RequestedTime", "38-40", "(jobs canceled)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Column order follows first appearance: none before heavy.
+	if strings.Index(out, "none") > strings.Index(out, "heavy") {
+		t.Fatalf("intensity columns out of order:\n%s", out)
+	}
+}

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Intensity is a named disruption level for the robustness campaign:
+// how many maintenance windows hit the platform over the trace span, how
+// much of the machine a single window may take down, and what fraction
+// of the jobs get cancelled.
+type Intensity struct {
+	// Name identifies the level in reports ("none", "light", ...).
+	Name string
+	// Windows is the number of maintenance windows over the trace span.
+	Windows int
+	// MaxDrainFrac bounds a single window's width as a fraction of the
+	// machine.
+	MaxDrainFrac float64
+	// CancelFrac is the probability that any given job is cancelled at
+	// a random point of its life.
+	CancelFrac float64
+}
+
+// Intensities is the default disruption ladder of the robustness
+// campaign, from the paper's static testbed ("none") to a heavily
+// churning platform.
+var Intensities = []Intensity{
+	{Name: "none"},
+	{Name: "light", Windows: 2, MaxDrainFrac: 0.15, CancelFrac: 0.02},
+	{Name: "moderate", Windows: 5, MaxDrainFrac: 0.30, CancelFrac: 0.08},
+	{Name: "heavy", Windows: 10, MaxDrainFrac: 0.50, CancelFrac: 0.20},
+}
+
+// IntensityByName looks an intensity level up in the default ladder.
+func IntensityByName(name string) (Intensity, bool) {
+	for _, in := range Intensities {
+		if in.Name == name {
+			return in, true
+		}
+	}
+	return Intensity{}, false
+}
+
+// Generate derives a deterministic disruption script for the workload
+// from the intensity level and seed: maintenance windows placed
+// uniformly over the submission span (every drain paired with a restore,
+// so the script is Balanced and the simulation always terminates) plus
+// per-job cancellations at a random offset within twice the job's
+// requested time — early enough to hit queued jobs, late enough that
+// some land after completion and exercise the stale-cancel path.
+func Generate(w *trace.Workload, in Intensity, seed uint64) *Script {
+	b := NewBuilder(fmt.Sprintf("%s/%s#%d", w.Name, in.Name, seed))
+	src := rng.New(seed)
+	winSrc := src.Split(1)
+	cancelSrc := src.Split(2)
+
+	// Windows are anchored at the first submission: real logs start at
+	// an arbitrary offset, and a window placed before any job exists
+	// would drain and restore an empty machine.
+	first, horizon := int64(0), int64(1)
+	if n := len(w.Jobs); n > 0 {
+		first = w.Jobs[0].SubmitTime
+		if span := w.Jobs[n-1].SubmitTime - first; span > horizon {
+			horizon = span
+		}
+	}
+	maxDrain := int64(in.MaxDrainFrac * float64(w.MaxProcs))
+	if maxDrain < 1 && in.Windows > 0 {
+		maxDrain = 1
+	}
+	for i := 0; i < in.Windows; i++ {
+		start := first + winSrc.Int63n(horizon)
+		length := 1 + winSrc.Int63n(maxInt64(1, horizon/8))
+		procs := 1 + winSrc.Int63n(maxDrain)
+		b.Maintenance(start, start+length, procs)
+	}
+	if in.CancelFrac > 0 {
+		for i := range w.Jobs {
+			if !cancelSrc.Bernoulli(in.CancelFrac) {
+				continue
+			}
+			j := &w.Jobs[i]
+			window := maxInt64(1, 2*j.Request())
+			b.Cancel(j.SubmitTime+cancelSrc.Int63n(window), j.JobNumber)
+		}
+	}
+	return b.MustBuild()
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,240 @@
+// Package scenario describes timed platform and workload disruptions —
+// node drains and failures, maintenance windows (time-varying capacity),
+// node restores, and job cancellations — as data the simulation engine
+// injects into its discrete-event loop. A Script is a time-sorted list
+// of disruption events; sim.Config.Script replays one against any
+// workload and heuristic triple, which is how the robustness campaign
+// measures how much of the paper's learned-prediction advantage survives
+// platform churn.
+//
+// Scripts come from three sources: the composable Builder (hand-written
+// scenarios, e.g. a maintenance window in examples/resilience), the
+// deterministic Generate function (randomized disruption scripts seeded
+// via internal/rng, scaled by named Intensity levels), and the real
+// status fields of SWF archive logs (CancellationsFromSWF replays the
+// kills a production system recorded).
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Action is the kind of one disruption event.
+type Action int
+
+const (
+	// Drain removes processors from service: a node failure or the
+	// start of a maintenance window. Idle processors leave immediately,
+	// busy ones as their jobs complete (graceful drain).
+	Drain Action = iota
+	// Restore returns drained processors to service: a node recovery or
+	// the end of a maintenance window.
+	Restore
+	// Cancel removes one job from the system: dropped before
+	// submission, pulled from the waiting queue, or killed while
+	// running — whichever state the job is in when the event fires.
+	Cancel
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case Drain:
+		return "drain"
+	case Restore:
+		return "restore"
+	case Cancel:
+		return "cancel"
+	}
+	return "unknown"
+}
+
+// Event is one timed disruption.
+type Event struct {
+	// Time is the absolute simulation instant the disruption fires at.
+	Time int64
+	// Action classifies the disruption.
+	Action Action
+	// Procs is the processor count of a Drain or Restore.
+	Procs int64
+	// JobID is the target of a Cancel (the SWF job number).
+	JobID int64
+}
+
+// Script is a named, time-sorted disruption sequence. The zero value
+// and nil both mean "no disruptions".
+type Script struct {
+	// Name identifies the scenario in reports.
+	Name string
+	// Events is sorted by Time (stable in insertion order at equal
+	// instants).
+	Events []Event
+}
+
+// Empty reports whether the script carries no disruptions.
+func (s *Script) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// Counts returns the number of drains, restores and cancellations.
+func (s *Script) Counts() (drains, restores, cancels int) {
+	if s == nil {
+		return 0, 0, 0
+	}
+	for _, e := range s.Events {
+		switch e.Action {
+		case Drain:
+			drains++
+		case Restore:
+			restores++
+		case Cancel:
+			cancels++
+		}
+	}
+	return drains, restores, cancels
+}
+
+// MinEventualCapacity replays the script's drain/restore bookkeeping
+// (with the same clamping the machine applies) on a machine of the given
+// nominal size and returns the lowest eventual capacity reached — the
+// tightest squeeze the scenario puts on the platform.
+func (s *Script) MinEventualCapacity(total int64) int64 {
+	lowest, _ := s.replayCapacity(total)
+	return lowest
+}
+
+// Balanced reports whether every drained processor is eventually
+// restored (the script ends with the machine back at full capacity), the
+// property that guarantees every non-canceled job can eventually start.
+func (s *Script) Balanced(total int64) bool {
+	_, final := s.replayCapacity(total)
+	return final == total
+}
+
+// replayCapacity runs the drain/restore state machine once, returning
+// the lowest and final eventual capacity.
+func (s *Script) replayCapacity(total int64) (lowest, final int64) {
+	capacity := total
+	lowest = total
+	if s == nil {
+		return lowest, capacity
+	}
+	for _, e := range s.Events {
+		switch e.Action {
+		case Drain:
+			capacity -= e.Procs
+			if capacity < 0 {
+				capacity = 0
+			}
+		case Restore:
+			capacity += e.Procs
+			if capacity > total {
+				capacity = total
+			}
+		}
+		if capacity < lowest {
+			lowest = capacity
+		}
+	}
+	return lowest, capacity
+}
+
+// Merge combines scripts into one time-sorted script under a new name.
+func Merge(name string, scripts ...*Script) *Script {
+	out := &Script{Name: name}
+	for _, s := range scripts {
+		if s == nil {
+			continue
+		}
+		out.Events = append(out.Events, s.Events...)
+	}
+	sortEvents(out.Events)
+	return out
+}
+
+// sortEvents orders events by time, keeping the relative order of
+// equal-instant events (the engine's event queue breaks remaining ties
+// by kind and insertion sequence).
+func sortEvents(events []Event) {
+	sort.SliceStable(events, func(a, b int) bool { return events[a].Time < events[b].Time })
+}
+
+// Builder accumulates disruptions in any order and validates them into a
+// Script. Methods chain; errors are collected and reported by Build.
+type Builder struct {
+	name   string
+	events []Event
+	errs   []string
+}
+
+// NewBuilder starts an empty scenario with the given name.
+func NewBuilder(name string) *Builder { return &Builder{name: name} }
+
+func (b *Builder) errf(format string, args ...interface{}) {
+	b.errs = append(b.errs, fmt.Sprintf(format, args...))
+}
+
+// Drain schedules a drain of procs processors at the given instant.
+func (b *Builder) Drain(at, procs int64) *Builder {
+	if at < 0 {
+		b.errf("drain at negative instant %d", at)
+	}
+	if procs <= 0 {
+		b.errf("drain of %d processors at %d", procs, at)
+	}
+	b.events = append(b.events, Event{Time: at, Action: Drain, Procs: procs})
+	return b
+}
+
+// Restore schedules a restore of procs processors at the given instant.
+func (b *Builder) Restore(at, procs int64) *Builder {
+	if at < 0 {
+		b.errf("restore at negative instant %d", at)
+	}
+	if procs <= 0 {
+		b.errf("restore of %d processors at %d", procs, at)
+	}
+	b.events = append(b.events, Event{Time: at, Action: Restore, Procs: procs})
+	return b
+}
+
+// Maintenance schedules a maintenance window: procs processors drained
+// during [from, to) and restored at to.
+func (b *Builder) Maintenance(from, to, procs int64) *Builder {
+	if to <= from {
+		b.errf("maintenance window [%d,%d) is empty", from, to)
+		return b
+	}
+	return b.Drain(from, procs).Restore(to, procs)
+}
+
+// Cancel schedules the cancellation of the job with the given ID at the
+// given instant. Canceling an already-completed job is a no-op at
+// simulation time, so the instant may safely land anywhere in the job's
+// life.
+func (b *Builder) Cancel(at, jobID int64) *Builder {
+	if at < 0 {
+		b.errf("cancel at negative instant %d", at)
+	}
+	b.events = append(b.events, Event{Time: at, Action: Cancel, JobID: jobID})
+	return b
+}
+
+// Build validates and returns the time-sorted script.
+func (b *Builder) Build() (*Script, error) {
+	if len(b.errs) != 0 {
+		return nil, fmt.Errorf("scenario %q: %s", b.name, b.errs[0])
+	}
+	s := &Script{Name: b.name, Events: append([]Event(nil), b.events...)}
+	sortEvents(s.Events)
+	return s, nil
+}
+
+// MustBuild is Build for programmatically-correct scenarios; it panics
+// on a validation error.
+func (b *Builder) MustBuild() *Script {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/swf"
+	"repro/internal/trace"
+)
+
+func TestBuilderSortsAndValidates(t *testing.T) {
+	s, err := NewBuilder("t").
+		Restore(100, 4).
+		Cancel(30, 7).
+		Drain(50, 4).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []int64{}
+	for _, e := range s.Events {
+		times = append(times, e.Time)
+	}
+	if !reflect.DeepEqual(times, []int64{30, 50, 100}) {
+		t.Fatalf("events not time-sorted: %v", times)
+	}
+}
+
+func TestBuilderRejectsBadEvents(t *testing.T) {
+	cases := []*Builder{
+		NewBuilder("neg-time").Drain(-1, 2),
+		NewBuilder("zero-procs").Drain(0, 0),
+		NewBuilder("neg-restore").Restore(5, -3),
+		NewBuilder("empty-window").Maintenance(10, 10, 2),
+		NewBuilder("neg-cancel").Cancel(-5, 1),
+	}
+	for _, b := range cases {
+		if _, err := b.Build(); err == nil {
+			t.Errorf("%s: expected validation error", b.name)
+		}
+	}
+}
+
+func TestMaintenanceIsBalanced(t *testing.T) {
+	s := NewBuilder("mw").Maintenance(10, 50, 6).Maintenance(20, 30, 4).MustBuild()
+	if !s.Balanced(16) {
+		t.Fatal("maintenance windows must restore what they drain")
+	}
+	if got := s.MinEventualCapacity(16); got != 6 {
+		t.Fatalf("min eventual capacity = %d, want 6 (16-6-4)", got)
+	}
+	drains, restores, cancels := s.Counts()
+	if drains != 2 || restores != 2 || cancels != 0 {
+		t.Fatalf("counts = %d,%d,%d", drains, restores, cancels)
+	}
+}
+
+func TestMinEventualCapacityClampsAtZero(t *testing.T) {
+	s := NewBuilder("deep").Drain(0, 100).MustBuild()
+	if got := s.MinEventualCapacity(10); got != 0 {
+		t.Fatalf("min eventual capacity = %d, want 0 (clamped)", got)
+	}
+	if s.Balanced(10) {
+		t.Fatal("unrestored drain must not be balanced")
+	}
+}
+
+func TestMergePreservesOrder(t *testing.T) {
+	a := NewBuilder("a").Drain(10, 2).Restore(40, 2).MustBuild()
+	b := NewBuilder("b").Cancel(25, 3).MustBuild()
+	m := Merge("ab", a, b, nil)
+	times := []int64{}
+	for _, e := range m.Events {
+		times = append(times, e.Time)
+	}
+	if !reflect.DeepEqual(times, []int64{10, 25, 40}) {
+		t.Fatalf("merged order wrong: %v", times)
+	}
+}
+
+func TestEmptyScript(t *testing.T) {
+	var nilScript *Script
+	if !nilScript.Empty() || !(&Script{}).Empty() {
+		t.Fatal("nil and zero scripts must be empty")
+	}
+	if nilScript.MinEventualCapacity(8) != 8 || !nilScript.Balanced(8) {
+		t.Fatal("nil script should leave the machine untouched")
+	}
+}
+
+func genWorkload() *trace.Workload {
+	jobs := make([]swf.Job, 60)
+	for i := range jobs {
+		jobs[i] = swf.Job{
+			JobNumber:      int64(i + 1),
+			SubmitTime:     int64(i * 50),
+			RunTime:        120,
+			RequestedProcs: 4,
+			RequestedTime:  300,
+			Status:         swf.StatusCompleted,
+		}
+	}
+	return &trace.Workload{Name: "gen", MaxProcs: 32, Jobs: jobs}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w := genWorkload()
+	in, _ := IntensityByName("moderate")
+	a := Generate(w, in, 42)
+	b := Generate(w, in, 42)
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("same seed must generate the same script")
+	}
+	c := Generate(w, in, 43)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestGenerateBalancedAndScaled(t *testing.T) {
+	w := genWorkload()
+	for _, in := range Intensities {
+		s := Generate(w, in, 7)
+		if !s.Balanced(w.MaxProcs) {
+			t.Fatalf("%s: generated script not balanced", in.Name)
+		}
+		drains, restores, _ := s.Counts()
+		if drains != in.Windows || restores != in.Windows {
+			t.Fatalf("%s: %d drains %d restores, want %d windows", in.Name, drains, restores, in.Windows)
+		}
+		if in.Name == "none" && !s.Empty() {
+			t.Fatal("none intensity must be empty")
+		}
+	}
+	// The ladder is monotone: heavier levels disrupt at least as much.
+	light := Generate(w, Intensities[1], 7)
+	heavy := Generate(w, Intensities[3], 7)
+	if len(heavy.Events) <= len(light.Events) {
+		t.Fatalf("heavy (%d events) should out-disrupt light (%d)", len(heavy.Events), len(light.Events))
+	}
+}
+
+// TestGenerateAnchorsWindowsAtFirstSubmission: real logs start at an
+// arbitrary offset; maintenance windows must overlap the submission
+// span, not the absolute origin.
+func TestGenerateAnchorsWindowsAtFirstSubmission(t *testing.T) {
+	w := genWorkload()
+	offset := int64(1_000_000)
+	for i := range w.Jobs {
+		w.Jobs[i].SubmitTime += offset
+	}
+	in, _ := IntensityByName("heavy")
+	s := Generate(w, in, 5)
+	for _, e := range s.Events {
+		if e.Action == Drain && e.Time < offset {
+			t.Fatalf("drain at %d lands before the first submission %d", e.Time, offset)
+		}
+	}
+}
+
+func TestCancellationsFromSWF(t *testing.T) {
+	tr := &swf.Trace{Jobs: []swf.Job{
+		{JobNumber: 1, SubmitTime: 100, WaitTime: 30, RunTime: -1, Status: swf.StatusCancelled},
+		{JobNumber: 2, SubmitTime: 200, WaitTime: -1, RunTime: 0, Status: swf.StatusCancelled},
+		{JobNumber: 3, SubmitTime: 300, WaitTime: 10, RunTime: 50, Status: swf.StatusCancelled}, // ran: not derived
+		{JobNumber: 4, SubmitTime: 400, WaitTime: 5, RunTime: 60, Status: swf.StatusCompleted},
+		{JobNumber: 5, SubmitTime: -7, WaitTime: 5, RunTime: 0, Status: swf.StatusCancelled}, // unusable submit
+	}}
+	s := CancellationsFromSWF("log", tr)
+	want := []Event{
+		{Time: 130, Action: Cancel, JobID: 1},
+		{Time: 200, Action: Cancel, JobID: 2},
+	}
+	if !reflect.DeepEqual(s.Events, want) {
+		t.Fatalf("derived events = %+v, want %+v", s.Events, want)
+	}
+}

@@ -1,0 +1,31 @@
+package scenario
+
+import "repro/internal/swf"
+
+// CancellationsFromSWF derives Cancel events from a real log's status
+// fields: every job the archive records as cancelled before it ever ran
+// (Status 5 with no recorded runtime) is killed at its logged
+// queue-departure instant, submit + wait (or at submission when the wait
+// is unknown). Jobs cancelled after running are not derived — their
+// logged runtime already ends at the kill, so replaying them as ordinary
+// jobs reproduces the cancellation.
+//
+// Combine with swf.ApplyStatus(tr, swf.StatusReplay), which gives those
+// never-ran jobs their requested time as the hypothetical runtime: the
+// derived events then remove them exactly when the real system did,
+// wherever they are in the simulated schedule at that instant.
+func CancellationsFromSWF(name string, tr *swf.Trace) *Script {
+	b := NewBuilder(name)
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		if j.Status != swf.StatusCancelled || j.RunTime > 0 || j.SubmitTime < 0 {
+			continue
+		}
+		wait := j.WaitTime
+		if wait < 0 {
+			wait = 0
+		}
+		b.Cancel(j.SubmitTime+wait, j.JobNumber)
+	}
+	return b.MustBuild()
+}

@@ -51,15 +51,27 @@ type Policy interface {
 	// OnExpiry tells the policy a running job outlived its prediction and
 	// a correction installed a new one (j.Prediction is already updated).
 	OnExpiry(j *job.Job, now int64)
+	// OnCancel tells the policy a job left the system without completing:
+	// removed from the waiting queue, or killed while running (j.Started
+	// distinguishes the two). The engine has already updated the queue
+	// and the machine.
+	OnCancel(j *job.Job, now int64)
+	// OnCapacityChange tells the policy the machine's realized or
+	// eventual capacity changed — a node drain or restore, or a pending
+	// drain absorbing a completion's processors — so any cached
+	// availability view is stale.
+	OnCapacityChange(now int64, m *platform.Machine)
 }
 
 // noHooks provides empty lifecycle hooks for stateless policies.
 type noHooks struct{}
 
-func (noHooks) OnSubmit(*job.Job, int64) {}
-func (noHooks) OnStart(*job.Job, int64)  {}
-func (noHooks) OnFinish(*job.Job, int64) {}
-func (noHooks) OnExpiry(*job.Job, int64) {}
+func (noHooks) OnSubmit(*job.Job, int64)                  {}
+func (noHooks) OnStart(*job.Job, int64)                   {}
+func (noHooks) OnFinish(*job.Job, int64)                  {}
+func (noHooks) OnExpiry(*job.Job, int64)                  {}
+func (noHooks) OnCancel(*job.Job, int64)                  {}
+func (noHooks) OnCapacityChange(int64, *platform.Machine) {}
 
 // Order is the backfill scan order inside EASY.
 type Order int
@@ -226,20 +238,27 @@ func (e *EASY) OnSubmit(j *job.Job, _ int64) {
 	e.index[i] = j
 }
 
+// dropFromIndex removes a job leaving the waiting queue from the SJBF
+// index, marking the index desynchronized if the job is unknown.
+func (e *EASY) dropFromIndex(j *job.Job) {
+	if e.Backfill != SJBFOrder || !e.indexOK {
+		return
+	}
+	i := sort.Search(len(e.index), func(i int) bool { return !predLess(e.index[i], j) })
+	if i < len(e.index) && e.index[i] == j {
+		e.index = append(e.index[:i], e.index[i+1:]...)
+	} else {
+		e.indexOK = false // unknown job: the index lost sync with the queue
+	}
+}
+
 // OnStart implements Policy: the started job leaves the SJBF index, and
 // the cached shadow reservation is updated in O(1) — a backfill start at
 // the cached instant never moves the shadow (it either completes before
 // it or fits in the extra processors), it only consumes extra capacity
 // when it outlives the shadow.
 func (e *EASY) OnStart(j *job.Job, now int64) {
-	if e.Backfill == SJBFOrder && e.indexOK {
-		i := sort.Search(len(e.index), func(i int) bool { return !predLess(e.index[i], j) })
-		if i < len(e.index) && e.index[i] == j {
-			e.index = append(e.index[:i], e.index[i+1:]...)
-		} else {
-			e.indexOK = false // unknown job: the index lost sync with the queue
-		}
-	}
+	e.dropFromIndex(j)
 	if !e.resOK {
 		return
 	}
@@ -265,6 +284,20 @@ func (e *EASY) OnFinish(*job.Job, int64) { e.resOK = false }
 // OnExpiry implements Policy: a corrected prediction moves a running
 // job's release instant, so the cached reservation is stale.
 func (e *EASY) OnExpiry(*job.Job, int64) { e.resOK = false }
+
+// OnCancel implements Policy: a canceled waiting job leaves the SJBF
+// index; either way (queued removal or running kill) the availability
+// the cached reservation was computed from changed.
+func (e *EASY) OnCancel(j *job.Job, _ int64) {
+	if !j.Started {
+		e.dropFromIndex(j)
+	}
+	e.resOK = false
+}
+
+// OnCapacityChange implements Policy: the shadow reservation depends on
+// the capacity step function, so it must be recomputed.
+func (e *EASY) OnCapacityChange(int64, *platform.Machine) { e.resOK = false }
 
 // Conservative is conservative backfilling: every queued job holds a
 // reservation computed in arrival order against the predicted
@@ -308,6 +341,13 @@ type Conservative struct {
 	cache    []*job.Job
 	cacheIdx int
 
+	// degraded is set while the machine carries a pending drain: the
+	// drain absorbs predicted releases in release order, so per-job
+	// reservations no longer compose and the base profile is rebuilt
+	// from the machine's effective view at every Pick (the same
+	// construction the reference policy uses) until the drain settles.
+	degraded bool
+
 	overdue []heapEntry // reusable scratch for overdue collection
 }
 
@@ -333,16 +373,23 @@ func (c *Conservative) desync() {
 // resync rebuilds all incremental state from the machine.
 func (c *Conservative) resync(m *platform.Machine, now int64) {
 	c.m = m
+	c.degraded = m.PendingDrain() > 0
 	if c.base == nil {
 		c.base = platform.NewProfile(now, m.Total())
 		c.scratch = platform.NewProfile(now, m.Total())
-	} else {
-		c.base.Reset(now, m.Total())
 	}
 	clear(c.ends)
 	c.releases = c.releases[:0]
-	for _, j := range m.Running() {
-		c.track(j, now)
+	if c.degraded {
+		// The effective view already folds overdue predictions and
+		// drain absorption in; ends/releases stay empty so the overdue
+		// overlay in rescan is a no-op.
+		m.FillAvailability(c.base, now)
+	} else {
+		c.base.Reset(now, m.Capacity())
+		for _, j := range m.Running() {
+			c.track(j, now)
+		}
 	}
 	c.cacheOK = false
 }
@@ -361,7 +408,7 @@ func (c *Conservative) track(j *job.Job, now int64) {
 
 // Pick implements Policy.
 func (c *Conservative) Pick(now int64, m *platform.Machine, queue []*job.Job) *job.Job {
-	if m != c.m || len(c.ends) != m.RunningCount() {
+	if m != c.m || c.degraded || len(c.ends) != m.RunningCount() {
 		c.resync(m, now)
 	}
 	c.base.Advance(now)
@@ -510,6 +557,23 @@ func (c *Conservative) OnExpiry(j *job.Job, now int64) {
 	c.ends[j.ID] = resv{end: end, procs: j.Procs}
 	c.releases.push(heapEntry{at: end, id: j.ID})
 }
+
+// OnCancel implements Policy. A canceled waiting job invalidates every
+// later queued reservation; a killed running job releases its
+// reservation exactly like an early completion.
+func (c *Conservative) OnCancel(j *job.Job, now int64) {
+	if j.Started {
+		c.OnFinish(j, now)
+		return
+	}
+	c.cacheOK = false
+}
+
+// OnCapacityChange implements Policy: the base profile's capacity
+// ceiling (and, under a pending drain, the shape of every future
+// release) changed, so all incremental state is rebuilt at the next
+// Pick.
+func (c *Conservative) OnCapacityChange(int64, *platform.Machine) { c.desync() }
 
 // heapEntry is one (predicted end, job ID) pair in the lazy release heap.
 type heapEntry struct {

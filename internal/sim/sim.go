@@ -7,12 +7,21 @@
 // Event semantics follow Section 5: predictions are made once at
 // submission; when a running job outlives its prediction, an expiry
 // event fires and the correction mechanism supplies a new total-runtime
-// estimate (bounded by the requested time); completions, expiries and
-// submissions at the same instant are processed in that order; after
-// every event the policy is offered start decisions until it declines.
-// The policy is driven through its lifecycle hooks (OnSubmit/OnStart/
-// OnFinish/OnExpiry) in lockstep with the machine so stateful policies
-// can maintain incremental acceleration structures across decisions.
+// estimate (bounded by the requested time); completions, disruptions,
+// expiries and submissions at the same instant are processed in that
+// order; after every event the policy is offered start decisions until
+// it declines. The policy is driven through its lifecycle hooks
+// (OnSubmit/OnStart/OnFinish/OnExpiry/OnCancel/OnCapacityChange) in
+// lockstep with the machine so stateful policies can maintain
+// incremental acceleration structures across decisions.
+//
+// Beyond the paper's static testbed, a Config may carry a
+// scenario.Script of timed disruptions: node drains and restores make
+// the available capacity a step function of time (drains are graceful —
+// running jobs are never killed by a capacity change), and cancellations
+// remove jobs wherever they are — before submission, in the queue, or
+// running. The realized capacity timeline is recorded on the Result so
+// validation can check the schedule against it.
 package sim
 
 import (
@@ -23,6 +32,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/platform"
 	"repro/internal/predict"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -36,6 +46,10 @@ type Config struct {
 	// Corrector handles expired predictions. Nil defaults to
 	// correct.RequestedTime (fall back to the user estimate).
 	Corrector correct.Corrector
+	// Script optionally injects timed disruptions (node drains and
+	// restores, job cancellations) into the event loop. Nil or empty
+	// reproduces the static machine exactly.
+	Script *scenario.Script
 }
 
 // Name renders the triple as "policy/predictor/corrector".
@@ -47,21 +61,44 @@ func (c Config) Name() string {
 	return c.Policy.Name() + "/" + c.Predictor.Name() + "/" + corr.Name()
 }
 
+// CapacityStep is one breakpoint of the realized capacity timeline: the
+// in-service processor count from At onward.
+type CapacityStep struct {
+	At       int64
+	Capacity int64
+}
+
 // Result is the realized schedule of one simulation.
 type Result struct {
 	// Triple names the heuristic triple that produced the schedule.
 	Triple string
 	// Workload names the input workload.
 	Workload string
-	// MaxProcs is the machine size.
+	// Scenario names the disruption script, if any.
+	Scenario string
+	// MaxProcs is the nominal machine size.
 	MaxProcs int64
 	// Jobs holds every job with Start/End/Prediction state filled in,
-	// in submission order.
+	// in submission order. Canceled jobs that never ran keep
+	// Started == false.
 	Jobs []*job.Job
 	// Corrections is the total number of prediction-expiry corrections.
 	Corrections int
+	// Canceled is the number of jobs removed by scenario cancellations.
+	Canceled int
+	// CapacitySteps records the realized capacity step function: one
+	// entry per instant the in-service processor count changed. Empty
+	// means the capacity stayed at MaxProcs throughout.
+	CapacitySteps []CapacityStep
 	// Makespan is the completion time of the last job.
 	Makespan int64
+}
+
+// payload is the event-queue payload: a job for job events, a processor
+// count for capacity events.
+type payload struct {
+	j     *job.Job
+	procs int64
 }
 
 // Run simulates the workload under the given configuration. It returns
@@ -77,7 +114,8 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 	}
 
 	jobs := make([]*job.Job, len(w.Jobs))
-	var q eventq.Queue[*job.Job]
+	byID := make(map[int64]*job.Job, len(w.Jobs))
+	var q eventq.Queue[payload]
 	for i := range w.Jobs {
 		r := &w.Jobs[i]
 		if r.Procs() > w.MaxProcs {
@@ -85,12 +123,46 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 		}
 		j := job.FromSWF(r)
 		jobs[i] = j
-		q.Push(j.Submit, eventq.Submit, j)
+		byID[j.ID] = j
+		q.Push(j.Submit, eventq.Submit, payload{j: j})
+	}
+
+	res := &Result{Triple: cfg.Name(), Workload: w.Name, MaxProcs: w.MaxProcs, Jobs: jobs}
+	if !cfg.Script.Empty() {
+		res.Scenario = cfg.Script.Name
+		for _, ev := range cfg.Script.Events {
+			switch {
+			case ev.Time < 0:
+				return nil, fmt.Errorf("sim: scenario event at negative instant %d", ev.Time)
+			case ev.Action == scenario.Drain && ev.Procs > 0:
+				q.Push(ev.Time, eventq.Drain, payload{procs: ev.Procs})
+			case ev.Action == scenario.Restore && ev.Procs > 0:
+				q.Push(ev.Time, eventq.Restore, payload{procs: ev.Procs})
+			case ev.Action == scenario.Cancel:
+				if j := byID[ev.JobID]; j != nil {
+					q.Push(ev.Time, eventq.Cancel, payload{j: j})
+				}
+				// Unknown IDs are ignored: scripts derived from a raw
+				// log may name jobs the workload cleaning dropped.
+			default:
+				return nil, fmt.Errorf("sim: scenario %s event with %d processors", ev.Action, ev.Procs)
+			}
+		}
 	}
 
 	machine := platform.New(w.MaxProcs)
 	queue := make([]*job.Job, 0, 64)
-	res := &Result{Triple: cfg.Name(), Workload: w.Name, MaxProcs: w.MaxProcs, Jobs: jobs}
+
+	// recordCapacity appends to the realized capacity timeline,
+	// collapsing multiple changes at one instant into the last.
+	recordCapacity := func(now int64) {
+		c := machine.Capacity()
+		if n := len(res.CapacitySteps); n > 0 && res.CapacitySteps[n-1].At == now {
+			res.CapacitySteps[n-1].Capacity = c
+			return
+		}
+		res.CapacitySteps = append(res.CapacitySteps, CapacityStep{At: now, Capacity: c})
+	}
 
 	startJob := func(j *job.Job, now int64) {
 		j.Started = true
@@ -98,9 +170,9 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 		machine.Start(j)
 		cfg.Predictor.OnStart(j, now)
 		cfg.Policy.OnStart(j, now)
-		q.Push(now+j.Runtime, eventq.Finish, j)
+		q.Push(now+j.Runtime, eventq.Finish, payload{j: j})
 		if j.Prediction < j.Runtime {
-			q.Push(now+j.Prediction, eventq.Expiry, j)
+			q.Push(now+j.Prediction, eventq.Expiry, payload{j: j})
 		}
 	}
 
@@ -125,22 +197,36 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 		}
 	}
 
+	// release frees a running job's processors and reports whether a
+	// pending drain absorbed part of the release (a capacity change).
+	release := func(j *job.Job) (capacityChanged bool) {
+		before := machine.Capacity()
+		machine.Finish(j)
+		return machine.Capacity() != before
+	}
+
 	for {
 		ev, ok := q.Pop()
 		if !ok {
 			break
 		}
 		now := ev.Time
-		j := ev.Payload
+		j := ev.Payload.j
 		switch ev.Kind {
 		case eventq.Submit:
+			if j.Canceled {
+				continue // canceled before submission: never enters the system
+			}
 			j.Prediction = j.ClampPrediction(cfg.Predictor.Predict(j, now))
 			j.SubmitPrediction = j.Prediction
 			cfg.Predictor.OnSubmit(j, now)
 			queue = append(queue, j)
 			cfg.Policy.OnSubmit(j, now)
 		case eventq.Finish:
-			machine.Finish(j)
+			if j.Finished {
+				continue // stale: the job was killed by a cancellation
+			}
+			changed := release(j)
 			j.Finished = true
 			j.End = now
 			if j.End > res.Makespan {
@@ -148,6 +234,60 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 			}
 			cfg.Predictor.OnFinish(j, now)
 			cfg.Policy.OnFinish(j, now)
+			if changed {
+				recordCapacity(now)
+				cfg.Policy.OnCapacityChange(now, machine)
+			}
+		case eventq.Cancel:
+			if j.Finished || j.Canceled {
+				continue // stale: already completed or already canceled
+			}
+			j.Canceled = true
+			res.Canceled++
+			if j.Started {
+				// Kill the running job: it occupied the machine for
+				// exactly now-Start seconds, which becomes its realized
+				// runtime.
+				changed := release(j)
+				j.Finished = true
+				j.End = now
+				j.Runtime = now - j.Start
+				if j.End > res.Makespan {
+					res.Makespan = j.End
+				}
+				cfg.Predictor.OnFinish(j, now)
+				cfg.Policy.OnCancel(j, now)
+				if changed {
+					recordCapacity(now)
+					cfg.Policy.OnCapacityChange(now, machine)
+				}
+				break
+			}
+			// Still waiting (or, if absent from the queue, not yet
+			// submitted — the Submit event will observe Canceled).
+			for i, qj := range queue {
+				if qj == j {
+					queue = append(queue[:i], queue[i+1:]...)
+					cfg.Policy.OnCancel(j, now)
+					break
+				}
+			}
+		case eventq.Drain:
+			before := machine.Capacity()
+			machine.Drain(ev.Payload.procs)
+			if machine.Capacity() != before {
+				recordCapacity(now)
+			}
+			// Even a fully pending drain changes the eventual capacity
+			// every availability view plans against.
+			cfg.Policy.OnCapacityChange(now, machine)
+		case eventq.Restore:
+			before := machine.Capacity()
+			machine.Restore(ev.Payload.procs)
+			if machine.Capacity() != before {
+				recordCapacity(now)
+			}
+			cfg.Policy.OnCapacityChange(now, machine)
 		case eventq.Expiry:
 			if j.Finished || !j.Started {
 				continue // stale: the job completed at this same instant or earlier
@@ -171,17 +311,17 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 			res.Corrections++
 			cfg.Policy.OnExpiry(j, now)
 			if j.PredictedEnd() < j.Start+j.Runtime {
-				q.Push(j.PredictedEnd(), eventq.Expiry, j)
+				q.Push(j.PredictedEnd(), eventq.Expiry, payload{j: j})
 			}
 		}
 		schedulePass(now)
 	}
 
 	if len(queue) != 0 {
-		return nil, fmt.Errorf("sim: %d jobs never started (first: %d)", len(queue), queue[0].ID)
+		return nil, fmt.Errorf("sim: %d jobs never started (first: %d) — did the scenario restore its drains?", len(queue), queue[0].ID)
 	}
 	for _, j := range jobs {
-		if !j.Finished {
+		if !j.Finished && !j.Canceled {
 			return nil, fmt.Errorf("sim: job %d never finished", j.ID)
 		}
 	}

@@ -7,7 +7,12 @@ import (
 
 // ValidateResult checks the physical invariants of a realized schedule:
 // every job started at or after its submission, ran for exactly its
-// actual running time, and the machine capacity was never exceeded.
+// actual running time, and the in-service capacity was never exceeded —
+// against the realized capacity step function when the simulation ran a
+// disruption scenario, or the constant machine size otherwise. Jobs a
+// scenario canceled before they ever ran are exempt from the
+// completeness checks; killed jobs are validated like completions (their
+// Runtime is the time actually executed).
 // It returns every violation found (empty means the schedule is valid).
 func ValidateResult(res *Result) []error {
 	var errs []error
@@ -19,6 +24,9 @@ func ValidateResult(res *Result) []error {
 	}
 	deltas := make([]delta, 0, 2*len(res.Jobs))
 	for _, j := range res.Jobs {
+		if j.Canceled && !j.Started {
+			continue // removed before it ever ran: nothing physical to check
+		}
 		if !j.Started || !j.Finished {
 			errs = append(errs, fmt.Errorf("job %d incomplete (started=%v finished=%v)", j.ID, j.Started, j.Finished))
 			continue
@@ -46,11 +54,22 @@ func ValidateResult(res *Result) []error {
 		}
 		return deltas[a].id < deltas[b].id
 	})
+	// Walk the usage deltas against the realized capacity timeline.
+	// Capacity changes at an instant apply after its releases and before
+	// its allocations: drains only ever claim idle processors (running
+	// jobs are absorbed as they finish), so usage must fit the new
+	// capacity by the time anything starts at that instant.
+	capacity := res.MaxProcs
+	step := 0
 	var used int64
 	for _, d := range deltas {
+		for step < len(res.CapacitySteps) && res.CapacitySteps[step].At <= d.at {
+			capacity = res.CapacitySteps[step].Capacity
+			step++
+		}
 		used += d.procs
-		if used > res.MaxProcs {
-			errs = append(errs, fmt.Errorf("capacity exceeded at t=%d: %d > %d", d.at, used, res.MaxProcs))
+		if used > capacity {
+			errs = append(errs, fmt.Errorf("capacity exceeded at t=%d: %d > %d", d.at, used, capacity))
 			break
 		}
 	}

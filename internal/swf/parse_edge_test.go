@@ -1,0 +1,141 @@
+package swf
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Edge cases of the SWF grammar as real archive files exhibit them:
+// header comments appearing after data lines, rows with too few or too
+// many fields, negative runtimes, and writer/parser round-trips.
+
+const edgeRow = "1 0 5 100 4 -1 -1 4 200 -1 1 7 3 2 1 -1 -1 -1"
+
+func TestParseHeaderCommentMidFile(t *testing.T) {
+	in := "; MaxProcs: 64\n" +
+		edgeRow + "\n" +
+		"; Note: maintenance window logged here\n" +
+		"; MaxJobs: 2\n" +
+		"2 10 0 50 2 -1 -1 2 60 -1 1 8 3 2 1 -1 -1 -1\n"
+	tr, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 2 {
+		t.Fatalf("parsed %d jobs, want 2", len(tr.Jobs))
+	}
+	if tr.Header.MaxProcs != 64 || tr.Header.MaxJobs != 2 {
+		t.Fatalf("mid-file directives not honored: %+v", tr.Header)
+	}
+	// All directives are preserved in order, including the free-text one.
+	if len(tr.Header.Fields) != 3 || tr.Header.Fields[1].Key != "Note" {
+		t.Fatalf("directives lost: %+v", tr.Header.Fields)
+	}
+}
+
+func TestParseShortRowReportsLineNumber(t *testing.T) {
+	in := "; MaxProcs: 8\n" + edgeRow + "\n1 2 3\n"
+	_, err := Parse(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("expected error for a 3-field row")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error should name line 3: %v", err)
+	}
+	if !strings.Contains(err.Error(), "18 fields") {
+		t.Fatalf("error should name the expected field count: %v", err)
+	}
+}
+
+func TestParseSeventeenFieldRowFails(t *testing.T) {
+	row := strings.Join(strings.Fields(edgeRow)[:17], " ")
+	if _, err := Parse(strings.NewReader(row + "\n")); err == nil {
+		t.Fatal("expected error for a 17-field row")
+	}
+}
+
+func TestParseOverlongRowIgnoresExtras(t *testing.T) {
+	// Some archive exports append site-specific columns; the 18
+	// standard fields are taken and the rest ignored.
+	tr, err := Parse(strings.NewReader(edgeRow + " 999 888\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 1 || tr.Jobs[0].ThinkTime != -1 {
+		t.Fatalf("overlong row mangled: %+v", tr.Jobs)
+	}
+}
+
+func TestParseNegativeRuntime(t *testing.T) {
+	// -1 (unknown) runtimes parse fine; Clean is what drops them.
+	in := "1 0 -1 -1 4 -1 -1 4 200 -1 5 7 3 2 1 -1 -1 -1\n"
+	tr, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs[0].RunTime != -1 {
+		t.Fatalf("runtime = %d, want -1", tr.Jobs[0].RunTime)
+	}
+	if issues := Validate(tr, 8); len(issues) == 0 {
+		t.Fatal("Validate should flag the negative runtime")
+	}
+	if clean := Clean(tr, 8); len(clean.Jobs) != 0 {
+		t.Fatal("Clean should drop the unusable job")
+	}
+}
+
+func TestWriterParserRoundTripPreservesEverything(t *testing.T) {
+	orig := &Trace{
+		Header: Header{
+			MaxNodes:      16,
+			MaxProcs:      64,
+			MaxJobs:       2,
+			UnixStartTime: 123456789,
+			Fields: []HeaderField{
+				{Key: "MaxNodes", Value: "16"},
+				{Key: "MaxProcs", Value: "64"},
+				{Key: "MaxJobs", Value: "2"},
+				{Key: "UnixStartTime", Value: "123456789"},
+				{Key: "Computer", Value: "IBM SP2"},
+			},
+		},
+		Jobs: []Job{
+			{JobNumber: 1, SubmitTime: 0, WaitTime: 5, RunTime: 100, AllocatedProcs: 4,
+				AvgCPUTime: 90, UsedMemory: 1024, RequestedProcs: 4, RequestedTime: 200,
+				RequestedMemory: 2048, Status: StatusCompleted, UserID: 7, GroupID: 3,
+				Executable: 2, Queue: 1, Partition: 1, PrecedingJob: -1, ThinkTime: -1},
+			{JobNumber: 2, SubmitTime: 10, WaitTime: -1, RunTime: -1, AllocatedProcs: -1,
+				AvgCPUTime: -1, UsedMemory: -1, RequestedProcs: 2, RequestedTime: 60,
+				RequestedMemory: -1, Status: StatusCancelled, UserID: 8, GroupID: 3,
+				Executable: -1, Queue: -1, Partition: -1, PrecedingJob: 1, ThinkTime: 30},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Jobs, orig.Jobs) {
+		t.Fatalf("jobs changed across round-trip:\n got %+v\nwant %+v", back.Jobs, orig.Jobs)
+	}
+	if !reflect.DeepEqual(back.Header, orig.Header) {
+		t.Fatalf("header changed across round-trip:\n got %+v\nwant %+v", back.Header, orig.Header)
+	}
+	// A second round-trip is a fixed point.
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, back); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, back) {
+		t.Fatal("round-trip is not a fixed point")
+	}
+}

@@ -1,0 +1,102 @@
+package swf
+
+import "testing"
+
+// statusTrace mixes the four status populations: completed, failed
+// after running, cancelled after running, cancelled before running.
+func statusTrace() *Trace {
+	return &Trace{
+		Header: Header{MaxProcs: 64},
+		Jobs: []Job{
+			{JobNumber: 1, SubmitTime: 0, RunTime: 100, RequestedProcs: 4, RequestedTime: 200, Status: StatusCompleted},
+			{JobNumber: 2, SubmitTime: 10, RunTime: 50, RequestedProcs: 2, RequestedTime: 300, Status: StatusFailed},
+			{JobNumber: 3, SubmitTime: 20, RunTime: 80, RequestedProcs: 8, RequestedTime: 400, Status: StatusCancelled},
+			{JobNumber: 4, SubmitTime: 30, RunTime: -1, WaitTime: 60, RequestedProcs: 4, RequestedTime: 500, Status: StatusCancelled},
+			{JobNumber: 5, SubmitTime: 40, RunTime: 0, WaitTime: -1, RequestedProcs: 2, RequestedTime: 0, Status: StatusCancelled},
+			{JobNumber: 6, SubmitTime: 50, RunTime: 0, RequestedProcs: 2, RequestedTime: 100, Status: StatusFailed},
+		},
+	}
+}
+
+func ids(tr *Trace) []int64 {
+	var out []int64
+	for i := range tr.Jobs {
+		out = append(out, tr.Jobs[i].JobNumber)
+	}
+	return out
+}
+
+func eq(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestApplyStatusKeep(t *testing.T) {
+	in := statusTrace()
+	out := ApplyStatus(in, StatusKeep)
+	if !eq(ids(out), []int64{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("keep dropped jobs: %v", ids(out))
+	}
+	// Keep must copy, not alias.
+	out.Jobs[0].RunTime = 1
+	if in.Jobs[0].RunTime != 100 {
+		t.Fatal("ApplyStatus(keep) aliased the input jobs")
+	}
+}
+
+func TestApplyStatusSkip(t *testing.T) {
+	out := ApplyStatus(statusTrace(), StatusSkip)
+	if !eq(ids(out), []int64{1}) {
+		t.Fatalf("skip kept %v, want only the completed job", ids(out))
+	}
+}
+
+func TestApplyStatusTruncate(t *testing.T) {
+	out := ApplyStatus(statusTrace(), StatusTruncate)
+	// Jobs 2 and 3 occupied the machine (positive runtime); 4, 5, 6
+	// never ran and are dropped.
+	if !eq(ids(out), []int64{1, 2, 3}) {
+		t.Fatalf("truncate kept %v, want [1 2 3]", ids(out))
+	}
+	if out.Jobs[2].RunTime != 80 {
+		t.Fatal("truncate must keep the logged (truncated) runtime")
+	}
+}
+
+func TestApplyStatusReplay(t *testing.T) {
+	out := ApplyStatus(statusTrace(), StatusReplay)
+	// Job 4 (cancelled, never ran) is repaired with its requested time;
+	// job 5 has no usable request and is dropped; failed jobs replay
+	// as-is (6 has zero runtime and will be cleaned later regardless).
+	if !eq(ids(out), []int64{1, 2, 3, 4, 6}) {
+		t.Fatalf("replay kept %v, want [1 2 3 4 6]", ids(out))
+	}
+	var j4 *Job
+	for i := range out.Jobs {
+		if out.Jobs[i].JobNumber == 4 {
+			j4 = &out.Jobs[i]
+		}
+	}
+	if j4.RunTime != 500 {
+		t.Fatalf("replay runtime = %d, want the requested 500", j4.RunTime)
+	}
+}
+
+func TestParseStatusMode(t *testing.T) {
+	for _, m := range []StatusMode{StatusKeep, StatusSkip, StatusTruncate, StatusReplay} {
+		got, err := ParseStatusMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("round-trip %v failed: %v %v", m, got, err)
+		}
+	}
+	if _, err := ParseStatusMode("bogus"); err == nil {
+		t.Fatal("expected error for unknown mode")
+	}
+}
