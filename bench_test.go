@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -110,7 +111,7 @@ func benchCampaign(b *testing.B) []campaign.RunResult {
 			return
 		}
 		c := &campaign.Campaign{Workloads: ws}
-		campaignResults, campaignErr = c.Run()
+		campaignResults, campaignErr = c.Run(context.Background())
 	})
 	if campaignErr != nil {
 		b.Fatal(campaignErr)

@@ -1,0 +1,252 @@
+// Command benchdiff is the CI perf-regression gate: it parses `go test
+// -bench` output, compares ns/op and allocs/op against a checked-in
+// JSON baseline, and exits non-zero when any benchmark slowed down (or
+// allocates more) beyond the threshold. With -update it instead rewrites
+// the baseline from the measured numbers — the escape hatch for when a
+// legitimate speedup (or an intentional trade-off) moves the floor.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'SchedPick|SchedSimEndToEnd' -benchmem . | \
+//	    go run ./cmd/benchdiff -baseline BENCH_baseline.json -
+//
+//	go run ./cmd/benchdiff -baseline BENCH_baseline.json -update bench.out
+//
+// Benchmark names are normalized by stripping the trailing -GOMAXPROCS
+// suffix so baselines transfer across machines with different core
+// counts; duplicate measurements of one benchmark (e.g. -count 3) are
+// collapsed to their minimum, the standard noise filter. ns/op
+// regressions are judged against -threshold (percent), but only when
+// the benchmark is slower than -min-ns on at least one side: for
+// nanosecond-scale cache-hit paths, a 25% window is below cross-machine
+// clock variance, so they are reported informationally and gated on
+// allocs/op alone (where zero really is zero on every machine).
+// allocs/op is held to the same threshold, except a zero-alloc
+// baseline is a hard guarantee: any allocation at all fails the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark's tracked quantities.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// HasAllocs records whether the run reported allocs/op at all
+	// (requires -benchmem); it keeps a baseline made with -benchmem
+	// from failing against output made without it in a confusing way.
+	HasAllocs bool `json:"has_allocs"`
+}
+
+// Baseline is the checked-in BENCH_baseline.json schema.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note       string                 `json:"note"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON to compare against (or write with -update)")
+	threshold := flag.Float64("threshold", 25, "maximum allowed slowdown in percent")
+	minNs := flag.Float64("min-ns", 1000, "ns/op noise floor: benchmarks under this on both sides are gated on allocs/op only")
+	update := flag.Bool("update", false, "rewrite the baseline from the measured numbers instead of comparing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline file] [-threshold pct] [-update] bench-output-file (- for stdin)")
+		os.Exit(2)
+	}
+	if *threshold <= 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: -threshold must be > 0, got %v\n", *threshold)
+		os.Exit(2)
+	}
+
+	var in io.Reader
+	if name := flag.Arg(0); name == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found in input"))
+	}
+
+	if *update {
+		if err := writeBaseline(*baselinePath, current); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *baselinePath, err))
+	}
+
+	report, failures := diff(base.Benchmarks, current, *threshold, *minNs)
+	fmt.Print(report)
+	if failures > 0 {
+		fmt.Printf("\nbenchdiff: FAIL — %d regression(s) beyond %.0f%% (regenerate %s with -update only if the change is intentional)\n",
+			failures, *threshold, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: ok — %d benchmarks within %.0f%% of baseline\n", len(base.Benchmarks), *threshold)
+}
+
+// benchLine matches a standard testing.B result line: name, iteration
+// count, then value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.+)$`)
+
+// gomaxprocsSuffix is the trailing -N testing appends to benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts ns/op and allocs/op per normalized benchmark name,
+// collapsing repeated measurements (-count > 1) to their minimum.
+func parseBench(r io.Reader) (map[string]Measurement, error) {
+	out := map[string]Measurement{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		fields := strings.Fields(m[2])
+		var meas Measurement
+		seenNs := false
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				meas.NsPerOp = v
+				seenNs = true
+			case "allocs/op":
+				meas.AllocsPerOp = v
+				meas.HasAllocs = true
+			}
+		}
+		if !seenNs {
+			continue // custom-metric-only line
+		}
+		if prev, ok := out[name]; ok {
+			// Minimum across repeats: the least-noisy estimate.
+			if prev.NsPerOp < meas.NsPerOp {
+				meas.NsPerOp = prev.NsPerOp
+			}
+			if prev.HasAllocs && (!meas.HasAllocs || prev.AllocsPerOp < meas.AllocsPerOp) {
+				meas.AllocsPerOp = prev.AllocsPerOp
+				meas.HasAllocs = true
+			}
+		}
+		out[name] = meas
+	}
+	return out, sc.Err()
+}
+
+// diff renders the comparison table and counts gate failures. Every
+// baseline benchmark must be present in the current run — losing
+// coverage silently would defeat the gate; benchmarks absent from the
+// baseline are reported but do not fail (they will be picked up on the
+// next -update).
+func diff(base, current map[string]Measurement, thresholdPct, minNs float64) (string, int) {
+	var b strings.Builder
+	failures := 0
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base[name]
+		got, ok := current[name]
+		if !ok {
+			fmt.Fprintf(&b, "MISSING  %-58s baseline %.1f ns/op, not measured\n", name, want.NsPerOp)
+			failures++
+			continue
+		}
+		status := "ok     "
+		pct := 100 * (got.NsPerOp - want.NsPerOp) / want.NsPerOp
+		switch {
+		case want.NsPerOp < minNs && got.NsPerOp < minNs:
+			// Below the noise floor on both sides: ns/op is
+			// informational; the allocs gate below still applies.
+			status = "fast   "
+		case pct > thresholdPct:
+			status = "SLOWER "
+			failures++
+		}
+		fmt.Fprintf(&b, "%s  %-58s %12.1f -> %12.1f ns/op (%+6.1f%%)", status, name, want.NsPerOp, got.NsPerOp, pct)
+		if want.HasAllocs && got.HasAllocs {
+			switch {
+			case want.AllocsPerOp == 0 && got.AllocsPerOp > 0:
+				// A zero-alloc baseline is a guarantee, not a measurement.
+				fmt.Fprintf(&b, "  ALLOCS 0 -> %.0f allocs/op", got.AllocsPerOp)
+				failures++
+			case want.AllocsPerOp > 0 && 100*(got.AllocsPerOp-want.AllocsPerOp)/want.AllocsPerOp > thresholdPct:
+				fmt.Fprintf(&b, "  ALLOCS %.0f -> %.0f allocs/op", want.AllocsPerOp, got.AllocsPerOp)
+				failures++
+			default:
+				fmt.Fprintf(&b, "  allocs %.0f -> %.0f", want.AllocsPerOp, got.AllocsPerOp)
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	var extra []string
+	for name := range current {
+		if _, ok := base[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(&b, "new      %-58s %12.1f ns/op (not in baseline)\n", name, current[name].NsPerOp)
+	}
+	return b.String(), failures
+}
+
+func writeBaseline(path string, current map[string]Measurement) error {
+	base := Baseline{
+		Note: "Performance baseline for the CI perf gate (cmd/benchdiff). " +
+			"Regenerate after an intentional performance change with: " +
+			"go test -run '^$' -bench 'BenchmarkSchedPick|BenchmarkSchedSimEndToEnd' -benchmem . " +
+			"| go run ./cmd/benchdiff -baseline BENCH_baseline.json -update -",
+		Benchmarks: current,
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

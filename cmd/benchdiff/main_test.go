@@ -1,0 +1,128 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: some cpu
+BenchmarkSchedPickEASYSJBF/incremental-8         	35819911	        33.3 ns/op	         0 B/op	       0 allocs/op
+BenchmarkSchedPickEASYSJBF/incremental-8         	35819911	        31.1 ns/op	         0 B/op	       0 allocs/op
+BenchmarkSchedPickEASYSJBF/reference-8           	    1042	   1148276 ns/op	  163840 B/op	      21 allocs/op
+BenchmarkSchedSimEndToEnd/easy-sjbf-incremental-8	      10	 101000000 ns/op	 5000000 B/op	   60000 allocs/op
+BenchmarkTable1_KTHSP2-8	       1	1200000000 ns/op	        21.95 EASY-AVEbsld	        13.20 Clairvoyant-AVEbsld
+PASS
+ok  	repro	12.3s
+`
+
+func parsed(t *testing.T) map[string]Measurement {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBench(t *testing.T) {
+	m := parsed(t)
+	inc, ok := m["BenchmarkSchedPickEASYSJBF/incremental"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: keys %v", m)
+	}
+	if inc.NsPerOp != 31.1 {
+		t.Errorf("repeats not collapsed to min: ns/op = %v", inc.NsPerOp)
+	}
+	if !inc.HasAllocs || inc.AllocsPerOp != 0 {
+		t.Errorf("allocs/op misparsed: %+v", inc)
+	}
+	if ref := m["BenchmarkSchedPickEASYSJBF/reference"]; ref.AllocsPerOp != 21 {
+		t.Errorf("reference allocs = %v, want 21", ref.AllocsPerOp)
+	}
+	// The Table1 line carries custom metrics; its ns/op must still parse.
+	if tb := m["BenchmarkTable1_KTHSP2"]; tb.NsPerOp != 1.2e9 || tb.HasAllocs {
+		t.Errorf("custom-metric line misparsed: %+v", tb)
+	}
+}
+
+func TestDiffPasses(t *testing.T) {
+	m := parsed(t)
+	out, failures := diff(m, m, 25, 1000)
+	if failures != 0 {
+		t.Fatalf("self-diff failed:\n%s", out)
+	}
+}
+
+func TestDiffCatchesSlowdown(t *testing.T) {
+	base := parsed(t)
+	cur := parsed(t)
+	slow := cur["BenchmarkSchedPickEASYSJBF/reference"]
+	slow.NsPerOp *= 2 // the deliberate 2x slowdown the gate must catch
+	cur["BenchmarkSchedPickEASYSJBF/reference"] = slow
+	out, failures := diff(base, cur, 25, 1000)
+	if failures != 1 || !strings.Contains(out, "SLOWER") {
+		t.Fatalf("2x slowdown not caught (%d failures):\n%s", failures, out)
+	}
+	// 25% exactly is within threshold; 26% is not.
+	cur = parsed(t)
+	edge := cur["BenchmarkSchedPickEASYSJBF/reference"]
+	edge.NsPerOp = base["BenchmarkSchedPickEASYSJBF/reference"].NsPerOp * 1.24
+	cur["BenchmarkSchedPickEASYSJBF/reference"] = edge
+	if _, failures := diff(base, cur, 25, 1000); failures != 0 {
+		t.Error("24% slowdown failed a 25% threshold")
+	}
+}
+
+func TestDiffNoiseFloorSkipsNsGateOnly(t *testing.T) {
+	base := parsed(t)
+	cur := parsed(t)
+	// A nanosecond-scale benchmark doubling is clock noise across
+	// machines: no ns/op failure while it stays under the floor...
+	inc := cur["BenchmarkSchedPickEASYSJBF/incremental"]
+	inc.NsPerOp *= 2
+	cur["BenchmarkSchedPickEASYSJBF/incremental"] = inc
+	if out, failures := diff(base, cur, 25, 1000); failures != 0 {
+		t.Fatalf("sub-floor ns/op change failed the gate:\n%s", out)
+	}
+	// ...but crossing the floor is a real slowdown again.
+	inc.NsPerOp = 2000
+	cur["BenchmarkSchedPickEASYSJBF/incremental"] = inc
+	if out, failures := diff(base, cur, 25, 1000); failures != 1 || !strings.Contains(out, "SLOWER") {
+		t.Fatalf("above-floor slowdown not caught (%d failures):\n%s", failures, out)
+	}
+}
+
+func TestDiffZeroAllocBaselineIsAGuarantee(t *testing.T) {
+	base := parsed(t)
+	cur := parsed(t)
+	inc := cur["BenchmarkSchedPickEASYSJBF/incremental"]
+	inc.AllocsPerOp = 1
+	cur["BenchmarkSchedPickEASYSJBF/incremental"] = inc
+	out, failures := diff(base, cur, 25, 1000)
+	if failures != 1 || !strings.Contains(out, "ALLOCS 0 -> 1") {
+		t.Fatalf("0 -> 1 allocs/op not caught (%d failures):\n%s", failures, out)
+	}
+}
+
+func TestDiffMissingBenchmarkFails(t *testing.T) {
+	base := parsed(t)
+	cur := parsed(t)
+	delete(cur, "BenchmarkSchedPickEASYSJBF/reference")
+	out, failures := diff(base, cur, 25, 1000)
+	if failures != 1 || !strings.Contains(out, "MISSING") {
+		t.Fatalf("lost coverage not caught (%d failures):\n%s", failures, out)
+	}
+}
+
+func TestDiffNewBenchmarkIsNotAFailure(t *testing.T) {
+	base := parsed(t)
+	cur := parsed(t)
+	cur["BenchmarkBrandNew"] = Measurement{NsPerOp: 1}
+	out, failures := diff(base, cur, 25, 1000)
+	if failures != 0 || !strings.Contains(out, "not in baseline") {
+		t.Fatalf("new benchmark handled wrong (%d failures):\n%s", failures, out)
+	}
+}

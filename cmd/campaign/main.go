@@ -12,16 +12,30 @@
 //	campaign -jobs 3000 -figure 4       # just Figure 4 (Curie ECDFs)
 //	campaign -jobs 3000 -robustness     # disruption sweep
 //
+// Long campaigns are durable and cancellable: -out streams every
+// completed cell to an append-only JSONL result journal, Ctrl-C stops
+// the grid gracefully (in-flight simulations finish and are journaled),
+// and -resume reloads the journal on restart so only the missing cells
+// run — the final tables are identical to an uninterrupted run:
+//
+//	campaign -jobs 0 -out grid.jsonl            # interrupted with ^C...
+//	campaign -jobs 0 -out grid.jsonl -resume    # ...picks up where it left off
+//
 // Table/figure numbers follow the paper: tables 1, 6, 7, 8 and figures
 // 3, 4, 5. Progress and an ETA are reported on stderr while the grid
-// runs.
+// runs; -perf additionally prints the per-workload performance counters
+// (events, Pick calls, sim wall time) every cell records.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/campaign"
@@ -36,11 +50,38 @@ func main() {
 	figure := flag.Int("figure", 0, "print only this figure (3, 4 or 5; 0 = all)")
 	par := flag.Int("p", 0, "parallel simulations (0 = GOMAXPROCS)")
 	robustness := flag.Bool("robustness", false, "run the disruption sweep instead of the paper tables")
-	seed := flag.Uint64("seed", 1, "disruption-script seed for -robustness")
+	seed := flag.Uint64("seed", 1, "base seed: derives per-cell seeds, and the -robustness disruption scripts")
+	out := flag.String("out", "", "append every completed cell to this JSONL result journal")
+	resume := flag.Bool("resume", false, "skip cells already recorded in the -out journal")
+	perf := flag.Bool("perf", false, "print per-workload performance counters to stderr")
 	flag.Parse()
 
+	// Negative values used to be silently mapped to the defaults; they
+	// are almost certainly typos, so reject them loudly.
+	if *jobs < 0 {
+		usageError("-jobs must be >= 0 (0 = full Table-4 sizes), got %d", *jobs)
+	}
+	if *par < 0 {
+		usageError("-p must be >= 0 (0 = GOMAXPROCS), got %d", *par)
+	}
+	if *resume && *out == "" {
+		usageError("-resume requires -out (the journal to resume from)")
+	}
+
+	// Ctrl-C (or SIGTERM) cancels the grid gracefully: in-flight cells
+	// finish and are journaled, then the run reports how to resume.
+	// After the first signal the handler is unregistered, so a second
+	// Ctrl-C force-quits via the default disposition instead of being
+	// swallowed while in-flight cells drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	if *robustness {
-		runRobustness(*jobs, *par, *seed)
+		runRobustness(ctx, *jobs, *par, *seed, *out, *resume, *perf)
 		return
 	}
 
@@ -54,11 +95,23 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		c := &campaign.Campaign{Workloads: ws, Parallelism: *par, Progress: progressReporter("campaign")}
+		c := &campaign.Campaign{
+			Workloads:   ws,
+			Parallelism: *par,
+			Seed:        *seed,
+			Progress:    progressReporter("campaign"),
+		}
+		journal, done := openJournal(*out, *resume)
+		c.Journal = journal
+		c.Resume = done
 		fmt.Fprintf(os.Stderr, "campaign: running %d simulations (%d workloads x 130 triples)...\n", len(ws)*130, len(ws))
-		results, err = c.Run()
+		results, err = c.Run(ctx)
+		closeJournal(journal)
 		if err != nil {
-			fatal(err)
+			gridFailed(err, len(results), *out)
+		}
+		if *perf {
+			fmt.Fprintln(os.Stderr, report.PerfSummary(results))
 		}
 	}
 
@@ -104,7 +157,7 @@ func main() {
 	}
 }
 
-func runRobustness(jobs, par int, seed uint64) {
+func runRobustness(ctx context.Context, jobs, par int, seed uint64, out string, resume, perf bool) {
 	ws, err := campaign.DefaultWorkloads(jobs)
 	if err != nil {
 		fatal(err)
@@ -115,14 +168,88 @@ func runRobustness(jobs, par int, seed uint64) {
 		Parallelism: par,
 		Progress:    progressReporter("robustness"),
 	}
+	journal, done := openJournal(out, resume)
+	r.Journal = journal
+	r.Resume = done
 	triples, intensities := len(campaign.DefaultRobustnessTriples()), len(scenario.Intensities)
 	fmt.Fprintf(os.Stderr, "campaign: running %d disrupted simulations (%d workloads x %d triples x %d intensities)...\n",
 		len(ws)*triples*intensities, len(ws), triples, intensities)
-	results, err := r.Run()
+	results, err := r.Run(ctx)
+	closeJournal(journal)
+	if err != nil {
+		gridFailed(err, len(results), out)
+	}
+	if perf {
+		flat := make([]campaign.RunResult, len(results))
+		for i, res := range results {
+			flat[i] = res.RunResult
+		}
+		fmt.Fprintln(os.Stderr, report.PerfSummary(flat))
+	}
+	fmt.Println(report.RobustnessTable(results))
+}
+
+// openJournal opens the -out journal (if any) and loads the completed
+// cells of a previous run when -resume is set.
+func openJournal(out string, resume bool) (*campaign.Journal, map[string]campaign.CellRecord) {
+	if out == "" {
+		return nil, nil
+	}
+	var done map[string]campaign.CellRecord
+	if resume {
+		var dropped bool
+		var err error
+		done, dropped, err = campaign.LoadJournal(out)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// First run of an always-resume wrapper: nothing journaled
+			// yet is a fresh start, not a failure.
+			fmt.Fprintf(os.Stderr, "campaign: resume: no journal at %s yet, starting fresh\n", out)
+		case err != nil:
+			fatal(err)
+		default:
+			msg := fmt.Sprintf("campaign: resume: %d journaled cells loaded from %s", len(done), out)
+			if dropped {
+				msg += " (dropped a truncated final line)"
+			}
+			fmt.Fprintln(os.Stderr, msg)
+		}
+	}
+	j, err := campaign.OpenJournal(out)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println(report.RobustnessTable(results))
+	return j, done
+}
+
+func closeJournal(j *campaign.Journal) {
+	if j == nil {
+		return
+	}
+	if err := j.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign: journal:", err)
+	}
+}
+
+// gridFailed reports a cancelled or partially-failed grid and exits.
+// Completed cells are already in the journal (when -out is set), so the
+// message points at -resume.
+func gridFailed(err error, completed int, out string) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "campaign: interrupted after %d completed cells\n", completed)
+	} else {
+		fmt.Fprintf(os.Stderr, "campaign: %v (%d cells completed)\n", err, completed)
+	}
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "campaign: completed cells are journaled in %s; rerun with -resume to continue\n", out)
+	}
+	os.Exit(1)
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 // progressReporter returns a goroutine-safe Progress callback that

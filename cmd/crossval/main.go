@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,7 +29,7 @@ func main() {
 	}
 	c := &campaign.Campaign{Workloads: ws, Parallelism: *par}
 	fmt.Fprintf(os.Stderr, "crossval: running %d simulations...\n", len(ws)*130)
-	results, err := c.Run()
+	results, err := c.Run(context.Background())
 	if err != nil {
 		fatal(err)
 	}

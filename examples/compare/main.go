@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -37,7 +38,7 @@ func main() {
 	c := &campaign.Campaign{Workloads: []*trace.Workload{w}}
 	fmt.Printf("running the full 130-triple campaign on %s (%d jobs, %d procs)...\n\n",
 		w.Name, len(w.Jobs), w.MaxProcs)
-	results, err := c.Run()
+	results, err := c.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -84,7 +85,7 @@ func main() {
 	// --- Part 2: the robustness sweep ---------------------------------
 	fmt.Println("\nrunning the robustness sweep (randomized scripts, all intensities)...")
 	r := &campaign.Robustness{Workloads: []*trace.Workload{w}, Seed: 1}
-	results, err := r.Run()
+	results, err := r.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

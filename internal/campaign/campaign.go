@@ -6,10 +6,8 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -39,6 +37,8 @@ type RunResult struct {
 	// MAE and MeanELoss judge the submission-time predictions.
 	MAE       float64
 	MeanELoss float64
+	// Perf holds the simulation's performance counters.
+	Perf sim.Perf
 }
 
 // Campaign holds the workloads and triple set to evaluate.
@@ -50,11 +50,23 @@ type Campaign struct {
 	Triples []core.Triple
 	// Parallelism bounds concurrent simulations (defaults to GOMAXPROCS).
 	Parallelism int
-	// Progress, when non-nil, is called after every completed
-	// simulation with the number done so far and the grid total. It is
-	// invoked from worker goroutines and must be safe for concurrent
-	// use.
+	// Seed is the base seed each cell's deterministic seed is derived
+	// from (recorded in the journal; the undisrupted campaign itself is
+	// seed-independent).
+	Seed uint64
+	// Progress, when non-nil, is called after every settled cell
+	// (completed, failed, or skipped via Resume) with the number done
+	// so far and the grid total. It is invoked from worker goroutines
+	// and must be safe for concurrent use.
 	Progress func(done, total int)
+	// Journal, when non-nil, receives every completed cell as it
+	// finishes, making the grid durable: an interrupted run can be
+	// resumed from the journal without recomputing finished cells.
+	Journal *Journal
+	// Resume holds journaled cells from a previous run, keyed by
+	// CellRecord.Key (see LoadJournal). Matching cells are not re-run
+	// (or re-journaled); their recorded results are returned in place.
+	Resume map[string]CellRecord
 }
 
 // DefaultWorkloads generates the six paper presets scaled to jobsPerLog
@@ -75,52 +87,76 @@ func DefaultWorkloads(jobsPerLog int) ([]*trace.Workload, error) {
 	return out, nil
 }
 
-// Run executes the full grid. Simulations are independent, so they run on
-// a bounded worker pool; results are ordered (workload-major, triple-minor)
-// regardless of completion order, keeping reports deterministic.
-func (c *Campaign) Run() ([]RunResult, error) {
+// Run executes the full grid on the shared cancellable executor.
+// Results are ordered (workload-major, triple-minor) regardless of
+// completion order, keeping reports deterministic. Cancelling ctx stops
+// the grid gracefully after in-flight cells finish. On error — cell
+// failures or cancellation — Run returns every completed cell (still in
+// grid order) together with the joined error, so journaled progress and
+// partial results survive instead of being thrown away.
+func (c *Campaign) Run(ctx context.Context) ([]RunResult, error) {
 	triples := c.Triples
 	if len(triples) == 0 {
 		triples = core.CampaignTriples()
 	}
-	par := c.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	type task struct {
-		wi, ti int
-	}
-	tasks := make(chan task)
 	results := make([]RunResult, len(c.Workloads)*len(triples))
-	errs := make([]error, len(results))
-	var done atomic.Int64
-	var wg sync.WaitGroup
-	for k := 0; k < par; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for tk := range tasks {
-				idx := tk.wi*len(triples) + tk.ti
-				results[idx], errs[idx] = runOne(c.Workloads[tk.wi], triples[tk.ti], nil)
-				if c.Progress != nil {
-					c.Progress(int(done.Add(1)), len(results))
-				}
+	completed := make([]bool, len(results))
+
+	// Pre-fill cells a previous journaled run already finished.
+	keys := make([]string, len(results))
+	for wi, w := range c.Workloads {
+		for ti, tr := range triples {
+			i := wi*len(triples) + ti
+			keys[i] = CellRecord{
+				Kind: "campaign", Workload: w.Name, JobCount: len(w.Jobs),
+				Triple: tr.Name(), Seed: cellSeed(c.Seed, i),
+			}.Key()
+			if rec, ok := c.Resume[keys[i]]; ok {
+				results[i] = rec.runResult(tr)
+				completed[i] = true
 			}
-		}()
-	}
-	for wi := range c.Workloads {
-		for ti := range triples {
-			tasks <- task{wi, ti}
 		}
 	}
-	close(tasks)
-	wg.Wait()
-	for _, err := range errs {
+
+	g := grid{
+		total:       len(results),
+		parallelism: c.Parallelism,
+		seed:        c.Seed,
+		progress:    c.Progress,
+		skip:        func(i int) bool { return completed[i] },
+	}
+	err := g.run(ctx, func(i int, seed uint64) error {
+		wi, ti := i/len(triples), i%len(triples)
+		rr, err := runOne(c.Workloads[wi], triples[ti], nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = rr
+		completed[i] = true
+		if c.Journal != nil {
+			rec := newCellRecord("campaign", "", len(c.Workloads[wi].Jobs), rr, seed, 0, 0)
+			if jerr := c.Journal.Append(rec); jerr != nil {
+				return jerr
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return compact(results, completed), err
 	}
 	return results, nil
+}
+
+// compact keeps the completed cells of a partially-run grid, preserving
+// grid order.
+func compact[T any](results []T, completed []bool) []T {
+	out := results[:0]
+	for i, ok := range completed {
+		if ok {
+			out = append(out, results[i])
+		}
+	}
+	return out
 }
 
 // runOne simulates one (workload, triple) cell, optionally under a
@@ -146,6 +182,7 @@ func runOne(w *trace.Workload, tr core.Triple, script *scenario.Script) (RunResu
 		Canceled:    res.Canceled,
 		MAE:         metrics.MAE(res.Jobs),
 		MeanELoss:   metrics.MeanELoss(res.Jobs),
+		Perf:        res.Perf,
 	}, nil
 }
 

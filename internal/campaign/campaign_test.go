@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -44,7 +45,7 @@ func miniWorkloads(t *testing.T, jobs int, names ...string) []*trace.Workload {
 func TestCampaignRun(t *testing.T) {
 	ws := miniWorkloads(t, 400, "KTH-SP2", "CTC-SP2")
 	c := &Campaign{Workloads: ws, Triples: miniTriples()}
-	results, err := c.Run()
+	results, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,13 +65,13 @@ func TestCampaignRun(t *testing.T) {
 func TestCampaignResultOrderDeterministic(t *testing.T) {
 	ws := miniWorkloads(t, 300, "KTH-SP2")
 	c := &Campaign{Workloads: ws, Triples: miniTriples(), Parallelism: 4}
-	a, err := c.Run()
+	a, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Fresh workloads (the sim mutates job state in place).
 	c.Workloads = miniWorkloads(t, 300, "KTH-SP2")
-	b, err := c.Run()
+	b, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestCampaignResultOrderDeterministic(t *testing.T) {
 func TestScoreLookup(t *testing.T) {
 	ws := miniWorkloads(t, 300, "KTH-SP2")
 	c := &Campaign{Workloads: ws, Triples: []core.Triple{core.EASY()}}
-	results, err := c.Run()
+	results, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestScoreLookup(t *testing.T) {
 func TestByWorkload(t *testing.T) {
 	ws := miniWorkloads(t, 300, "KTH-SP2", "CTC-SP2")
 	c := &Campaign{Workloads: ws, Triples: []core.Triple{core.EASY(), core.EASYPlusPlus()}}
-	results, err := c.Run()
+	results, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestByWorkload(t *testing.T) {
 func TestLeaveOneOut(t *testing.T) {
 	ws := miniWorkloads(t, 400, "KTH-SP2", "CTC-SP2", "SDSC-SP2")
 	c := &Campaign{Workloads: ws, Triples: miniTriples()}
-	results, err := c.Run()
+	results, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestLeaveOneOut(t *testing.T) {
 func TestLeaveOneOutNeedsTwoWorkloads(t *testing.T) {
 	ws := miniWorkloads(t, 300, "KTH-SP2")
 	c := &Campaign{Workloads: ws, Triples: []core.Triple{core.EASY()}}
-	results, err := c.Run()
+	results, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,126 @@
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/sim"
+)
+
+// CellRecord is the journal form of one completed grid cell. It carries
+// everything a report needs (so a resumed campaign reproduces the exact
+// tables of an uninterrupted one) plus the run's performance counters,
+// keyed by enough identity — kind, workload, job count, intensity,
+// triple name and derived cell seed — that stale journals from a grid
+// run with different parameters can never be mistaken for progress.
+type CellRecord struct {
+	// Kind is "campaign" or "robustness".
+	Kind string `json:"kind"`
+	// Workload and JobCount identify the input trace.
+	Workload string `json:"workload"`
+	JobCount int    `json:"job_count"`
+	// Triple is the heuristic triple's canonical name.
+	Triple string `json:"triple"`
+	// Intensity is the disruption level (robustness cells only).
+	Intensity string `json:"intensity,omitempty"`
+	// Seed is the cell's deterministic derived seed. It is a pure
+	// function of the grid's base seed and the cell's position, so it
+	// doubles as a fingerprint of both in the cell key.
+	Seed uint64 `json:"seed"`
+
+	AVEbsld     float64 `json:"avebsld"`
+	MaxBsld     float64 `json:"max_bsld"`
+	MeanWait    float64 `json:"mean_wait"`
+	Utilization float64 `json:"utilization"`
+	Corrections int     `json:"corrections"`
+	Canceled    int     `json:"canceled"`
+	MAE         float64 `json:"mae"`
+	MeanELoss   float64 `json:"mean_eloss"`
+
+	// Drains and CancelEvents summarize the disruption script
+	// (robustness cells only).
+	Drains       int `json:"drains,omitempty"`
+	CancelEvents int `json:"cancel_events,omitempty"`
+
+	// Perf holds the simulation's performance counters, making every
+	// journal a performance record of the engine itself.
+	Perf sim.Perf `json:"perf"`
+}
+
+// Key returns the identity a resumed grid matches cells on.
+func (r CellRecord) Key() string {
+	return strings.Join([]string{
+		r.Kind, r.Workload, strconv.Itoa(r.JobCount), r.Intensity, r.Triple,
+		strconv.FormatUint(r.Seed, 16),
+	}, "|")
+}
+
+// newCellRecord journals one completed cell.
+func newCellRecord(kind, intensity string, jobCount int, rr RunResult, seed uint64, drains, cancels int) CellRecord {
+	return CellRecord{
+		Kind:      kind,
+		Workload:  rr.Workload,
+		JobCount:  jobCount,
+		Triple:    rr.Triple.Name(),
+		Intensity: intensity,
+		Seed:      seed,
+
+		AVEbsld:     rr.AVEbsld,
+		MaxBsld:     rr.MaxBsld,
+		MeanWait:    rr.MeanWait,
+		Utilization: rr.Utilization,
+		Corrections: rr.Corrections,
+		Canceled:    rr.Canceled,
+		MAE:         rr.MAE,
+		MeanELoss:   rr.MeanELoss,
+
+		Drains:       drains,
+		CancelEvents: cancels,
+		Perf:         rr.Perf,
+	}
+}
+
+// runResult reconstitutes the in-memory result, re-attaching the live
+// Triple value (interfaces do not survive JSON, so journals store the
+// canonical name and the resuming grid supplies the value).
+func (r CellRecord) runResult(tr core.Triple) RunResult {
+	return RunResult{
+		Workload:    r.Workload,
+		Triple:      tr,
+		AVEbsld:     r.AVEbsld,
+		MaxBsld:     r.MaxBsld,
+		MeanWait:    r.MeanWait,
+		Utilization: r.Utilization,
+		Corrections: r.Corrections,
+		Canceled:    r.Canceled,
+		MAE:         r.MAE,
+		MeanELoss:   r.MeanELoss,
+		Perf:        r.Perf,
+	}
+}
+
+// Journal is the result journal both grid harnesses append to.
+type Journal = journal.Writer[CellRecord]
+
+// OpenJournal opens (creating or appending to) a result journal.
+func OpenJournal(path string) (*Journal, error) {
+	return journal.OpenWriter[CellRecord](path)
+}
+
+// LoadJournal reads a result journal back as a Resume map keyed by
+// CellRecord.Key. A truncated final line (interrupted append) is
+// tolerated; dropped reports whether one was discarded.
+func LoadJournal(path string) (done map[string]CellRecord, dropped bool, err error) {
+	recs, stats, err := journal.Load[CellRecord](path)
+	if err != nil {
+		return nil, false, fmt.Errorf("campaign: %w", err)
+	}
+	done = make(map[string]CellRecord, len(recs))
+	for _, r := range recs {
+		done[r.Key()] = r
+	}
+	return done, stats.Dropped > 0, nil
+}

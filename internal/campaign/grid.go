@@ -1,0 +1,104 @@
+package campaign
+
+// This file holds the generic grid executor shared by the campaign and
+// robustness harnesses: one bounded worker pool that is cancellable,
+// derives a deterministic seed per cell, skips cells a previous
+// (journaled) run already completed, and — unlike the old per-harness
+// pools — survives individual cell failures, returning every completed
+// cell plus a joined error instead of throwing the whole grid away.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// grid describes one executor invocation. The zero value of every field
+// except total is usable.
+type grid struct {
+	// total is the number of cells.
+	total int
+	// parallelism bounds concurrent cells (<=0 means GOMAXPROCS).
+	parallelism int
+	// seed is the base seed every per-cell seed is derived from.
+	seed uint64
+	// progress, when non-nil, is called after every settled cell
+	// (completed, failed, or skipped-as-already-done) with the running
+	// count; it may be called from worker goroutines concurrently.
+	progress func(done, total int)
+	// skip, when non-nil, reports cells a previous run already
+	// completed; they are counted as done without invoking cell.
+	skip func(i int) bool
+}
+
+// cellSeed derives the deterministic seed of cell i from the base seed:
+// one SplitMix64 output of the base offset by the index (the same
+// finalizer internal/rng seeds its generators with). Cells get
+// statistically independent seeds, yet the mapping is a pure function
+// of (base, i), so an interrupted and resumed grid sees identical
+// seeds.
+func cellSeed(base uint64, i int) uint64 {
+	st := base + (uint64(i)+1)*0x9e3779b97f4a7c15
+	z := (st ^ (st >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// run executes cell(i, seed) for every non-skipped i on a bounded
+// worker pool. Cancellation of ctx stops dispatching new cells and is
+// reported in the returned error; cells that fail do not stop the rest
+// of the grid. The returned error joins every cell error (and the
+// context error, if any); nil means every cell settled successfully.
+func (g grid) run(ctx context.Context, cell func(i int, seed uint64) error) error {
+	par := g.parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	errs := make([]error, g.total)
+	var done atomic.Int64
+	settle := func(i int, err error) {
+		errs[i] = err
+		if g.progress != nil {
+			g.progress(int(done.Add(1)), g.total)
+		}
+	}
+
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < par; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				if ctx.Err() != nil {
+					// Canceled while queued: leave the cell unrun so a
+					// resume picks it up.
+					continue
+				}
+				settle(i, cell(i, cellSeed(g.seed, i)))
+			}
+		}()
+	}
+
+dispatch:
+	for i := 0; i < g.total; i++ {
+		if g.skip != nil && g.skip(i) {
+			settle(i, nil)
+			continue
+		}
+		select {
+		case tasks <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(tasks)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}

@@ -1,9 +1,7 @@
 package campaign
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/scenario"
@@ -38,9 +36,15 @@ type Robustness struct {
 	Seed uint64
 	// Parallelism bounds concurrent simulations (defaults to GOMAXPROCS).
 	Parallelism int
-	// Progress, when non-nil, is called after every completed
-	// simulation (concurrently; must be goroutine-safe).
+	// Progress, when non-nil, is called after every settled cell
+	// (concurrently; must be goroutine-safe).
 	Progress func(done, total int)
+	// Journal, when non-nil, receives every completed cell as it
+	// finishes (see Campaign.Journal).
+	Journal *Journal
+	// Resume holds journaled cells from a previous run, keyed by
+	// CellRecord.Key (see LoadJournal).
+	Resume map[string]CellRecord
 }
 
 // DefaultRobustnessTriples is the compact comparison set of the
@@ -57,9 +61,12 @@ func DefaultRobustnessTriples() []core.Triple {
 	}
 }
 
-// Run executes the grid. Results are ordered workload-major,
-// intensity-middle, triple-minor regardless of completion order.
-func (r *Robustness) Run() ([]RobustnessResult, error) {
+// Run executes the grid on the shared cancellable executor. Results are
+// ordered workload-major, intensity-middle, triple-minor regardless of
+// completion order. Cancelling ctx stops the grid gracefully; on error
+// Run returns every completed cell (in grid order) plus the joined
+// error — see Campaign.Run.
+func (r *Robustness) Run(ctx context.Context) ([]RobustnessResult, error) {
 	triples := r.Triples
 	if len(triples) == 0 {
 		triples = DefaultRobustnessTriples()
@@ -68,13 +75,13 @@ func (r *Robustness) Run() ([]RobustnessResult, error) {
 	if len(intensities) == 0 {
 		intensities = scenario.Intensities
 	}
-	par := r.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
 
 	// One script per (workload, intensity), shared by every triple in
 	// the cell so the disruption sequence is identical across policies.
+	// Script seeds derive from r.Seed exactly as before, independent of
+	// the per-cell grid seeds; cell keys still fingerprint r.Seed (via
+	// the derived cell seed), so a journal from a different -seed run
+	// can never satisfy a resume.
 	scripts := make([]*scenario.Script, len(r.Workloads)*len(intensities))
 	for wi, w := range r.Workloads {
 		for ii, in := range intensities {
@@ -83,47 +90,65 @@ func (r *Robustness) Run() ([]RobustnessResult, error) {
 		}
 	}
 
-	type task struct{ wi, ii, ti int }
-	tasks := make(chan task)
 	results := make([]RobustnessResult, len(r.Workloads)*len(intensities)*len(triples))
-	errs := make([]error, len(results))
-	var done atomic.Int64
-	var wg sync.WaitGroup
-	for k := 0; k < par; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for tk := range tasks {
-				idx := (tk.wi*len(intensities)+tk.ii)*len(triples) + tk.ti
-				script := scripts[tk.wi*len(intensities)+tk.ii]
-				run, err := runOne(r.Workloads[tk.wi], triples[tk.ti], script)
-				drains, _, cancels := script.Counts()
-				results[idx] = RobustnessResult{
-					RunResult:    run,
-					Intensity:    intensities[tk.ii].Name,
-					Drains:       drains,
-					CancelEvents: cancels,
-				}
-				errs[idx] = err
-				if r.Progress != nil {
-					r.Progress(int(done.Add(1)), len(results))
-				}
-			}
-		}()
+	completed := make([]bool, len(results))
+	split := func(i int) (wi, ii, ti int) {
+		ti = i % len(triples)
+		ii = (i / len(triples)) % len(intensities)
+		wi = i / (len(triples) * len(intensities))
+		return
 	}
-	for wi := range r.Workloads {
-		for ii := range intensities {
-			for ti := range triples {
-				tasks <- task{wi, ii, ti}
+	for i := range results {
+		wi, ii, ti := split(i)
+		key := CellRecord{
+			Kind: "robustness", Workload: r.Workloads[wi].Name,
+			JobCount: len(r.Workloads[wi].Jobs), Triple: triples[ti].Name(),
+			Intensity: intensities[ii].Name, Seed: cellSeed(r.Seed, i),
+		}.Key()
+		if rec, ok := r.Resume[key]; ok {
+			results[i] = RobustnessResult{
+				RunResult:    rec.runResult(triples[ti]),
+				Intensity:    rec.Intensity,
+				Drains:       rec.Drains,
+				CancelEvents: rec.CancelEvents,
 			}
+			completed[i] = true
 		}
 	}
-	close(tasks)
-	wg.Wait()
-	for _, err := range errs {
+
+	g := grid{
+		total:       len(results),
+		parallelism: r.Parallelism,
+		seed:        r.Seed,
+		progress:    r.Progress,
+		skip:        func(i int) bool { return completed[i] },
+	}
+	err := g.run(ctx, func(i int, seed uint64) error {
+		wi, ii, ti := split(i)
+		script := scripts[wi*len(intensities)+ii]
+		run, err := runOne(r.Workloads[wi], triples[ti], script)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		drains, _, cancels := script.Counts()
+		results[i] = RobustnessResult{
+			RunResult:    run,
+			Intensity:    intensities[ii].Name,
+			Drains:       drains,
+			CancelEvents: cancels,
+		}
+		completed[i] = true
+		if r.Journal != nil {
+			rec := newCellRecord("robustness", intensities[ii].Name,
+				len(r.Workloads[wi].Jobs), run, seed, drains, cancels)
+			if jerr := r.Journal.Append(rec); jerr != nil {
+				return jerr
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return compact(results, completed), err
 	}
 	return results, nil
 }

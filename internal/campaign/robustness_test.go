@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -12,7 +13,7 @@ func TestRobustnessRun(t *testing.T) {
 	ws := miniWorkloads(t, 300, "KTH-SP2")
 	triples := []core.Triple{core.EASY(), core.EASYPlusPlus(), core.ConservativeBF()}
 	r := &Robustness{Workloads: ws, Triples: triples, Seed: 11}
-	results, err := r.Run()
+	results, err := r.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestRobustnessRun(t *testing.T) {
 func TestRobustnessSharedScriptsAcrossTriples(t *testing.T) {
 	ws := miniWorkloads(t, 250, "CTC-SP2")
 	r := &Robustness{Workloads: ws, Triples: []core.Triple{core.EASY(), core.PaperBest()}, Seed: 3}
-	results, err := r.Run()
+	results, err := r.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestCampaignProgressCallback(t *testing.T) {
 			t.Errorf("total = %d, want %d", total, len(ws)*len(triples))
 		}
 	}}
-	if _, err := c.Run(); err != nil {
+	if _, err := c.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if calls != len(ws)*len(triples) || last != calls {

@@ -1,0 +1,135 @@
+// Package journal provides a durable, append-only JSONL result journal
+// for long-running experiment grids. Each record is one JSON object on
+// one line; a Writer appends records as they complete, and Load replays
+// them on restart so an interrupted campaign can resume where it left
+// off instead of recomputing finished cells.
+//
+// Durability model: appends go through a single write(2) on a file
+// opened with O_APPEND, serialized by a mutex, so concurrent workers
+// never interleave bytes within a line and a crash can only lose (or
+// truncate) the final record. Load is tolerant of exactly that failure
+// mode — an unparsable or unterminated final line is dropped and
+// reported in the stats rather than poisoning the whole journal.
+// Corruption anywhere else is a hard error: it means something other
+// than an interrupted append wrote to the file.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Writer appends records of type T to a JSONL journal file. It is safe
+// for concurrent use by multiple goroutines.
+type Writer[T any] struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenWriter opens (creating if necessary) the journal at path for
+// appending. An existing journal is never truncated — new records are
+// added after the old ones, which is what a resumed campaign wants.
+func OpenWriter[T any](path string) (*Writer[T], error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	return &Writer[T]{f: f, path: path}, nil
+}
+
+// Path returns the journal file path.
+func (w *Writer[T]) Path() string { return w.path }
+
+// Append marshals rec and appends it as one line. The line is written
+// with a single Write call so concurrent appends never interleave and a
+// crash mid-append leaves at most one truncated final line.
+func (w *Writer[T]) Append(rec T) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: marshal: %w", err)
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("journal: append to %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// Sync flushes the journal to stable storage.
+func (w *Writer[T]) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Sync()
+}
+
+// Close syncs and closes the journal file.
+func (w *Writer[T]) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// LoadStats describes what Load found.
+type LoadStats struct {
+	// Records is the number of records successfully decoded.
+	Records int
+	// Dropped is 1 if a truncated or corrupt final line was discarded,
+	// 0 otherwise.
+	Dropped int
+}
+
+// Load reads every record from the journal at path. A truncated or
+// corrupt final line — the signature of a run killed mid-append — is
+// dropped and counted in the stats; corruption before the final line is
+// an error. A missing file is an error the caller can detect with
+// errors.Is(err, os.ErrNotExist).
+func Load[T any](path string) ([]T, LoadStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, LoadStats{}, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+
+	var out []T
+	var stats LoadStats
+	r := bufio.NewReader(f)
+	for lineNo := 1; ; lineNo++ {
+		line, err := r.ReadBytes('\n')
+		atEOF := err == io.EOF
+		if err != nil && !atEOF {
+			return nil, LoadStats{}, fmt.Errorf("journal: read %s: %w", path, err)
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			var rec T
+			if jerr := json.Unmarshal(trimmed, &rec); jerr != nil {
+				if atEOF {
+					// Interrupted final append: tolerate and report.
+					stats.Dropped = 1
+					break
+				}
+				return nil, LoadStats{}, fmt.Errorf("journal: %s line %d: %w", path, lineNo, jerr)
+			}
+			// A parsable line without its terminating newline is still a
+			// complete record; keep it.
+			out = append(out, rec)
+			stats.Records++
+		}
+		if atEOF {
+			break
+		}
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,169 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type rec struct {
+	ID    int     `json:"id"`
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := OpenWriter[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []rec{{1, "a", 1.5}, {2, "b", 0.25}, {3, "c", 1e300}}
+	for _, r := range want {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := Load[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != len(want) || stats.Dropped != 0 {
+		t.Fatalf("stats = %+v, want %d records, 0 dropped", stats, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendToExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	for round := 0; round < 2; round++ {
+		w, err := OpenWriter[rec](path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(rec{ID: round}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := Load[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != 0 || got[1].ID != 1 {
+		t.Fatalf("reopened journal lost records: %+v", got)
+	}
+}
+
+func TestTruncatedFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := OpenWriter[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append(rec{ID: i, Name: "record"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill mid-append: chop the file partway through the
+	// final record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := Load[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || stats.Records != 2 || stats.Dropped != 1 {
+		t.Fatalf("got %d records (stats %+v), want 2 records, 1 dropped", len(got), stats)
+	}
+	for i, r := range got {
+		if r.ID != i || r.Name != "record" {
+			t.Fatalf("surviving record %d corrupted: %+v", i, r)
+		}
+	}
+}
+
+func TestFinalLineWithoutNewline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, []byte("{\"id\":1}\n{\"id\":2}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := Load[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || stats.Dropped != 0 {
+		t.Fatalf("complete-but-unterminated final record mishandled: %d records, stats %+v", len(got), stats)
+	}
+}
+
+func TestMidFileCorruptionIsAnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, []byte("{\"id\":1}\ngarbage\n{\"id\":2}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load[rec](path); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	_, _, err := Load[rec](filepath.Join(t.TempDir(), "absent.jsonl"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := OpenWriter[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := w.Append(rec{ID: i, Name: "concurrent-append-payload-padding"}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Load[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, r := range got {
+		seen[r.ID] = true
+	}
+	if len(got) != n || len(seen) != n {
+		t.Fatalf("concurrent appends lost or interleaved records: %d lines, %d distinct", len(got), len(seen))
+	}
+}

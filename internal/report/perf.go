@@ -1,0 +1,54 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/sim"
+)
+
+// PerfSummary renders the per-workload performance counters of a
+// campaign: simulations run, events processed, policy Pick calls,
+// aggregate simulation wall time and event throughput. Every campaign
+// carries these counters through its results (and journal), so the
+// summary doubles as a quick performance record of the engine on real
+// grids — the same quantities the CI perf gate tracks via benchmarks.
+func PerfSummary(results []campaign.RunResult) string {
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Workload\tsims\tevents\tPick calls\tsim wall\tMev/s\t")
+	var total sim.Perf
+	var totalSims int
+	row := func(name string, sims int, p sim.Perf) {
+		rate := 0.0
+		if p.WallNanos > 0 {
+			rate = float64(p.Events) / (float64(p.WallNanos) / 1e9) / 1e6
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%.2f\t\n",
+			name, sims, p.Events, p.PickCalls, p.Wall().Round(time.Millisecond), rate)
+	}
+	for _, name := range orderedWorkloads(results) {
+		var agg sim.Perf
+		sims := 0
+		for _, r := range results {
+			if r.Workload != name {
+				continue
+			}
+			sims++
+			agg.Events += r.Perf.Events
+			agg.PickCalls += r.Perf.PickCalls
+			agg.WallNanos += r.Perf.WallNanos
+		}
+		row(name, sims, agg)
+		totalSims += sims
+		total.Events += agg.Events
+		total.PickCalls += agg.PickCalls
+		total.WallNanos += agg.WallNanos
+	}
+	row("total", totalSims, total)
+	tw.Flush()
+	return "Performance counters (per workload):\n" + b.String()
+}

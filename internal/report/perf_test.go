@@ -1,0 +1,32 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestPerfSummary(t *testing.T) {
+	results := []campaign.RunResult{
+		{Workload: "KTH-SP2", Triple: core.EASY(), Perf: sim.Perf{Events: 1000, PickCalls: 500, WallNanos: 2e9}},
+		{Workload: "KTH-SP2", Triple: core.EASYPlusPlus(), Perf: sim.Perf{Events: 3000, PickCalls: 700, WallNanos: 1e9}},
+		{Workload: "Curie", Triple: core.EASY(), Perf: sim.Perf{Events: 10, PickCalls: 5, WallNanos: 1e6}},
+	}
+	out := PerfSummary(results)
+	for _, want := range []string{"KTH-SP2", "Curie", "total", "4000", "1205", "Pick calls"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// KTH-SP2 comes before Curie (Table-4 row order), and totals last.
+	if strings.Index(out, "KTH-SP2") > strings.Index(out, "Curie") {
+		t.Error("workloads out of Table-4 order")
+	}
+	// Zero wall time must not divide by zero.
+	if out := PerfSummary([]campaign.RunResult{{Workload: "X", Triple: core.EASY()}}); !strings.Contains(out, "0.00") {
+		t.Errorf("zero-wall summary malformed:\n%s", out)
+	}
+}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -36,7 +37,7 @@ func testResults(t *testing.T) []campaign.RunResult {
 		ws = append(ws, w)
 	}
 	c := &campaign.Campaign{Workloads: ws, Triples: triples}
-	results, err := c.Run()
+	results, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

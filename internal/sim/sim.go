@@ -26,6 +26,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/correct"
 	"repro/internal/eventq"
@@ -68,6 +69,27 @@ type CapacityStep struct {
 	Capacity int64
 }
 
+// Perf aggregates cheap per-run performance counters. They cost two
+// increments per event on the hot loop and one clock read per run, and
+// they turn every campaign into a performance record: carried through
+// campaign.RunResult into the result journal, they give CI and
+// operators a per-cell view of how much work the engine did and how
+// fast. Events and PickCalls are deterministic for a given (workload,
+// config); WallNanos is wall-clock and varies run to run.
+type Perf struct {
+	// Events is the number of events popped from the event queue.
+	Events int64 `json:"events"`
+	// PickCalls is the number of policy Pick invocations (the
+	// scheduler hot path).
+	PickCalls int64 `json:"pick_calls"`
+	// WallNanos is the wall-clock duration of the simulation in
+	// nanoseconds.
+	WallNanos int64 `json:"wall_nanos"`
+}
+
+// Wall returns the simulation wall time as a Duration.
+func (p Perf) Wall() time.Duration { return time.Duration(p.WallNanos) }
+
 // Result is the realized schedule of one simulation.
 type Result struct {
 	// Triple names the heuristic triple that produced the schedule.
@@ -92,6 +114,8 @@ type Result struct {
 	CapacitySteps []CapacityStep
 	// Makespan is the completion time of the last job.
 	Makespan int64
+	// Perf holds the run's performance counters.
+	Perf Perf
 }
 
 // payload is the event-queue payload: a job for job events, a processor
@@ -105,6 +129,7 @@ type payload struct {
 // an error only for structurally impossible inputs; scheduling-logic
 // violations (overbooking, double starts) panic, since they are bugs.
 func Run(w *trace.Workload, cfg Config) (*Result, error) {
+	wallStart := time.Now()
 	if cfg.Policy == nil || cfg.Predictor == nil {
 		return nil, fmt.Errorf("sim: policy and predictor are required")
 	}
@@ -178,6 +203,7 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 
 	schedulePass := func(now int64) {
 		for {
+			res.Perf.PickCalls++
 			next := cfg.Policy.Pick(now, machine, queue)
 			if next == nil {
 				return
@@ -210,6 +236,7 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 		if !ok {
 			break
 		}
+		res.Perf.Events++
 		now := ev.Time
 		j := ev.Payload.j
 		switch ev.Kind {
@@ -325,5 +352,6 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("sim: job %d never finished", j.ID)
 		}
 	}
+	res.Perf.WallNanos = time.Since(wallStart).Nanoseconds()
 	return res, nil
 }
