@@ -12,6 +12,18 @@
 //	campaign -jobs 3000 -figure 4       # just Figure 4 (Curie ECDFs)
 //	campaign -jobs 3000 -robustness     # disruption sweep
 //
+// Experiments can also be described declaratively: -spec runs the
+// experiment in a versioned spec file (workloads, triples, disruption
+// scenarios, grid dimensions, output settings — see specs/ for the
+// canonical paper grid, the robustness sweep and the nightly CI
+// campaign, and the README for the schema). Flags given alongside -spec
+// override the spec's fields; -validate parses and resolves a spec,
+// prints its shape, and exits without simulating:
+//
+//	campaign -spec specs/paper.yaml             # the paper grid
+//	campaign -spec specs/paper.yaml -jobs 500   # ...at reduced scale
+//	campaign -spec specs/nightly.yaml -validate # dry-run check
+//
 // Long campaigns are durable and cancellable: -out streams every
 // completed cell to an append-only JSONL result journal, Ctrl-C stops
 // the grid gracefully (in-flight simulations finish and are journaled),
@@ -34,13 +46,17 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/scenario"
+	"repro/internal/spec"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -54,6 +70,8 @@ func main() {
 	out := flag.String("out", "", "append every completed cell to this JSONL result journal")
 	resume := flag.Bool("resume", false, "skip cells already recorded in the -out journal")
 	perf := flag.Bool("perf", false, "print per-workload performance counters to stderr")
+	specPath := flag.String("spec", "", "run the experiment described by this spec file (see specs/ and the README schema); other flags override its fields")
+	validate := flag.Bool("validate", false, "with -spec: parse and resolve the spec, print its shape, and exit without simulating")
 	flag.Parse()
 
 	// Negative values used to be silently mapped to the defaults; they
@@ -64,8 +82,11 @@ func main() {
 	if *par < 0 {
 		usageError("-p must be >= 0 (0 = GOMAXPROCS), got %d", *par)
 	}
-	if *resume && *out == "" {
+	if *resume && *out == "" && *specPath == "" {
 		usageError("-resume requires -out (the journal to resume from)")
+	}
+	if *validate && *specPath == "" {
+		usageError("-validate requires -spec")
 	}
 
 	// Ctrl-C (or SIGTERM) cancels the grid gracefully: in-flight cells
@@ -80,60 +101,201 @@ func main() {
 		stop()
 	}()
 
-	if *robustness {
-		runRobustness(ctx, *jobs, *par, *seed, *out, *resume, *perf)
+	if *specPath != "" {
+		// Flags the user actually passed become the outermost override
+		// layer: flags > spec > include.
+		var ov spec.Overrides
+		tablesSet, figuresSet := false, false
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "jobs":
+				ov.Jobs = jobs
+			case "seed":
+				ov.Seed = seed
+			case "p":
+				ov.Parallelism = par
+			case "out":
+				ov.Journal = out
+			case "resume":
+				ov.Resume = resume
+			case "perf":
+				ov.Perf = perf
+			case "table":
+				if *table != 0 {
+					ov.Tables = []int{*table}
+				}
+				tablesSet = true
+			case "figure":
+				if *figure != 0 {
+					ov.Figures = []int{*figure}
+				}
+				figuresSet = true
+			case "robustness":
+				usageError("-robustness conflicts with -spec (the spec's kind decides the grid)")
+			}
+		})
+		runSpec(ctx, *specPath, *validate, ov, tablesSet, figuresSet)
 		return
 	}
 
-	wantTable := func(n int) bool { return (*table == 0 && *figure == 0) || *table == n }
-	wantFigure := func(n int) bool { return (*table == 0 && *figure == 0) || *figure == n }
+	if *robustness {
+		r := &campaign.Robustness{Seed: *seed, Parallelism: *par}
+		runRobustnessGrids(ctx, []*campaign.Robustness{r}, *jobs, nil, *out, *resume, *perf)
+		return
+	}
 
-	needCampaign := wantTable(1) || wantTable(6) || wantTable(7) || wantFigure(3)
+	var tables, figures []int
+	if *table != 0 {
+		tables = []int{*table}
+	}
+	if *figure != 0 {
+		figures = []int{*figure}
+	}
+	if *table == 0 && *figure == 0 {
+		tables, figures = allTables, allFigures
+	}
+	c := &campaign.Campaign{Seed: *seed, Parallelism: *par}
+	runCampaignGrid(ctx, c, nil, *jobs, tables, figures, *out, *resume, *perf)
+}
+
+var (
+	allTables  = []int{1, 6, 7, 8}
+	allFigures = []int{3, 4, 5}
+)
+
+// runSpec loads a spec, applies the flag overrides, and dispatches to
+// the kind's grid runner — or just prints the resolved shape under
+// -validate.
+func runSpec(ctx context.Context, path string, validateOnly bool, ov spec.Overrides, tablesSet, figuresSet bool) {
+	s, err := spec.Load(path)
+	if err != nil {
+		fatal(err)
+	}
+	s.Apply(ov)
+	if s.Output.Resume && s.Output.Journal == "" {
+		usageError("resume needs a journal: set output.journal in the spec or pass -out")
+	}
+	// -table/-figure are selections, not additions: naming one
+	// suppresses the spec's other axis, exactly as in flag-only mode.
+	if tablesSet && !figuresSet {
+		s.Output.Figures = nil
+	}
+	if figuresSet && !tablesSet {
+		s.Output.Tables = nil
+	}
+
+	if validateOnly {
+		printSpecShape(s)
+		return
+	}
+
+	ws, err := s.GenerateWorkloads()
+	if err != nil {
+		fatal(err)
+	}
+	o := s.Output
+	switch s.Kind {
+	case "robustness":
+		grids := make([]*campaign.Robustness, s.Repeats)
+		for r := range grids {
+			grids[r] = s.Robustness(ws, r)
+		}
+		runRobustnessGrids(ctx, grids, -1, ws, o.Journal, o.Resume, o.Perf)
+	default:
+		tables, figures := o.Tables, o.Figures
+		if len(tables) == 0 && len(figures) == 0 {
+			tables, figures = allTables, allFigures
+		}
+		c := s.Campaign(ws)
+		runCampaignGrid(ctx, c, ws, s.Jobs, tables, figures, o.Journal, o.Resume, o.Perf)
+	}
+}
+
+// printSpecShape is the -validate dry run: the spec resolved and
+// summarized, with nothing simulated.
+func printSpecShape(s *spec.Spec) {
+	cfgs, err := s.WorkloadConfigs()
+	if err != nil {
+		fatal(err)
+	}
+	names := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		names[i] = fmt.Sprintf("%s(%d jobs)", cfg.Name, cfg.Jobs)
+	}
+	fmt.Printf("spec %s: OK\n", s.Path)
+	fmt.Printf("  kind        %s\n", s.Kind)
+	fmt.Printf("  seed        %d\n", s.Seed)
+	fmt.Printf("  workloads   %d: %s\n", len(cfgs), strings.Join(names, ", "))
+	fmt.Printf("  triples     %d\n", s.TripleCount())
+	if s.Kind == "robustness" {
+		fmt.Printf("  scenarios   %d\n", s.ScenarioCount())
+		fmt.Printf("  repeats     %d\n", s.Repeats)
+	}
+	fmt.Printf("  grid        %d cells\n", len(cfgs)*s.TripleCount()*s.ScenarioCount()*s.Repeats)
+	if s.Output.Journal != "" {
+		mode := ""
+		if s.Output.Resume {
+			mode = " (resume)"
+		}
+		fmt.Printf("  journal     %s%s\n", s.Output.Journal, mode)
+	}
+}
+
+// runCampaignGrid runs the paper-table campaign (generating the default
+// workloads when ws is nil) and renders the selected tables and
+// figures. jobs is the preset scaling, used for default workloads and
+// for the Curie prediction series of Table 8 / Figures 4-5.
+func runCampaignGrid(ctx context.Context, c *campaign.Campaign, ws []*trace.Workload, jobs int, tables, figures []int, out string, resume, perf bool) {
+	needGrid := hasAny(tables, 1, 6, 7) || hasAny(figures, 3)
 	var results []campaign.RunResult
-	if needCampaign {
-		ws, err := campaign.DefaultWorkloads(*jobs)
-		if err != nil {
-			fatal(err)
+	if needGrid {
+		if ws == nil {
+			var err error
+			ws, err = campaign.DefaultWorkloads(jobs)
+			if err != nil {
+				fatal(err)
+			}
 		}
-		c := &campaign.Campaign{
-			Workloads:   ws,
-			Parallelism: *par,
-			Seed:        *seed,
-			Progress:    progressReporter("campaign"),
-		}
-		journal, done := openJournal(*out, *resume)
+		c.Workloads = ws
+		c.Progress = progressReporter("campaign")
+		journal, done := openJournal(out, resume)
 		c.Journal = journal
 		c.Resume = done
-		fmt.Fprintf(os.Stderr, "campaign: running %d simulations (%d workloads x 130 triples)...\n", len(ws)*130, len(ws))
+		ntr := len(c.Triples)
+		if ntr == 0 {
+			ntr = len(core.CampaignTriples())
+		}
+		fmt.Fprintf(os.Stderr, "campaign: running %d simulations (%d workloads x %d triples)...\n", len(ws)*ntr, len(ws), ntr)
+		var err error
 		results, err = c.Run(ctx)
 		closeJournal(journal)
 		if err != nil {
-			gridFailed(err, len(results), *out)
+			gridFailed(err, len(results), out)
 		}
-		if *perf {
+		if perf {
 			fmt.Fprintln(os.Stderr, report.PerfSummary(results))
 		}
 	}
 
-	if wantTable(1) {
+	if hasAny(tables, 1) {
 		fmt.Println(report.Table1(results))
 	}
-	if wantTable(6) {
+	if hasAny(tables, 6) {
 		fmt.Println(report.Table6(results))
 	}
-	if wantTable(7) {
+	if hasAny(tables, 7) {
 		cv, err := campaign.LeaveOneOut(results)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(report.Table7(cv, results))
 	}
-	if wantFigure(3) {
+	if hasAny(figures, 3) {
 		fmt.Println(report.Figure3(results, "SDSC-BLUE", "Metacentrum"))
 	}
 
-	if wantTable(8) || wantFigure(4) || wantFigure(5) {
-		cfg, err := workload.Scaled("Curie", *jobs)
+	if hasAny(tables, 8) || hasAny(figures, 4, 5) {
+		cfg, err := workload.Scaled("Curie", jobs)
 		if err != nil {
 			fatal(err)
 		}
@@ -145,48 +307,81 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if wantTable(8) {
+		if hasAny(tables, 8) {
 			fmt.Println(report.Table8(series))
 		}
-		if wantFigure(4) {
+		if hasAny(figures, 4) {
 			fmt.Println(report.Figure4(series))
 		}
-		if wantFigure(5) {
+		if hasAny(figures, 5) {
 			fmt.Println(report.Figure5(series))
 		}
 	}
 }
 
-func runRobustness(ctx context.Context, jobs, par int, seed uint64, out string, resume, perf bool) {
-	ws, err := campaign.DefaultWorkloads(jobs)
+// runRobustnessGrids runs one disruption sweep per repeat (sharing the
+// journal), cell-averages them, and renders the robustness table. When
+// ws is nil the default preset workloads are generated at the given
+// jobs scaling.
+func runRobustnessGrids(ctx context.Context, grids []*campaign.Robustness, jobs int, ws []*trace.Workload, out string, resume, perf bool) {
+	if ws == nil {
+		var err error
+		ws, err = campaign.DefaultWorkloads(jobs)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	journal, done := openJournal(out, resume)
+	triples := len(grids[0].Triples)
+	if triples == 0 {
+		triples = len(campaign.DefaultRobustnessTriples())
+	}
+	cols := len(grids[0].Scenarios)
+	if cols == 0 {
+		cols = len(scenario.Intensities)
+	}
+	total := len(ws) * triples * cols * len(grids)
+	fmt.Fprintf(os.Stderr, "campaign: running %d disrupted simulations (%d workloads x %d triples x %d scenarios x %d repeats)...\n",
+		total, len(ws), triples, cols, len(grids))
+
+	var runs [][]campaign.RobustnessResult
+	var flat []campaign.RunResult
+	for i, r := range grids {
+		r.Workloads = ws
+		r.Journal = journal
+		r.Resume = done
+		r.Progress = progressReporter(fmt.Sprintf("robustness %d/%d", i+1, len(grids)))
+		results, err := r.Run(ctx)
+		if err != nil {
+			closeJournal(journal)
+			gridFailed(err, len(results), out)
+		}
+		runs = append(runs, results)
+		for _, res := range results {
+			flat = append(flat, res.RunResult)
+		}
+	}
+	closeJournal(journal)
+	if perf {
+		fmt.Fprintln(os.Stderr, report.PerfSummary(flat))
+	}
+	merged, err := campaign.AverageRobustness(runs)
 	if err != nil {
 		fatal(err)
 	}
-	r := &campaign.Robustness{
-		Workloads:   ws,
-		Seed:        seed,
-		Parallelism: par,
-		Progress:    progressReporter("robustness"),
-	}
-	journal, done := openJournal(out, resume)
-	r.Journal = journal
-	r.Resume = done
-	triples, intensities := len(campaign.DefaultRobustnessTriples()), len(scenario.Intensities)
-	fmt.Fprintf(os.Stderr, "campaign: running %d disrupted simulations (%d workloads x %d triples x %d intensities)...\n",
-		len(ws)*triples*intensities, len(ws), triples, intensities)
-	results, err := r.Run(ctx)
-	closeJournal(journal)
-	if err != nil {
-		gridFailed(err, len(results), out)
-	}
-	if perf {
-		flat := make([]campaign.RunResult, len(results))
-		for i, res := range results {
-			flat[i] = res.RunResult
+	fmt.Println(report.RobustnessTable(merged))
+}
+
+// hasAny reports whether the selection contains any of the wanted ids.
+func hasAny(selected []int, wanted ...int) bool {
+	for _, s := range selected {
+		for _, w := range wanted {
+			if s == w {
+				return true
+			}
 		}
-		fmt.Fprintln(os.Stderr, report.PerfSummary(flat))
 	}
-	fmt.Println(report.RobustnessTable(results))
+	return false
 }
 
 // openJournal opens the -out journal (if any) and loads the completed

@@ -1,17 +1,24 @@
 // Command gentrace generates a synthetic SWF workload from one of the
 // Table-4 presets (or a custom size) and writes it to stdout or a file.
+// With -spec it instead materializes every workload of an experiment
+// spec file (see specs/ and the README schema) — including inline
+// custom generator configs no preset flag can express.
 //
 // Usage:
 //
 //	gentrace -preset Curie -jobs 5000 -o curie.swf
 //	gentrace -preset KTH-SP2 -stats
+//	gentrace -spec specs/ci-smoke.yaml -o traces/   # one .swf per workload
+//	gentrace -spec specs/nightly.yaml -stats
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"repro/internal/spec"
 	"repro/internal/swf"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -21,39 +28,112 @@ func main() {
 	preset := flag.String("preset", "KTH-SP2", "workload preset (one of "+fmt.Sprint(workload.PresetNames())+")")
 	jobs := flag.Int("jobs", 0, "scale the preset down to this many jobs (0 = full Table-4 size)")
 	seed := flag.Uint64("seed", 0, "override the preset's deterministic seed (0 = keep)")
-	out := flag.String("o", "", "output SWF path (default stdout)")
+	out := flag.String("o", "", "output SWF path (default stdout); with a multi-workload -spec, a directory")
 	stats := flag.Bool("stats", false, "print workload statistics instead of the trace")
+	specPath := flag.String("spec", "", "generate the workloads of this experiment spec instead of -preset")
 	flag.Parse()
 
-	cfg, err := workload.Scaled(*preset, *jobs)
+	cfgs := resolveConfigs(*specPath, *preset, *jobs, *seed)
+
+	if *stats {
+		for i, cfg := range cfgs {
+			if i > 0 {
+				fmt.Println()
+			}
+			printStats(generate(cfg))
+		}
+		return
+	}
+
+	// With -spec, -o is always a directory (one .swf per workload), no
+	// matter how many workloads the spec resolves to — so a script does
+	// not break when the spec's workload list shrinks to one. Without
+	// -spec, -o stays a single file path as before.
+	if *specPath == "" {
+		writeTrace(generate(cfgs[0]), *out)
+		return
+	}
+	if *out == "" {
+		if len(cfgs) == 1 {
+			writeTrace(generate(cfgs[0]), "")
+			return
+		}
+		fatal(fmt.Errorf("the spec has %d workloads; pass -o DIR to write one .swf per workload", len(cfgs)))
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, cfg := range cfgs {
+		path := filepath.Join(*out, cfg.Name+".swf")
+		writeTrace(generate(cfg), path)
+		fmt.Fprintf(os.Stderr, "gentrace: wrote %s (%d jobs)\n", path, cfg.Jobs)
+	}
+}
+
+// resolveConfigs turns the flags — or the spec, with flags as overrides
+// — into the list of generator configurations to materialize.
+func resolveConfigs(specPath, preset string, jobs int, seed uint64) []workload.Config {
+	if specPath == "" {
+		cfg, err := workload.Scaled(preset, jobs)
+		if err != nil {
+			fatal(err)
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return []workload.Config{cfg}
+	}
+	s, err := spec.Load(specPath)
 	if err != nil {
 		fatal(err)
 	}
-	if *seed != 0 {
-		cfg.Seed = *seed
+	var ov spec.Overrides
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "jobs":
+			ov.Jobs = &jobs
+		case "preset":
+			fatal(fmt.Errorf("-preset conflicts with -spec (the spec lists its workloads)"))
+		}
+	})
+	s.Apply(ov)
+	cfgs, err := s.WorkloadConfigs()
+	if err != nil {
+		fatal(err)
 	}
+	if seed != 0 {
+		for i := range cfgs {
+			cfgs[i].Seed = seed
+		}
+	}
+	return cfgs
+}
+
+func generate(cfg workload.Config) *trace.Workload {
 	w, err := workload.Generate(cfg)
 	if err != nil {
 		fatal(err)
 	}
+	return w
+}
 
-	if *stats {
-		s := trace.ComputeStats(w)
-		fmt.Printf("workload      %s\n", s.Name)
-		fmt.Printf("machine       %d processors\n", s.MaxProcs)
-		fmt.Printf("jobs          %d\n", s.Jobs)
-		fmt.Printf("users         %d\n", s.Users)
-		fmt.Printf("duration      %d s (%.1f days)\n", s.DurationSec, float64(s.DurationSec)/86400)
-		fmt.Printf("offered load  %.2f\n", s.OfferedLoad)
-		fmt.Printf("mean runtime  %.0f s (median %d s)\n", s.MeanRunTime, s.MedianRunTime)
-		fmt.Printf("mean request  %.0f s (mean over-estimation %.1fx)\n", s.MeanRequested, s.MeanOverestim)
-		fmt.Printf("mean width    %.1f procs (max %d)\n", s.MeanProcsPerJob, s.MaxProcsPerJob)
-		return
-	}
+func printStats(w *trace.Workload) {
+	s := trace.ComputeStats(w)
+	fmt.Printf("workload      %s\n", s.Name)
+	fmt.Printf("machine       %d processors\n", s.MaxProcs)
+	fmt.Printf("jobs          %d\n", s.Jobs)
+	fmt.Printf("users         %d\n", s.Users)
+	fmt.Printf("duration      %d s (%.1f days)\n", s.DurationSec, float64(s.DurationSec)/86400)
+	fmt.Printf("offered load  %.2f\n", s.OfferedLoad)
+	fmt.Printf("mean runtime  %.0f s (median %d s)\n", s.MeanRunTime, s.MedianRunTime)
+	fmt.Printf("mean request  %.0f s (mean over-estimation %.1fx)\n", s.MeanRequested, s.MeanOverestim)
+	fmt.Printf("mean width    %.1f procs (max %d)\n", s.MeanProcsPerJob, s.MaxProcsPerJob)
+}
 
+func writeTrace(w *trace.Workload, out string) {
 	dst := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
 			fatal(err)
 		}

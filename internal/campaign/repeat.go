@@ -1,0 +1,75 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// AverageRobustness merges repeated robustness sweeps — the same grid
+// run under different base seeds, so each repeat faces freshly drawn
+// disruption scripts — into one cell-averaged result set, the variance
+// reduction a spec's `repeats:` dimension asks for. Every run must have
+// the same shape (same workloads, scenario columns and triples in the
+// same order); cells are matched positionally and that identity is
+// verified. Quality metrics (AVEbsld, MaxBsld, MeanWait, Utilization,
+// MAE, MeanELoss) are arithmetic means; event counts (Corrections,
+// Canceled, Drains, CancelEvents) are rounded means, so the report
+// footers read as "per-repeat" volumes; Perf counters are summed — the
+// merged set is also the performance record of all the work actually
+// done.
+func AverageRobustness(runs [][]RobustnessResult) ([]RobustnessResult, error) {
+	if len(runs) == 0 {
+		return nil, nil
+	}
+	base := runs[0]
+	for r, run := range runs[1:] {
+		if len(run) != len(base) {
+			return nil, fmt.Errorf("campaign: repeat %d has %d cells, repeat 0 has %d", r+1, len(run), len(base))
+		}
+	}
+	out := make([]RobustnessResult, len(base))
+	n := float64(len(runs))
+	for i := range base {
+		// acc keeps the cell's identity fields from repeat 0; every
+		// metric is zeroed and re-accumulated over all repeats.
+		acc := base[i]
+		name := acc.Triple.Name()
+		acc.AVEbsld, acc.MaxBsld, acc.MeanWait, acc.Utilization, acc.MAE, acc.MeanELoss = 0, 0, 0, 0, 0, 0
+		acc.Perf = sim.Perf{}
+		var corrections, canceled, drains, cancelEvents float64
+		for _, run := range runs {
+			c := run[i]
+			if c.Workload != base[i].Workload || c.Intensity != base[i].Intensity || c.Triple.Name() != name {
+				return nil, fmt.Errorf("campaign: repeats disagree at cell %d: %s/%s/%s vs %s/%s/%s",
+					i, base[i].Workload, base[i].Intensity, name, c.Workload, c.Intensity, c.Triple.Name())
+			}
+			acc.AVEbsld += c.AVEbsld
+			acc.MaxBsld += c.MaxBsld
+			acc.MeanWait += c.MeanWait
+			acc.Utilization += c.Utilization
+			acc.MAE += c.MAE
+			acc.MeanELoss += c.MeanELoss
+			acc.Perf.Events += c.Perf.Events
+			acc.Perf.PickCalls += c.Perf.PickCalls
+			acc.Perf.WallNanos += c.Perf.WallNanos
+			corrections += float64(c.Corrections)
+			canceled += float64(c.Canceled)
+			drains += float64(c.Drains)
+			cancelEvents += float64(c.CancelEvents)
+		}
+		acc.AVEbsld /= n
+		acc.MaxBsld /= n
+		acc.MeanWait /= n
+		acc.Utilization /= n
+		acc.MAE /= n
+		acc.MeanELoss /= n
+		acc.Corrections = int(math.Round(corrections / n))
+		acc.Canceled = int(math.Round(canceled / n))
+		acc.Drains = int(math.Round(drains / n))
+		acc.CancelEvents = int(math.Round(cancelEvents / n))
+		out[i] = acc
+	}
+	return out, nil
+}

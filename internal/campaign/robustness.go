@@ -19,9 +19,34 @@ type RobustnessResult struct {
 	CancelEvents int
 }
 
+// Scenario is one column of the robustness grid. A column is either a
+// generated disruption level — a scenario.Intensity, from which one
+// deterministic script is derived per workload — or a fixed
+// scenario.Script replayed identically on every workload (how spec
+// files express inline event scripts). Either way every triple within a
+// (workload, column) cell faces the same disruption sequence, keeping
+// the column comparable across policies.
+type Scenario struct {
+	// Intensity generates the column's per-workload scripts when Script
+	// is nil. Custom levels beyond the named scenario.Intensities ladder
+	// are allowed; Intensity.Name labels the column.
+	Intensity scenario.Intensity
+	// Script, when non-nil, is the column's fixed disruption script,
+	// shared verbatim by every workload. Its Name labels the column.
+	Script *scenario.Script
+}
+
+// Name returns the column label used in results and journal keys.
+func (s Scenario) Name() string {
+	if s.Script != nil {
+		return s.Script.Name
+	}
+	return s.Intensity.Name
+}
+
 // Robustness is the disruption-sweep harness: it runs every triple over
-// every workload under every disruption intensity, with one shared
-// deterministic script per (workload, intensity) pair so triples stay
+// every workload under every disruption scenario column, with one shared
+// deterministic script per (workload, column) pair so triples stay
 // comparable within a column.
 type Robustness struct {
 	// Workloads are the inputs.
@@ -29,8 +54,10 @@ type Robustness struct {
 	// Triples is the heuristic-triple set (defaults to
 	// DefaultRobustnessTriples when empty).
 	Triples []core.Triple
-	// Intensities is the disruption ladder (defaults to
-	// scenario.Intensities when empty).
+	// Scenarios are the grid's columns. Empty falls back to Intensities.
+	Scenarios []Scenario
+	// Intensities is the disruption ladder used when Scenarios is empty
+	// (defaults to scenario.Intensities when both are empty).
 	Intensities []scenario.Intensity
 	// Seed drives the deterministic script generation.
 	Seed uint64
@@ -71,31 +98,42 @@ func (r *Robustness) Run(ctx context.Context) ([]RobustnessResult, error) {
 	if len(triples) == 0 {
 		triples = DefaultRobustnessTriples()
 	}
-	intensities := r.Intensities
-	if len(intensities) == 0 {
-		intensities = scenario.Intensities
-	}
-
-	// One script per (workload, intensity), shared by every triple in
-	// the cell so the disruption sequence is identical across policies.
-	// Script seeds derive from r.Seed exactly as before, independent of
-	// the per-cell grid seeds; cell keys still fingerprint r.Seed (via
-	// the derived cell seed), so a journal from a different -seed run
-	// can never satisfy a resume.
-	scripts := make([]*scenario.Script, len(r.Workloads)*len(intensities))
-	for wi, w := range r.Workloads {
-		for ii, in := range intensities {
-			seed := r.Seed ^ (uint64(wi)*0x9e3779b97f4a7c15 + uint64(ii)*0xbf58476d1ce4e5b9)
-			scripts[wi*len(intensities)+ii] = scenario.Generate(w, in, seed)
+	scenarios := r.Scenarios
+	if len(scenarios) == 0 {
+		intensities := r.Intensities
+		if len(intensities) == 0 {
+			intensities = scenario.Intensities
+		}
+		scenarios = make([]Scenario, len(intensities))
+		for i, in := range intensities {
+			scenarios[i] = Scenario{Intensity: in}
 		}
 	}
 
-	results := make([]RobustnessResult, len(r.Workloads)*len(intensities)*len(triples))
+	// One script per (workload, column), shared by every triple in the
+	// cell so the disruption sequence is identical across policies.
+	// Generated-column script seeds derive from r.Seed exactly as
+	// before, independent of the per-cell grid seeds; cell keys still
+	// fingerprint r.Seed (via the derived cell seed), so a journal from
+	// a different -seed run can never satisfy a resume.
+	scripts := make([]*scenario.Script, len(r.Workloads)*len(scenarios))
+	for wi, w := range r.Workloads {
+		for ii, sc := range scenarios {
+			if sc.Script != nil {
+				scripts[wi*len(scenarios)+ii] = sc.Script
+				continue
+			}
+			seed := r.Seed ^ (uint64(wi)*0x9e3779b97f4a7c15 + uint64(ii)*0xbf58476d1ce4e5b9)
+			scripts[wi*len(scenarios)+ii] = scenario.Generate(w, sc.Intensity, seed)
+		}
+	}
+
+	results := make([]RobustnessResult, len(r.Workloads)*len(scenarios)*len(triples))
 	completed := make([]bool, len(results))
 	split := func(i int) (wi, ii, ti int) {
 		ti = i % len(triples)
-		ii = (i / len(triples)) % len(intensities)
-		wi = i / (len(triples) * len(intensities))
+		ii = (i / len(triples)) % len(scenarios)
+		wi = i / (len(triples) * len(scenarios))
 		return
 	}
 	for i := range results {
@@ -103,7 +141,7 @@ func (r *Robustness) Run(ctx context.Context) ([]RobustnessResult, error) {
 		key := CellRecord{
 			Kind: "robustness", Workload: r.Workloads[wi].Name,
 			JobCount: len(r.Workloads[wi].Jobs), Triple: triples[ti].Name(),
-			Intensity: intensities[ii].Name, Seed: cellSeed(r.Seed, i),
+			Intensity: scenarios[ii].Name(), Seed: cellSeed(r.Seed, i),
 		}.Key()
 		if rec, ok := r.Resume[key]; ok {
 			results[i] = RobustnessResult{
@@ -125,7 +163,7 @@ func (r *Robustness) Run(ctx context.Context) ([]RobustnessResult, error) {
 	}
 	err := g.run(ctx, func(i int, seed uint64) error {
 		wi, ii, ti := split(i)
-		script := scripts[wi*len(intensities)+ii]
+		script := scripts[wi*len(scenarios)+ii]
 		run, err := runOne(r.Workloads[wi], triples[ti], script)
 		if err != nil {
 			return err
@@ -133,13 +171,13 @@ func (r *Robustness) Run(ctx context.Context) ([]RobustnessResult, error) {
 		drains, _, cancels := script.Counts()
 		results[i] = RobustnessResult{
 			RunResult:    run,
-			Intensity:    intensities[ii].Name,
+			Intensity:    scenarios[ii].Name(),
 			Drains:       drains,
 			CancelEvents: cancels,
 		}
 		completed[i] = true
 		if r.Journal != nil {
-			rec := newCellRecord("robustness", intensities[ii].Name,
+			rec := newCellRecord("robustness", scenarios[ii].Name(),
 				len(r.Workloads[wi].Jobs), run, seed, drains, cancels)
 			if jerr := r.Journal.Append(rec); jerr != nil {
 				return jerr

@@ -56,15 +56,23 @@ func ValidateResult(res *Result) []error {
 	})
 	// Walk the usage deltas against the realized capacity timeline.
 	// Capacity changes at an instant apply after its releases and before
-	// its allocations: drains only ever claim idle processors (running
-	// jobs are absorbed as they finish), so usage must fit the new
-	// capacity by the time anything starts at that instant.
+	// its allocations: a pending drain shrinks capacity by absorbing a
+	// release, so at the instant several jobs finish together the
+	// recorded (collapsed, final) capacity only holds once every release
+	// at that instant has been counted — checking the releases themselves
+	// against the pre-instant capacity. Drains only ever claim idle
+	// processors, so usage must fit the new capacity by the time anything
+	// starts at that instant.
 	capacity := res.MaxProcs
 	step := 0
 	var used int64
 	for _, d := range deltas {
-		for step < len(res.CapacitySteps) && res.CapacitySteps[step].At <= d.at {
-			capacity = res.CapacitySteps[step].Capacity
+		for step < len(res.CapacitySteps) {
+			s := res.CapacitySteps[step]
+			if s.At > d.at || (s.At == d.at && d.isEnd) {
+				break
+			}
+			capacity = s.Capacity
 			step++
 		}
 		used += d.procs

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/job"
+)
+
+// vjob builds a completed job for hand-crafted validation schedules.
+func vjob(id, procs, start, end int64) *job.Job {
+	return &job.Job{
+		ID: id, Procs: procs, Submit: 0,
+		Runtime: end - start, Request: end - start, Prediction: end - start,
+		Started: true, Finished: true, Start: start, End: end,
+	}
+}
+
+// TestValidateDrainAbsorbsReleaseAtStartInstant pins the same-instant
+// semantics of the capacity walk: when a pending drain absorbs releases,
+// the recorded (collapsed, final) capacity at that instant only binds
+// after every release at the instant has been counted. Here three jobs
+// finish at t=10 on a 4-processor machine while a pending 2-processor
+// drain absorbs their releases; the capacity step at t=10 reads 2, but
+// the machine was never overbooked: usage was 4 under capacity 4 before
+// the instant and 2 under capacity 2 after it. The old walk applied the
+// step before the releases and reported "3 > 2" on the first one.
+func TestValidateDrainAbsorbsReleaseAtStartInstant(t *testing.T) {
+	res := &Result{
+		MaxProcs: 4,
+		Jobs: []*job.Job{
+			vjob(1, 1, 0, 10),
+			vjob(2, 1, 0, 10),
+			vjob(3, 2, 0, 10),
+			vjob(4, 2, 10, 20), // starts into the shrunken machine
+		},
+		CapacitySteps: []CapacityStep{{At: 10, Capacity: 2}},
+		Makespan:      20,
+	}
+	if errs := ValidateResult(res); len(errs) != 0 {
+		t.Fatalf("valid schedule rejected: %v", errs)
+	}
+}
+
+// TestValidateCapacityStillBindsAllocations makes sure the relaxed walk
+// has not gone soft: an allocation that genuinely exceeds the capacity
+// in force at its instant must still be reported.
+func TestValidateCapacityStillBindsAllocations(t *testing.T) {
+	res := &Result{
+		MaxProcs: 4,
+		Jobs: []*job.Job{
+			vjob(1, 2, 0, 10),
+			vjob(2, 3, 10, 20), // 3 procs into a machine shrunk to 2
+		},
+		CapacitySteps: []CapacityStep{{At: 10, Capacity: 2}},
+		Makespan:      20,
+	}
+	errs := ValidateResult(res)
+	if len(errs) == 0 {
+		t.Fatal("overbooked allocation not reported")
+	}
+}
+
+// TestValidateOverbookedReleaseInstant: releases at an instant are
+// checked against the capacity in force before the instant, so a
+// schedule that was overbooked before the step must still fail — on the
+// delta that created the overbooking, at its own instant.
+func TestValidateOverbookedBeforeStep(t *testing.T) {
+	res := &Result{
+		MaxProcs: 4,
+		Jobs: []*job.Job{
+			vjob(1, 3, 0, 10),
+			vjob(2, 3, 5, 10), // 6 > 4 from t=5
+		},
+		CapacitySteps: []CapacityStep{{At: 10, Capacity: 2}},
+		Makespan:      10,
+	}
+	errs := ValidateResult(res)
+	if len(errs) == 0 {
+		t.Fatal("overbooked schedule not reported")
+	}
+}

@@ -1,0 +1,165 @@
+package spec
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// flagWorkloads builds workloads exactly as the flag path does:
+// workload.Scaled(preset, jobs) then Generate.
+func flagWorkloads(t *testing.T, jobs int, names ...string) []*trace.Workload {
+	t.Helper()
+	var out []*trace.Workload
+	for _, n := range names {
+		cfg, err := workload.Scaled(n, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// TestPaperSpecEqualsFlagInvocation proves `campaign -spec
+// specs/paper.yaml` is the same experiment as `campaign -jobs 3000`:
+// identical workload configurations (so identical generated traces),
+// identical triple grid, identical seed. Byte-identical tables follow
+// because report rendering is a pure function of the run results, which
+// TestSpecGolden* checks end-to-end at a size CI can afford.
+func TestPaperSpecEqualsFlagInvocation(t *testing.T) {
+	s, err := Load("../../specs/paper.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != "campaign" || s.Seed != 1 || s.Jobs != 3000 {
+		t.Fatalf("paper spec drifted from flag defaults: kind=%s seed=%d jobs=%d", s.Kind, s.Seed, s.Jobs)
+	}
+	cfgs, err := s.WorkloadConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := workload.PresetNames()
+	if len(cfgs) != len(names) {
+		t.Fatalf("spec resolves %d workloads, flags use %d", len(cfgs), len(names))
+	}
+	for i, name := range names {
+		want, err := workload.Scaled(name, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfgs[i] != want {
+			t.Errorf("workload %d: spec config %+v != flag config %+v", i, cfgs[i], want)
+		}
+	}
+	grid := core.CampaignTriples()
+	if len(s.Triples) != len(grid) {
+		t.Fatalf("spec resolves %d triples, flag grid has %d", len(s.Triples), len(grid))
+	}
+	for i := range grid {
+		if s.Triples[i].Name() != grid[i].Name() {
+			t.Errorf("triple %d: %s != %s", i, s.Triples[i].Name(), grid[i].Name())
+		}
+	}
+	if len(s.Output.Tables) != 4 || len(s.Output.Figures) != 3 {
+		t.Errorf("paper spec output selection drifted: %+v", s.Output)
+	}
+}
+
+// TestSpecGoldenCampaignTables runs the same small campaign twice —
+// once resolved from a spec file, once built the way the flag path
+// builds it — and demands byte-identical rendered tables.
+func TestSpecGoldenCampaignTables(t *testing.T) {
+	path := writeSpec(t, t.TempDir(), "golden.yaml", `
+kind: campaign
+seed: 1
+jobs: 200
+workloads:
+  - KTH-SP2
+  - CTC-SP2
+triples:
+  - easy
+  - easy++
+  - clairvoyant-sjbf
+`)
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := s.GenerateWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specResults, err := s.Campaign(ws).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flagC := &campaign.Campaign{
+		Workloads: flagWorkloads(t, 200, "KTH-SP2", "CTC-SP2"),
+		Triples:   []core.Triple{core.EASY(), core.EASYPlusPlus(), core.ClairvoyantSJBF()},
+		Seed:      1,
+	}
+	flagResults, err := flagC.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := report.Table1(specResults), report.Table1(flagResults); got != want {
+		t.Errorf("Table1 differs:\nspec:\n%s\nflags:\n%s", got, want)
+	}
+	if got, want := report.Table6(specResults), report.Table6(flagResults); got != want {
+		t.Errorf("Table6 differs:\nspec:\n%s\nflags:\n%s", got, want)
+	}
+}
+
+// TestSpecGoldenRobustnessTable does the same for the disruption sweep,
+// whose scripts depend on the grid seed — the most fingerprint-sensitive
+// path.
+func TestSpecGoldenRobustnessTable(t *testing.T) {
+	path := writeSpec(t, t.TempDir(), "golden-rob.yaml", `
+kind: robustness
+seed: 5
+jobs: 250
+workloads:
+  - CTC-SP2
+triples:
+  - easy
+  - easy++
+`)
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := s.GenerateWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specResults, err := s.Robustness(ws, 0).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flagR := &campaign.Robustness{
+		Workloads: flagWorkloads(t, 250, "CTC-SP2"),
+		Triples:   []core.Triple{core.EASY(), core.EASYPlusPlus()},
+		Seed:      5,
+	}
+	flagResults, err := flagR.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := report.RobustnessTable(specResults), report.RobustnessTable(flagResults); got != want {
+		t.Errorf("RobustnessTable differs:\nspec:\n%s\nflags:\n%s", got, want)
+	}
+}

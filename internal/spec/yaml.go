@@ -1,0 +1,421 @@
+package spec
+
+// This file is a hand-rolled parser for the strict YAML subset the
+// experiment specs are written in. Supporting full YAML would drag in a
+// heavyweight dependency for features specs never use; the subset is
+// exactly what the schema needs, and staying hand-rolled lets every
+// node carry its file:line position so schema errors point at the
+// offending line of the offending file (includes span files).
+//
+// The subset:
+//
+//   - block mappings:      key: value   /   key:\n  <indented block>
+//   - block sequences:     - value      /   - key: value\n    <more keys>
+//   - flow sequences:      [a, b, c]    (scalars only, one line)
+//   - scalars:             unquoted (trimmed) or double-quoted with
+//     \\ \" \n \t escapes; type conversion happens at decode time
+//   - comments:            # to end of line (outside quotes, preceded
+//     by start-of-line or whitespace)
+//   - indentation:         spaces only; tabs are an error
+//
+// Not supported (rejected with a positional error where detectable):
+// flow mappings {..}, anchors/aliases, multi-document streams, block
+// scalars (| and >), and single-quoted strings.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// node is one parsed YAML value. Exactly one of scalar/items/fields is
+// meaningful, per kind.
+type node struct {
+	file string
+	line int
+	kind nodeKind
+
+	scalar string  // kindScalar
+	items  []*node // kindList
+
+	keys     []string         // kindMap, insertion order
+	fields   map[string]*node // kindMap
+	keyLines map[string]int   // kindMap, line of each key
+}
+
+type nodeKind int
+
+const (
+	kindScalar nodeKind = iota
+	kindList
+	kindMap
+)
+
+func (k nodeKind) String() string {
+	switch k {
+	case kindScalar:
+		return "scalar"
+	case kindList:
+		return "list"
+	case kindMap:
+		return "mapping"
+	}
+	return "unknown"
+}
+
+// errf formats an error anchored at this node's position.
+func (n *node) errf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", n.file, n.line, fmt.Sprintf(format, args...))
+}
+
+// at returns the child node of a mapping key, or nil.
+func (n *node) at(key string) *node {
+	if n == nil || n.kind != kindMap {
+		return nil
+	}
+	return n.fields[key]
+}
+
+// srcLine is one logical (non-blank, comment-stripped) input line.
+type srcLine struct {
+	indent int
+	text   string // content after indentation, comments stripped
+	num    int    // 1-based line number
+}
+
+// parseYAML parses one file's content into a node tree. The top level
+// must be a mapping. file is used only for error positions.
+func parseYAML(file, content string) (*node, error) {
+	lines, err := splitLines(file, content)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return &node{file: file, line: 1, kind: kindMap, fields: map[string]*node{}, keyLines: map[string]int{}}, nil
+	}
+	p := &parser{file: file, lines: lines}
+	root, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("%s:%d: unexpected indentation", file, l.num)
+	}
+	if root.kind != kindMap {
+		return nil, root.errf("top level must be a mapping, got a %s", root.kind)
+	}
+	return root, nil
+}
+
+// splitLines strips comments and blanks and records indentation.
+func splitLines(file, content string) ([]srcLine, error) {
+	var out []srcLine
+	for i, raw := range strings.Split(content, "\n") {
+		num := i + 1
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("%s:%d: tabs are not allowed; indent with spaces", file, num)
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		indent := len(text) - len(strings.TrimLeft(text, " "))
+		out = append(out, srcLine{indent: indent, text: strings.TrimRight(text[indent:], " "), num: num})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing # comment that is outside double
+// quotes and preceded by whitespace or the start of the line.
+func stripComment(s string) string {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped character
+			}
+		case '"':
+			inQuote = !inQuote
+		case '#':
+			if !inQuote && (i == 0 || s[i-1] == ' ') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+type parser struct {
+	file  string
+	lines []srcLine
+	pos   int
+}
+
+// parseBlock parses the run of lines at exactly the given indentation
+// (deeper lines belong to children) into a mapping or sequence node.
+func (p *parser) parseBlock(indent int) (*node, error) {
+	first := p.lines[p.pos]
+	if first.indent != indent {
+		return nil, fmt.Errorf("%s:%d: unexpected indentation", p.file, first.num)
+	}
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *parser) parseMapping(indent int) (*node, error) {
+	n := &node{file: p.file, line: p.lines[p.pos].num, kind: kindMap,
+		fields: map[string]*node{}, keyLines: map[string]int{}}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("%s:%d: unexpected indentation", p.file, l.num)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, fmt.Errorf("%s:%d: sequence item in a mapping block", p.file, l.num)
+		}
+		key, rest, err := splitKey(p.file, l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := n.fields[key]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate key %q (first at line %d)", p.file, l.num, key, n.keyLines[key])
+		}
+		p.pos++
+		var val *node
+		if rest != "" {
+			val, err = p.inlineValue(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+		} else if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			val, err = p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			// "key:" with no value and no indented block: empty scalar.
+			val = &node{file: p.file, line: l.num, kind: kindScalar}
+		}
+		n.keys = append(n.keys, key)
+		n.fields[key] = val
+		n.keyLines[key] = l.num
+	}
+	return n, nil
+}
+
+func (p *parser) parseSequence(indent int) (*node, error) {
+	n := &node{file: p.file, line: p.lines[p.pos].num, kind: kindList}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("%s:%d: unexpected indentation", p.file, l.num)
+		}
+		if !strings.HasPrefix(l.text, "- ") && l.text != "-" {
+			return nil, fmt.Errorf("%s:%d: expected a \"- \" sequence item", p.file, l.num)
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(l.text, "-"), " ")
+		itemIndent := l.indent + 2 // content column of "- x"
+		var item *node
+		var err error
+		switch {
+		case rest == "":
+			// "-" alone: the item is the following deeper block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("%s:%d: empty sequence item", p.file, l.num)
+			}
+			item, err = p.parseBlock(p.lines[p.pos].indent)
+		case isKeyLine(rest):
+			// "- key: value": a mapping whose first key shares the dash
+			// line; further keys sit at the content column.
+			item, err = p.parseInlineMapItem(l, rest, itemIndent)
+		default:
+			p.pos++
+			item, err = p.inlineValue(rest, l.num)
+		}
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item)
+	}
+	return n, nil
+}
+
+// parseInlineMapItem handles "- key: value" (plus any following lines
+// indented to the item's content column) as one mapping item.
+func (p *parser) parseInlineMapItem(dash srcLine, rest string, itemIndent int) (*node, error) {
+	// Rewrite the dash line as a plain mapping line at the content
+	// column and let parseMapping consume it plus the following keys.
+	p.lines[p.pos] = srcLine{indent: itemIndent, text: rest, num: dash.num}
+	return p.parseMapping(itemIndent)
+}
+
+// inlineValue parses the value part of "key: value" or "- value": a
+// flow sequence or a scalar.
+func (p *parser) inlineValue(text string, num int) (*node, error) {
+	if strings.HasPrefix(text, "[") {
+		return p.flowSequence(text, num)
+	}
+	if strings.HasPrefix(text, "{") {
+		return nil, fmt.Errorf("%s:%d: flow mappings {..} are not supported; use an indented block", p.file, num)
+	}
+	if strings.HasPrefix(text, "|") || strings.HasPrefix(text, ">") {
+		return nil, fmt.Errorf("%s:%d: block scalars (| and >) are not supported", p.file, num)
+	}
+	s, err := unquote(p.file, num, text)
+	if err != nil {
+		return nil, err
+	}
+	return &node{file: p.file, line: num, kind: kindScalar, scalar: s}, nil
+}
+
+// flowSequence parses a one-line "[a, b, c]" list of scalars.
+func (p *parser) flowSequence(text string, num int) (*node, error) {
+	if !strings.HasSuffix(text, "]") {
+		return nil, fmt.Errorf("%s:%d: flow sequence must close on the same line", p.file, num)
+	}
+	n := &node{file: p.file, line: num, kind: kindList}
+	inner := strings.TrimSpace(text[1 : len(text)-1])
+	if inner == "" {
+		return n, nil
+	}
+	for _, part := range splitFlow(inner) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("%s:%d: empty element in flow sequence", p.file, num)
+		}
+		s, err := unquote(p.file, num, part)
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, &node{file: p.file, line: num, kind: kindScalar, scalar: s})
+	}
+	return n, nil
+}
+
+// splitFlow splits a flow-sequence body on commas outside quotes.
+func splitFlow(s string) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// isKeyLine reports whether text looks like "key:" or "key: value" with
+// the colon outside quotes.
+func isKeyLine(text string) bool {
+	_, _, err := keyColon(text)
+	return err == nil
+}
+
+// keyColon locates the key/value split: a ':' outside quotes that ends
+// the line or is followed by a space.
+func keyColon(text string) (key, rest string, err error) {
+	inQuote := false
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ':':
+			if inQuote {
+				continue
+			}
+			if i+1 == len(text) {
+				return strings.TrimSpace(text[:i]), "", nil
+			}
+			if text[i+1] == ' ' {
+				return strings.TrimSpace(text[:i]), strings.TrimSpace(text[i+1:]), nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("no key separator")
+}
+
+// splitKey applies keyColon to a mapping line with positional errors.
+func splitKey(file string, l srcLine) (key, rest string, err error) {
+	key, rest, err = keyColon(l.text)
+	if err != nil {
+		return "", "", fmt.Errorf("%s:%d: expected \"key: value\", got %q", file, l.num, l.text)
+	}
+	if key == "" {
+		return "", "", fmt.Errorf("%s:%d: empty key", file, l.num)
+	}
+	if strings.HasPrefix(key, "\"") {
+		key, err = unquote(file, l.num, key)
+		if err != nil {
+			return "", "", err
+		}
+	}
+	return key, rest, nil
+}
+
+// unquote resolves a scalar token: double-quoted strings lose their
+// quotes and escapes; anything else is returned as-is (already
+// trimmed). Type interpretation (int, float, bool) is the decoder's
+// job, where the expected type is known.
+func unquote(file string, num int, s string) (string, error) {
+	if strings.HasPrefix(s, "'") {
+		return "", fmt.Errorf("%s:%d: single-quoted strings are not supported; use double quotes", file, num)
+	}
+	if !strings.HasPrefix(s, "\"") {
+		return s, nil
+	}
+	if len(s) < 2 || !strings.HasSuffix(s, "\"") {
+		return "", fmt.Errorf("%s:%d: unterminated string %s", file, num, s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			if c == '"' {
+				return "", fmt.Errorf("%s:%d: unescaped quote inside string %s", file, num, s)
+			}
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("%s:%d: dangling escape in string %s", file, num, s)
+		}
+		switch body[i] {
+		case '\\', '"':
+			b.WriteByte(body[i])
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		default:
+			return "", fmt.Errorf("%s:%d: unsupported escape \\%c in string %s", file, num, body[i], s)
+		}
+	}
+	return b.String(), nil
+}

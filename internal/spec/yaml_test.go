@@ -1,0 +1,150 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, content string) *node {
+	t.Helper()
+	n, err := parseYAML("test.yaml", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestParseBasicMapping(t *testing.T) {
+	n := mustParse(t, `
+kind: robustness
+seed: 42
+jobs: 1000   # trailing comment
+name: "quoted # not a comment"
+`)
+	cases := map[string]string{
+		"kind": "robustness",
+		"seed": "42",
+		"jobs": "1000",
+		"name": "quoted # not a comment",
+	}
+	for key, want := range cases {
+		child := n.at(key)
+		if child == nil || child.scalar != want {
+			t.Errorf("%s = %+v, want scalar %q", key, child, want)
+		}
+	}
+	if n.at("seed").line != 3 {
+		t.Errorf("seed line = %d, want 3", n.at("seed").line)
+	}
+}
+
+func TestParseNestedBlocks(t *testing.T) {
+	n := mustParse(t, `
+output:
+  journal: out.jsonl
+  tables: [1, 6]
+workloads:
+  - KTH-SP2
+  - preset: CTC-SP2
+    jobs: 500
+  - name: inline
+    config:
+      max_procs: 64
+`)
+	if got := n.at("output").at("journal").scalar; got != "out.jsonl" {
+		t.Errorf("journal = %q", got)
+	}
+	tables := n.at("output").at("tables")
+	if tables.kind != kindList || len(tables.items) != 2 || tables.items[1].scalar != "6" {
+		t.Errorf("tables = %+v", tables)
+	}
+	ws := n.at("workloads")
+	if ws.kind != kindList || len(ws.items) != 3 {
+		t.Fatalf("workloads = %+v", ws)
+	}
+	if ws.items[0].kind != kindScalar || ws.items[0].scalar != "KTH-SP2" {
+		t.Errorf("item 0 = %+v", ws.items[0])
+	}
+	if got := ws.items[1].at("jobs").scalar; got != "500" {
+		t.Errorf("item 1 jobs = %q", got)
+	}
+	if got := ws.items[2].at("config").at("max_procs").scalar; got != "64" {
+		t.Errorf("item 2 max_procs = %q", got)
+	}
+}
+
+func TestParseDeepSequenceItems(t *testing.T) {
+	n := mustParse(t, `
+scenarios:
+  - name: maint
+    events:
+      - at: 3600
+        action: drain
+        procs: 8
+      - at: 7200
+        action: restore
+        procs: 8
+`)
+	events := n.at("scenarios").items[0].at("events")
+	if len(events.items) != 2 {
+		t.Fatalf("events = %+v", events)
+	}
+	if got := events.items[1].at("action").scalar; got != "restore" {
+		t.Errorf("second action = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"tab", "kind:\tcampaign", "tabs are not allowed"},
+		{"flow map", "grid: {a: 1}", "flow mappings"},
+		{"block scalar", "doc: |\n  text", "block scalars"},
+		{"duplicate key", "a: 1\na: 2", "duplicate key"},
+		{"single quote", "a: 'x'", "single-quoted"},
+		{"unterminated", `a: "x`, "unterminated"},
+		{"top-level list", "- a\n- b", "top level must be a mapping"},
+		{"seq in map", "a: 1\n- b", "sequence item in a mapping"},
+		{"bad indent", "a:\n    b: 1\n  c: 2", "unexpected indentation"},
+		{"no key", "just words", "expected \"key: value\""},
+		{"empty seq item", "a:\n  -", "empty sequence item"},
+	}
+	for _, c := range cases {
+		_, err := parseYAML("bad.yaml", c.content)
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+		if !strings.Contains(err.Error(), "bad.yaml:") {
+			t.Errorf("%s: error %q lacks a file:line position", c.name, err)
+		}
+	}
+}
+
+func TestParseQuotedEscapes(t *testing.T) {
+	n := mustParse(t, `a: "line\nbreak \"quoted\" \\ done"`)
+	want := "line\nbreak \"quoted\" \\ done"
+	if got := n.at("a").scalar; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestStripComment(t *testing.T) {
+	cases := map[string]string{
+		"plain # comment":     "plain ",
+		"no comment":          "no comment",
+		`"a # b": x # real`:   `"a # b": x `,
+		"value#notcomment":    "value#notcomment",
+		"# full line":         "",
+		`key: "x # y" # tail`: `key: "x # y" `,
+	}
+	for in, want := range cases {
+		if got := stripComment(in); got != want {
+			t.Errorf("stripComment(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
