@@ -348,6 +348,59 @@ func BenchmarkSchedSimEndToEnd(b *testing.B) {
 	b.Run("easy-sjbf-reference", run(func() sched.Policy { return sched.ReferenceEASY{Backfill: sched.SJBFOrder} }))
 }
 
+// BenchmarkSchedSimStream measures the bounded-memory engine end to end
+// against the same preset the preloading benchmark uses, collector
+// attached — the steady-state cost of the lazy intake, the retirement
+// sink and the one-pass metrics. allocs/op additionally guards the
+// per-job overhead of the streaming path.
+func BenchmarkSchedSimStream(b *testing.B) {
+	w := benchWorkload(b, "KTH-SP2")
+	run := func(mk func() sched.Policy) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				col := metrics.NewCollector()
+				res, err := sim.RunStream(w.Name, w.MaxProcs, workload.FromWorkload(w), sim.Config{
+					Policy:    mk(),
+					Predictor: predict.NewUserAverage(2),
+					Corrector: correct.Incremental{},
+					Sink:      col,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Finished != col.Finished() {
+					b.Fatalf("sink saw %d of %d finishes", col.Finished(), res.Finished)
+				}
+			}
+		}
+	}
+	b.Run("easy-sjbf", run(func() sched.Policy { return sched.NewEASY(sched.SJBFOrder) }))
+	b.Run("conservative", run(func() sched.Policy { return sched.NewConservative() }))
+}
+
+// BenchmarkSchedSimStreamGen runs generator-to-metrics fully streamed —
+// the huge-synthetic pipeline at bench scale, nothing materialized.
+func BenchmarkSchedSimStreamGen(b *testing.B) {
+	cfg, err := workload.Scaled("huge-synthetic", benchJobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := workload.NewGenSource(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		col := metrics.NewCollector()
+		scfg := core.EASYPlusPlus().Config()
+		scfg.Sink = col
+		if _, err := sim.RunStream(cfg.Name, cfg.MaxProcs, g, scfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Ablations (DESIGN.md §5) ------------------------------------------
 
 // BenchmarkAblationBackfillOrder isolates SJBF vs FCFS backfill order

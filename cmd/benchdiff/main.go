@@ -235,7 +235,7 @@ func writeBaseline(path string, current map[string]Measurement) error {
 	base := Baseline{
 		Note: "Performance baseline for the CI perf gate (cmd/benchdiff). " +
 			"Regenerate after an intentional performance change with: " +
-			"go test -run '^$' -bench 'BenchmarkSchedPick|BenchmarkSchedSimEndToEnd' -benchmem . " +
+			"go test -run '^$' -bench 'BenchmarkSchedPick|BenchmarkSchedSim' -benchmem . " +
 			"| go run ./cmd/benchdiff -baseline BENCH_baseline.json -update -",
 		Benchmarks: current,
 	}

@@ -1,9 +1,17 @@
 // Command calibrate prints reference-triple AVEbsld per preset at
 // benchmark scale, used while calibrating the synthetic generators.
+//
+// Usage:
+//
+//	calibrate                  # all presets, 3000 jobs, 3 seed offsets
+//	calibrate -jobs 500 -seeds 1
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -12,23 +20,64 @@ import (
 )
 
 func main() {
+	jobs := flag.Int("jobs", 3000, "jobs per preset workload")
+	seeds := flag.Int("seeds", 3, "seed offsets to sweep per preset")
+	flag.Parse()
+
+	if err := validateFlags(*jobs, *seeds); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*jobs, *seeds, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+// validateFlags rejects the silent-typo values (mirroring cmd/campaign's
+// negative-flag rejection).
+func validateFlags(jobs, seeds int) error {
+	if jobs <= 0 {
+		return fmt.Errorf("-jobs must be > 0, got %d", jobs)
+	}
+	if seeds <= 0 {
+		return fmt.Errorf("-seeds must be > 0, got %d", seeds)
+	}
+	return nil
+}
+
+// run sweeps every preset across the seed offsets and prints the
+// EASY-vs-clairvoyant gain line per cell.
+func run(jobs, seeds int, w io.Writer) error {
 	for _, name := range workload.PresetNames() {
-		for _, ds := range []uint64{0, 1, 2} {
-			cfg, _ := workload.Scaled(name, 3000)
-			cfg.Seed += ds
-			w, err := workload.Generate(cfg)
+		for ds := uint64(0); ds < uint64(seeds); ds++ {
+			cfg, err := workload.Scaled(name, jobs)
 			if err != nil {
-				panic(err)
+				return err
 			}
-			run := func(t core.Triple) float64 {
-				res, err := sim.Run(w, t.Config())
+			cfg.Seed += ds
+			wl, err := workload.Generate(cfg)
+			if err != nil {
+				return err
+			}
+			score := func(t core.Triple) (float64, error) {
+				res, err := sim.Run(wl, t.Config())
 				if err != nil {
-					panic(err)
+					return 0, err
 				}
-				return metrics.AVEbsld(res)
+				return metrics.AVEbsld(res), nil
 			}
-			e, c := run(core.EASY()), run(core.ClairvoyantEASY())
-			fmt.Printf("%-12s seed+%d EASY=%6.1f ClairEASY=%6.1f gain=%5.1f%%\n", name, ds, e, c, 100*(e-c)/e)
+			e, err := score(core.EASY())
+			if err != nil {
+				return err
+			}
+			c, err := score(core.ClairvoyantEASY())
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-12s seed+%d EASY=%6.1f ClairEASY=%6.1f gain=%5.1f%%\n", name, ds, e, c, 100*(e-c)/e)
 		}
 	}
+	return nil
 }

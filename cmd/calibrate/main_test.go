@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(3000, 3); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	for _, c := range []struct{ jobs, seeds int }{
+		{0, 3}, {-1, 3}, {3000, 0}, {3000, -2},
+	} {
+		if err := validateFlags(c.jobs, c.seeds); err == nil {
+			t.Errorf("validateFlags(%d, %d) accepted", c.jobs, c.seeds)
+		}
+	}
+}
+
+func TestRunPrintsOneLinePerCell(t *testing.T) {
+	var sb strings.Builder
+	if err := run(80, 1, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want one per preset (6):\n%s", len(lines), sb.String())
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "EASY=") || !strings.Contains(l, "gain=") {
+			t.Fatalf("malformed line %q", l)
+		}
+	}
+}

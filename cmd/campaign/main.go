@@ -33,6 +33,17 @@
 //	campaign -jobs 0 -out grid.jsonl            # interrupted with ^C...
 //	campaign -jobs 0 -out grid.jsonl -resume    # ...picks up where it left off
 //
+// Big grids on small machines: -stream runs every cell on the
+// bounded-memory streaming engine (identical decisions and tables,
+// proven by the differential tests in internal/sim) so in-flight cells
+// hold only their live-job window instead of trace-sized runtime state
+// and retained schedules; the generated input traces themselves stay in
+// memory, and the Table 8 / Figures 4-5 prediction analysis is a
+// preloading path regardless. -memlimit MiB puts a soft runtime cap on
+// the whole process:
+//
+//	campaign -jobs 0 -stream -memlimit 4096 -table 6   # full Table-4 sizes, capped
+//
 // Table/figure numbers follow the paper: tables 1, 6, 7, 8 and figures
 // 3, 4, 5. Progress and an ETA are reported on stderr while the grid
 // runs; -perf additionally prints the per-workload performance counters
@@ -46,6 +57,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"syscall"
@@ -70,6 +82,8 @@ func main() {
 	out := flag.String("out", "", "append every completed cell to this JSONL result journal")
 	resume := flag.Bool("resume", false, "skip cells already recorded in the -out journal")
 	perf := flag.Bool("perf", false, "print per-workload performance counters to stderr")
+	stream := flag.Bool("stream", false, "run every cell on the bounded-memory streaming engine (same tables, O(live jobs) per cell)")
+	memLimit := flag.Int("memlimit", 0, "soft memory cap in MiB for the whole process (0 = none); pairs with -stream for big grids on small machines")
 	specPath := flag.String("spec", "", "run the experiment described by this spec file (see specs/ and the README schema); other flags override its fields")
 	validate := flag.Bool("validate", false, "with -spec: parse and resolve the spec, print its shape, and exit without simulating")
 	flag.Parse()
@@ -87,6 +101,16 @@ func main() {
 	}
 	if *validate && *specPath == "" {
 		usageError("-validate requires -spec")
+	}
+	if *memLimit < 0 {
+		usageError("-memlimit must be >= 0 MiB, got %d", *memLimit)
+	}
+	if *memLimit > 0 {
+		// A soft cap: the runtime GCs harder as the heap approaches it
+		// instead of overshooting into the OOM killer. The streaming
+		// engine is what makes a tight cap feasible — preloaded grids
+		// hold O(trace) per in-flight cell.
+		debug.SetMemoryLimit(int64(*memLimit) << 20)
 	}
 
 	// Ctrl-C (or SIGTERM) cancels the grid gracefully: in-flight cells
@@ -120,6 +144,8 @@ func main() {
 				ov.Resume = resume
 			case "perf":
 				ov.Perf = perf
+			case "stream":
+				ov.Stream = stream
 			case "table":
 				if *table != 0 {
 					ov.Tables = []int{*table}
@@ -139,7 +165,7 @@ func main() {
 	}
 
 	if *robustness {
-		r := &campaign.Robustness{Seed: *seed, Parallelism: *par}
+		r := &campaign.Robustness{Seed: *seed, Parallelism: *par, Stream: *stream}
 		runRobustnessGrids(ctx, []*campaign.Robustness{r}, *jobs, nil, *out, *resume, *perf)
 		return
 	}
@@ -154,7 +180,7 @@ func main() {
 	if *table == 0 && *figure == 0 {
 		tables, figures = allTables, allFigures
 	}
-	c := &campaign.Campaign{Seed: *seed, Parallelism: *par}
+	c := &campaign.Campaign{Seed: *seed, Parallelism: *par, Stream: *stream}
 	runCampaignGrid(ctx, c, nil, *jobs, tables, figures, *out, *resume, *perf)
 }
 
@@ -225,6 +251,9 @@ func printSpecShape(s *spec.Spec) {
 	fmt.Printf("spec %s: OK\n", s.Path)
 	fmt.Printf("  kind        %s\n", s.Kind)
 	fmt.Printf("  seed        %d\n", s.Seed)
+	if s.Stream {
+		fmt.Printf("  stream      true\n")
+	}
 	fmt.Printf("  workloads   %d: %s\n", len(cfgs), strings.Join(names, ", "))
 	fmt.Printf("  triples     %d\n", s.TripleCount())
 	if s.Kind == "robustness" {

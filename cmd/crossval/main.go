@@ -23,6 +23,12 @@ func main() {
 	par := flag.Int("p", 0, "parallel simulations (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	if err := validateFlags(*jobs, *par); err != nil {
+		fmt.Fprintln(os.Stderr, "crossval:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	ws, err := campaign.DefaultWorkloads(*jobs)
 	if err != nil {
 		fatal(err)
@@ -56,6 +62,19 @@ func main() {
 		fmt.Printf("Average AVEbsld reduction of the C-V triple: %.0f%% vs EASY, %.0f%% vs EASY++ (paper: 28%% and 11%%)\n",
 			sumEasyRed/float64(n), sumPPRed/float64(n))
 	}
+}
+
+// validateFlags rejects the silent-typo values (mirroring cmd/campaign's
+// negative-flag rejection: negative values used to fall back to defaults
+// silently).
+func validateFlags(jobs, par int) error {
+	if jobs < 0 {
+		return fmt.Errorf("-jobs must be >= 0 (0 = full Table-4 sizes), got %d", jobs)
+	}
+	if par < 0 {
+		return fmt.Errorf("-p must be >= 0 (0 = GOMAXPROCS), got %d", par)
+	}
+	return nil
 }
 
 func campaignScore(results []campaign.RunResult, workload string, easy bool) (float64, bool) {

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	for _, c := range []struct {
+		jobs, par int
+		ok        bool
+	}{
+		{3000, 0, true},
+		{0, 0, true}, // 0 means full size / GOMAXPROCS
+		{100, 4, true},
+		{-1, 0, false},
+		{3000, -2, false},
+	} {
+		err := validateFlags(c.jobs, c.par)
+		if (err == nil) != c.ok {
+			t.Errorf("validateFlags(%d, %d) = %v, want ok=%v", c.jobs, c.par, err, c.ok)
+		}
+	}
+}

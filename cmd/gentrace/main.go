@@ -8,13 +8,15 @@
 //
 //	gentrace -preset Curie -jobs 5000 -o curie.swf
 //	gentrace -preset KTH-SP2 -stats
-//	gentrace -spec specs/ci-smoke.yaml -o traces/   # one .swf per workload
+//	gentrace -spec specs/ci-smoke.yaml -o traces/           # one .swf per workload
 //	gentrace -spec specs/nightly.yaml -stats
+//	gentrace -preset huge-synthetic -stream -o huge.swf     # 1M jobs, bounded memory
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -31,9 +33,18 @@ func main() {
 	out := flag.String("o", "", "output SWF path (default stdout); with a multi-workload -spec, a directory")
 	stats := flag.Bool("stats", false, "print workload statistics instead of the trace")
 	specPath := flag.String("spec", "", "generate the workloads of this experiment spec instead of -preset")
+	stream := flag.Bool("stream", false, "generate straight to disk in bounded memory (streaming generator; arrival draws differ from the in-memory generator, determinism per seed is identical)")
 	flag.Parse()
 
 	cfgs := resolveConfigs(*specPath, *preset, *jobs, *seed)
+
+	if *stream {
+		if *stats {
+			fatal(fmt.Errorf("-stream cannot compute whole-trace statistics; drop -stats"))
+		}
+		streamConfigs(cfgs, *specPath, *out)
+		return
+	}
 
 	if *stats {
 		for i, cfg := range cfgs {
@@ -107,6 +118,66 @@ func resolveConfigs(specPath, preset string, jobs int, seed uint64) []workload.C
 		}
 	}
 	return cfgs
+}
+
+// streamConfigs writes each workload with the bounded-memory generator:
+// jobs go from the arrival sampler straight into the SWF writer, so a
+// million-job trace costs megabytes, not gigabytes. The -o handling
+// mirrors the preloading path (single file without -spec, directory
+// with one).
+func streamConfigs(cfgs []workload.Config, specPath, out string) {
+	if specPath == "" || (out == "" && len(cfgs) == 1) {
+		streamTrace(cfgs[0], out)
+		return
+	}
+	if out == "" {
+		fatal(fmt.Errorf("the spec has %d workloads; pass -o DIR to write one .swf per workload", len(cfgs)))
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, cfg := range cfgs {
+		path := filepath.Join(out, cfg.Name+".swf")
+		streamTrace(cfg, path)
+		fmt.Fprintf(os.Stderr, "gentrace: wrote %s (%d jobs, streamed)\n", path, cfg.Jobs)
+	}
+}
+
+// streamTrace pipes one streaming generator into one SWF file.
+func streamTrace(cfg workload.Config, out string) {
+	g, err := workload.NewGenSource(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	dst := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	w := swf.NewWriter(dst)
+	h := g.Header()
+	if err := w.WriteHeader(&h); err != nil {
+		fatal(err)
+	}
+	for {
+		j, err := g.NextJob()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if err := w.WriteJob(&j); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
 }
 
 func generate(cfg workload.Config) *trace.Workload {

@@ -10,11 +10,14 @@
 //	simsched -swf CTC-SP2-1996-3.1-cln.swf -status replay        # honor the log's cancellations
 //	simsched -preset KTH-SP2 -disrupt moderate -disrupt-seed 7   # synthetic drains + cancels
 //	simsched -preset KTH-SP2 -policy easy-sjbf -predictor ml -loss "over=sq,under=lin,w=largearea" -corrector incremental
+//	simsched -swf huge.swf -stream                               # bounded memory: O(live jobs), any trace length
+//	simsched -preset huge-synthetic -jobs 0 -stream              # a million generated jobs, streamed
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -43,7 +46,14 @@ func main() {
 	predictor := flag.String("predictor", "ml", "prediction technique: clairvoyant | requested | ave2 | ml")
 	lossName := flag.String("loss", ml.ELoss.Name(), "ML loss, e.g. \"over=sq,under=lin,w=largearea\"")
 	corrector := flag.String("corrector", "incremental", "correction: requested | incremental | doubling")
+	stream := flag.Bool("stream", false, "bounded-memory run: pull the workload lazily (SWF from disk, or the streaming generator for presets) and compute metrics one-pass; peak memory is O(live jobs), so million-job traces fit")
 	flag.Parse()
+
+	if *stream {
+		runStreaming(*preset, *jobs, *swfPath, *maxProcs, *status, *disrupt,
+			*triple, *policy, *predictor, *lossName, *corrector)
+		return
+	}
 
 	w, script, err := loadWorkload(*preset, *jobs, *swfPath, *maxProcs, *status)
 	if err != nil {
@@ -82,6 +92,89 @@ func main() {
 	fmt.Printf("utilization   %.3f\n", metrics.Utilization(res))
 	fmt.Printf("corrections   %d\n", res.Corrections)
 	fmt.Printf("prediction MAE %.0f s, mean E-Loss %.3g\n", metrics.MAE(res.Jobs), metrics.MeanELoss(res.Jobs))
+}
+
+// runStreaming is the -stream path: the workload is never materialized.
+// SWF files are scanned from disk through the streaming status/clean
+// filters; presets use the bounded-memory generator (same statistical
+// structure as the preloading generator, arrival draws differ). The
+// -disrupt and -status replay modes need the whole trace to derive
+// their scripts and are rejected here.
+func runStreaming(preset string, jobs int, swfPath string, maxProcs int64, status, disrupt, triple, policy, predictor, lossName, corrector string) {
+	if disrupt != "none" {
+		fatal(fmt.Errorf("-stream cannot generate disruption scripts (they sample the whole trace); drop -disrupt"))
+	}
+	cfg, err := buildConfig(triple, policy, predictor, lossName, corrector)
+	if err != nil {
+		fatal(err)
+	}
+	col := metrics.NewCollector()
+	cfg.Sink = col
+
+	name, mp, src, err := buildStreamSource(preset, jobs, swfPath, maxProcs, status)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.RunStream(name, mp, src, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload      %s (streamed, %d jobs finished, %d procs)\n", name, res.Finished, mp)
+	fmt.Printf("triple        %s\n", res.Triple)
+	fmt.Printf("AVEbsld       %.2f\n", col.AVEbsld())
+	fmt.Printf("max bsld      %.1f\n", col.MaxBsld())
+	fmt.Printf("mean wait     %.0f s (p50 %.0f, p95 %.0f, p99 %.0f)\n", col.MeanWait(),
+		col.WaitSketch().Quantile(0.50), col.WaitSketch().Quantile(0.95), col.WaitSketch().Quantile(0.99))
+	fmt.Printf("utilization   %.3f\n", col.Utilization(res.Makespan, res.MaxProcs))
+	fmt.Printf("corrections   %d\n", res.Corrections)
+	fmt.Printf("prediction MAE %.0f s, mean E-Loss %.3g\n", col.MAE(), col.MeanELoss())
+}
+
+// buildStreamSource assembles the lazy job pipeline and resolves the
+// machine size (peeking one record so the SWF header is available).
+func buildStreamSource(preset string, jobs int, swfPath string, maxProcs int64, status string) (string, int64, workload.Source, error) {
+	if swfPath == "" {
+		cfg, err := workload.Scaled(preset, jobs)
+		if err != nil {
+			return "", 0, nil, err
+		}
+		g, err := workload.NewGenSource(cfg)
+		if err != nil {
+			return "", 0, nil, err
+		}
+		return cfg.Name, cfg.MaxProcs, g, nil
+	}
+
+	mode, err := swf.ParseStatusMode(status)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	f, err := os.Open(swfPath)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	// The file stays open for the whole run; the process exit closes it.
+	sc := swf.NewScanner(f)
+	first, err := sc.Next()
+	if err == io.EOF {
+		return "", 0, nil, fmt.Errorf("%s: no jobs", swfPath)
+	}
+	if err != nil {
+		return "", 0, nil, err
+	}
+	mp := maxProcs
+	if mp <= 0 {
+		mp = sc.Header().Procs()
+	}
+	if mp <= 0 {
+		return "", 0, nil, fmt.Errorf("%s: machine size unknown (no MaxProcs/MaxNodes header; pass -maxprocs)", swfPath)
+	}
+	var src workload.Source = workload.Prepend([]swf.Job{first}, workload.NewScanSource(sc))
+	src, err = workload.NewStatusSource(src, mode)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	return swfPath, mp, workload.NewCleanSource(src, mp), nil
 }
 
 // loadWorkload builds the scheduling problem. For SWF files the status

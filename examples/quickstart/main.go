@@ -5,10 +5,12 @@
 //
 // Run with:
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart              # 4000 jobs
+//	go run ./examples/quickstart -jobs 50     # smoke scale
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -19,9 +21,12 @@ import (
 )
 
 func main() {
-	// A 4000-job slice of the CTC-SP2 preset: a saturated machine with
-	// heavily over-estimated requested times.
-	cfg, err := workload.Scaled("CTC-SP2", 4000)
+	jobs := flag.Int("jobs", 4000, "workload size (smaller runs finish in milliseconds)")
+	flag.Parse()
+
+	// A slice of the CTC-SP2 preset: a saturated machine with heavily
+	// over-estimated requested times.
+	cfg, err := workload.Scaled("CTC-SP2", *jobs)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -54,6 +54,21 @@ type Campaign struct {
 	// from (recorded in the journal; the undisrupted campaign itself is
 	// seed-independent).
 	Seed uint64
+	// Stream runs every cell on the bounded-memory engine
+	// (sim.RunStream + metrics.Collector) instead of the preloading one.
+	// Decisions and metrics are identical (enforced by the differential
+	// tests in internal/sim). The win is per-cell simulation state: a
+	// preloading cell materializes runtime job state, a trace-sized
+	// event queue and a fully retained Result.Jobs — multiplied by the
+	// number of cells in flight — while a streamed cell holds only its
+	// live-job window. The input traces in Workloads stay materialized
+	// either way (scripts, journal keys and reports need them); the
+	// fully bounded O(live jobs + window) paths are the ones fed by
+	// lazy sources, e.g. simsched/gentrace -stream. Per-schedule
+	// validation (sim.ValidateResult) is skipped: it needs the retained
+	// schedule, and the streaming engine's equivalence to the validated
+	// path is exactly what the differential layer proves.
+	Stream bool
 	// Progress, when non-nil, is called after every settled cell
 	// (completed, failed, or skipped via Resume) with the number done
 	// so far and the grid total. It is invoked from worker goroutines
@@ -127,7 +142,7 @@ func (c *Campaign) Run(ctx context.Context) ([]RunResult, error) {
 	}
 	err := g.run(ctx, func(i int, seed uint64) error {
 		wi, ti := i/len(triples), i%len(triples)
-		rr, err := runOne(c.Workloads[wi], triples[ti], nil)
+		rr, err := runOne(c.Workloads[wi], triples[ti], nil, c.Stream)
 		if err != nil {
 			return err
 		}
@@ -160,10 +175,34 @@ func compact[T any](results []T, completed []bool) []T {
 }
 
 // runOne simulates one (workload, triple) cell, optionally under a
-// disruption script, and validates the realized schedule.
-func runOne(w *trace.Workload, tr core.Triple, script *scenario.Script) (RunResult, error) {
+// disruption script. The preloading path validates the realized
+// schedule; the streaming path computes its metrics one-pass without
+// ever retaining the schedule (equivalence to the validated path is the
+// differential layer's burden).
+func runOne(w *trace.Workload, tr core.Triple, script *scenario.Script, stream bool) (RunResult, error) {
 	cfg := tr.Config()
 	cfg.Script = script
+	if stream {
+		col := metrics.NewCollector()
+		cfg.Sink = col
+		res, err := sim.RunStream(w.Name, w.MaxProcs, workload.FromWorkload(w), cfg)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("campaign: %s on %s (stream): %w", tr.Name(), w.Name, err)
+		}
+		return RunResult{
+			Workload:    w.Name,
+			Triple:      tr,
+			AVEbsld:     col.AVEbsld(),
+			MaxBsld:     col.MaxBsld(),
+			MeanWait:    col.MeanWait(),
+			Utilization: col.Utilization(res.Makespan, res.MaxProcs),
+			Corrections: res.Corrections,
+			Canceled:    res.Canceled,
+			MAE:         col.MAE(),
+			MeanELoss:   col.MeanELoss(),
+			Perf:        res.Perf,
+		}, nil
+	}
 	res, err := sim.Run(w, cfg)
 	if err != nil {
 		return RunResult{}, fmt.Errorf("campaign: %s on %s: %w", tr.Name(), w.Name, err)

@@ -61,6 +61,9 @@ type Robustness struct {
 	Intensities []scenario.Intensity
 	// Seed drives the deterministic script generation.
 	Seed uint64
+	// Stream runs every cell on the bounded-memory engine; see
+	// Campaign.Stream.
+	Stream bool
 	// Parallelism bounds concurrent simulations (defaults to GOMAXPROCS).
 	Parallelism int
 	// Progress, when non-nil, is called after every settled cell
@@ -164,7 +167,7 @@ func (r *Robustness) Run(ctx context.Context) ([]RobustnessResult, error) {
 	err := g.run(ctx, func(i int, seed uint64) error {
 		wi, ii, ti := split(i)
 		script := scripts[wi*len(scenarios)+ii]
-		run, err := runOne(r.Workloads[wi], triples[ti], script)
+		run, err := runOne(r.Workloads[wi], triples[ti], script, r.Stream)
 		if err != nil {
 			return err
 		}

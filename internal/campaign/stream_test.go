@@ -1,0 +1,96 @@
+package campaign_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// streamTestWorkloads builds a small two-preset grid input.
+func streamTestWorkloads(t *testing.T, jobs int) []*trace.Workload {
+	t.Helper()
+	var ws []*trace.Workload
+	for _, name := range []string{"KTH-SP2", "CTC-SP2"} {
+		cfg, err := workload.Scaled(name, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// TestStreamCampaignTableIdentical renders the campaign overview from a
+// streamed grid and a preloaded grid and requires byte-identical tables
+// — the metric-table half of the streaming acceptance criteria.
+func TestStreamCampaignTableIdentical(t *testing.T) {
+	ws := streamTestWorkloads(t, 250)
+	triples := []core.Triple{core.EASY(), core.EASYPlusPlus(), core.ClairvoyantSJBF()}
+
+	mem := &campaign.Campaign{Workloads: ws, Triples: triples, Seed: 3}
+	memResults, err := mem.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := &campaign.Campaign{Workloads: ws, Triples: triples, Seed: 3, Stream: true}
+	strResults, err := str.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := report.Table6(strResults), report.Table6(memResults); got != want {
+		t.Fatalf("streamed Table 6 differs from preloaded:\n%s\nvs\n%s", got, want)
+	}
+	if got, want := report.Table1(strResults), report.Table1(memResults); got != want {
+		t.Fatalf("streamed Table 1 differs from preloaded:\n%s\nvs\n%s", got, want)
+	}
+	for i := range memResults {
+		m, s := memResults[i], strResults[i]
+		if m.Workload != s.Workload || m.Triple.Name() != s.Triple.Name() {
+			t.Fatalf("cell %d identity differs: %s/%s vs %s/%s", i, m.Workload, m.Triple.Name(), s.Workload, s.Triple.Name())
+		}
+		if m.Corrections != s.Corrections || m.Canceled != s.Canceled ||
+			m.MeanWait != s.MeanWait || m.Utilization != s.Utilization || m.MaxBsld != s.MaxBsld {
+			t.Fatalf("cell %d metrics differ: %+v vs %+v", i, m, s)
+		}
+	}
+}
+
+// TestStreamRobustnessTableIdentical does the same for the disruption
+// sweep (shared scripts per cell on both engines).
+func TestStreamRobustnessTableIdentical(t *testing.T) {
+	ws := streamTestWorkloads(t, 200)
+	triples := []core.Triple{core.EASY(), core.EASYPlusPlus()}
+	moderate, ok := scenario.IntensityByName("moderate")
+	if !ok {
+		t.Fatal("moderate intensity missing")
+	}
+	scenarios := []campaign.Scenario{
+		{Intensity: scenario.Intensity{Name: "none"}},
+		{Intensity: moderate},
+	}
+
+	mem := &campaign.Robustness{Workloads: ws, Triples: triples, Scenarios: scenarios, Seed: 7}
+	memResults, err := mem.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := &campaign.Robustness{Workloads: ws, Triples: triples, Scenarios: scenarios, Seed: 7, Stream: true}
+	strResults, err := str.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := report.RobustnessTable(strResults), report.RobustnessTable(memResults); got != want {
+		t.Fatalf("streamed robustness table differs:\n%s\nvs\n%s", got, want)
+	}
+}

@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/correct"
+	"repro/internal/eventq"
+	"repro/internal/job"
+	"repro/internal/platform"
+)
+
+// payload is the event-queue payload: a job for job events, a processor
+// count for capacity events. Streaming cancellations carry the target's
+// job ID instead of a pointer (the job may not have been pulled from the
+// source yet); the handler resolves it through the engine's target map.
+type payload struct {
+	j     *job.Job
+	procs int64
+	id    int64
+}
+
+// cancelTarget is the bounded bookkeeping a streaming run keeps for each
+// job named by the scenario's cancellation events — the only jobs whose
+// identity must be tracked across the whole run. The map is sized by the
+// script, not the trace, so it is part of the O(window) envelope.
+type cancelTarget struct {
+	// j is the live job once submitted, nil before submission and after
+	// the job leaves the system (so retired jobs stay collectable).
+	j *job.Job
+	// bound marks that the stream delivered the job.
+	bound bool
+	// canceled / finished mirror the job's terminal state.
+	canceled bool
+	finished bool
+}
+
+// engine is the shared event core both drivers run: Run (preloading) and
+// RunStream (bounded memory) construct one, seed its event queue, and
+// feed popped events to handle. All scheduling semantics live here so
+// the two paths cannot drift.
+type engine struct {
+	cfg       Config
+	corrector correct.Corrector
+	machine   *platform.Machine
+	queue     []*job.Job
+	q         eventq.Queue[payload]
+	sink      JobSink
+	res       *Result
+	// targets is non-nil only on streaming runs with a cancellation
+	// script; see cancelTarget.
+	targets map[int64]*cancelTarget
+}
+
+// recordCapacity appends to the realized capacity timeline, collapsing
+// multiple changes at one instant into the last.
+func (e *engine) recordCapacity(now int64) {
+	c := e.machine.Capacity()
+	if n := len(e.res.CapacitySteps); n > 0 && e.res.CapacitySteps[n-1].At == now {
+		e.res.CapacitySteps[n-1].Capacity = c
+		return
+	}
+	e.res.CapacitySteps = append(e.res.CapacitySteps, CapacityStep{At: now, Capacity: c})
+}
+
+func (e *engine) startJob(j *job.Job, now int64) {
+	j.Started = true
+	j.Start = now
+	e.machine.Start(j)
+	e.cfg.Predictor.OnStart(j, now)
+	e.cfg.Policy.OnStart(j, now)
+	e.q.Push(now+j.Runtime, eventq.Finish, payload{j: j})
+	if j.Prediction < j.Runtime {
+		e.q.Push(now+j.Prediction, eventq.Expiry, payload{j: j})
+	}
+}
+
+func (e *engine) schedulePass(now int64) {
+	for {
+		e.res.Perf.PickCalls++
+		next := e.cfg.Policy.Pick(now, e.machine, e.queue)
+		if next == nil {
+			return
+		}
+		removed := false
+		for i, qj := range e.queue {
+			if qj == next {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			panic(fmt.Sprintf("sim: policy %s picked job %d not in queue", e.cfg.Policy.Name(), next.ID))
+		}
+		e.startJob(next, now)
+	}
+}
+
+// release frees a running job's processors and reports whether a
+// pending drain absorbed part of the release (a capacity change).
+func (e *engine) release(j *job.Job) (capacityChanged bool) {
+	before := e.machine.Capacity()
+	e.machine.Finish(j)
+	return e.machine.Capacity() != before
+}
+
+// target returns the streaming cancel bookkeeping for a job ID, nil when
+// not tracked (preloading runs, or jobs no script event names).
+func (e *engine) target(id int64) *cancelTarget {
+	if e.targets == nil {
+		return nil
+	}
+	return e.targets[id]
+}
+
+// retire marks a job's exit from the system: it is counted, its cancel
+// bookkeeping (if any) is closed so the pointer can be collected, and
+// the sink observes its realized schedule.
+func (e *engine) retire(j *job.Job) {
+	e.res.Finished++
+	if tgt := e.target(j.ID); tgt != nil {
+		tgt.finished = true
+		tgt.j = nil
+	}
+	if e.sink != nil {
+		e.sink.Observe(j)
+	}
+}
+
+// handle processes one popped event and, unless the event was stale,
+// runs the scheduling pass at its instant. The branch structure mirrors
+// the paper's same-instant semantics; see the package comment.
+func (e *engine) handle(ev eventq.Event[payload]) {
+	now := ev.Time
+	switch ev.Kind {
+	case eventq.Submit:
+		j := ev.Payload.j
+		if j.Canceled {
+			return // canceled before submission: never enters the system
+		}
+		j.Prediction = j.ClampPrediction(e.cfg.Predictor.Predict(j, now))
+		j.SubmitPrediction = j.Prediction
+		e.cfg.Predictor.OnSubmit(j, now)
+		e.queue = append(e.queue, j)
+		e.cfg.Policy.OnSubmit(j, now)
+	case eventq.Finish:
+		j := ev.Payload.j
+		if j.Finished {
+			return // stale: the job was killed by a cancellation
+		}
+		changed := e.release(j)
+		j.Finished = true
+		j.End = now
+		if j.End > e.res.Makespan {
+			e.res.Makespan = j.End
+		}
+		e.cfg.Predictor.OnFinish(j, now)
+		e.cfg.Policy.OnFinish(j, now)
+		if changed {
+			e.recordCapacity(now)
+			e.cfg.Policy.OnCapacityChange(now, e.machine)
+		}
+		e.retire(j)
+	case eventq.Cancel:
+		if !e.handleCancel(ev.Payload, now) {
+			return
+		}
+	case eventq.Drain:
+		before := e.machine.Capacity()
+		e.machine.Drain(ev.Payload.procs)
+		if e.machine.Capacity() != before {
+			e.recordCapacity(now)
+		}
+		// Even a fully pending drain changes the eventual capacity
+		// every availability view plans against.
+		e.cfg.Policy.OnCapacityChange(now, e.machine)
+	case eventq.Restore:
+		before := e.machine.Capacity()
+		e.machine.Restore(ev.Payload.procs)
+		if e.machine.Capacity() != before {
+			e.recordCapacity(now)
+		}
+		e.cfg.Policy.OnCapacityChange(now, e.machine)
+	case eventq.Expiry:
+		j := ev.Payload.j
+		if j.Finished || !j.Started {
+			return // stale: the job completed at this same instant or earlier
+		}
+		if j.PredictedEnd() > now {
+			return // stale: a correction already extended the prediction
+		}
+		elapsed := now - j.Start
+		next := e.corrector.Correct(elapsed, j.Request, j.Corrections)
+		next = j.ClampPrediction(next)
+		if next <= elapsed {
+			// Progress guard: a correction that does not extend the
+			// prediction would loop; push it just past the present.
+			next = elapsed + 1
+			if next > j.Request {
+				next = j.Request
+			}
+		}
+		j.Prediction = next
+		j.Corrections++
+		e.res.Corrections++
+		e.cfg.Policy.OnExpiry(j, now)
+		if j.PredictedEnd() < j.Start+j.Runtime {
+			e.q.Push(j.PredictedEnd(), eventq.Expiry, payload{j: j})
+		}
+	}
+	e.schedulePass(now)
+}
+
+// handleCancel removes a job from the system — before submission, from
+// the queue, or killing it mid-run — and reports whether the scheduling
+// pass should run (false only for stale cancellations).
+func (e *engine) handleCancel(p payload, now int64) (runPass bool) {
+	j := p.j
+	if j == nil {
+		// Streaming: resolve the target by ID. An unbound entry is a job
+		// the source has not delivered yet (or never will): mark it so a
+		// later submission is dropped on arrival — the preloading path's
+		// "canceled before submission".
+		tgt := e.target(p.id)
+		if tgt == nil || tgt.finished || tgt.canceled {
+			return false
+		}
+		if tgt.j == nil {
+			tgt.canceled = true
+			return true
+		}
+		j = tgt.j
+	}
+	if j.Finished || j.Canceled {
+		return false // stale: already completed or already canceled
+	}
+	j.Canceled = true
+	e.res.Canceled++
+	if tgt := e.target(j.ID); tgt != nil {
+		tgt.canceled = true
+	}
+	if j.Started {
+		// Kill the running job: it occupied the machine for exactly
+		// now-Start seconds, which becomes its realized runtime.
+		changed := e.release(j)
+		j.Finished = true
+		j.End = now
+		j.Runtime = now - j.Start
+		if j.End > e.res.Makespan {
+			e.res.Makespan = j.End
+		}
+		e.cfg.Predictor.OnFinish(j, now)
+		e.cfg.Policy.OnCancel(j, now)
+		if changed {
+			e.recordCapacity(now)
+			e.cfg.Policy.OnCapacityChange(now, e.machine)
+		}
+		e.retire(j)
+		return true
+	}
+	// Still waiting (or, if absent from the queue, not yet submitted —
+	// the Submit event will observe Canceled).
+	for i, qj := range e.queue {
+		if qj == j {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			e.cfg.Policy.OnCancel(j, now)
+			break
+		}
+	}
+	if tgt := e.target(j.ID); tgt != nil {
+		tgt.j = nil // never runs; release the pointer
+	}
+	return true
+}

@@ -22,6 +22,15 @@
 // remove jobs wherever they are — before submission, in the queue, or
 // running. The realized capacity timeline is recorded on the Result so
 // validation can check the schedule against it.
+//
+// The engine has two drivers over one shared event core (engine.go):
+// Run preloads a trace.Workload and retains every job on the Result —
+// the validating, table-producing path — while RunStream (stream.go)
+// pulls submissions lazily from a workload.Source and retires finished
+// jobs into a JobSink, keeping peak memory O(live jobs + window)
+// regardless of trace length. A differential test harness
+// (stream_diff_test.go) holds the two drivers to decision-identical
+// schedules.
 package sim
 
 import (
@@ -51,6 +60,19 @@ type Config struct {
 	// restores, job cancellations) into the event loop. Nil or empty
 	// reproduces the static machine exactly.
 	Script *scenario.Script
+	// Sink, when non-nil, observes every job that finishes (normally or
+	// killed by a cancellation), exactly once, in event order, with its
+	// realized schedule filled in. It is how streaming runs compute
+	// metrics without retaining jobs; the preloading driver honors it
+	// too, so the two paths feed identical observation sequences.
+	Sink JobSink
+}
+
+// JobSink receives finished jobs as the simulation retires them. Jobs a
+// scenario canceled before they ever ran are not observed (they have no
+// realized schedule), matching the population the batch metrics use.
+type JobSink interface {
+	Observe(j *job.Job)
 }
 
 // Name renders the triple as "policy/predictor/corrector".
@@ -102,8 +124,16 @@ type Result struct {
 	MaxProcs int64
 	// Jobs holds every job with Start/End/Prediction state filled in,
 	// in submission order. Canceled jobs that never ran keep
-	// Started == false.
+	// Started == false. Nil on a streamed run (Streamed is true):
+	// bounded-memory runs observe jobs through Config.Sink instead of
+	// retaining them.
 	Jobs []*job.Job
+	// Streamed marks a bounded-memory RunStream result: Jobs is nil and
+	// per-job analyses must come from the Config.Sink observer.
+	Streamed bool
+	// Finished counts the jobs that completed (including jobs killed
+	// mid-run by a cancellation).
+	Finished int
 	// Corrections is the total number of prediction-expiry corrections.
 	Corrections int
 	// Canceled is the number of jobs removed by scenario cancellations.
@@ -118,29 +148,29 @@ type Result struct {
 	Perf Perf
 }
 
-// payload is the event-queue payload: a job for job events, a processor
-// count for capacity events.
-type payload struct {
-	j     *job.Job
-	procs int64
-}
-
-// Run simulates the workload under the given configuration. It returns
-// an error only for structurally impossible inputs; scheduling-logic
-// violations (overbooking, double starts) panic, since they are bugs.
+// Run simulates the workload under the given configuration, preloading
+// every job and retaining the full realized schedule on the Result. It
+// returns an error only for structurally impossible inputs;
+// scheduling-logic violations (overbooking, double starts) panic, since
+// they are bugs. For bounded-memory replay of huge traces see RunStream.
 func Run(w *trace.Workload, cfg Config) (*Result, error) {
 	wallStart := time.Now()
-	if cfg.Policy == nil || cfg.Predictor == nil {
-		return nil, fmt.Errorf("sim: policy and predictor are required")
-	}
-	corrector := cfg.Corrector
-	if corrector == nil {
-		corrector = correct.RequestedTime{}
+	corrector, err := checkConfig(cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	jobs := make([]*job.Job, len(w.Jobs))
 	byID := make(map[int64]*job.Job, len(w.Jobs))
-	var q eventq.Queue[payload]
+	res := &Result{Triple: cfg.Name(), Workload: w.Name, MaxProcs: w.MaxProcs, Jobs: jobs}
+	e := &engine{
+		cfg:       cfg,
+		corrector: corrector,
+		machine:   platform.New(w.MaxProcs),
+		queue:     make([]*job.Job, 0, 64),
+		sink:      cfg.Sink,
+		res:       res,
+	}
 	for i := range w.Jobs {
 		r := &w.Jobs[i]
 		if r.Procs() > w.MaxProcs {
@@ -149,10 +179,9 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 		j := job.FromSWF(r)
 		jobs[i] = j
 		byID[j.ID] = j
-		q.Push(j.Submit, eventq.Submit, payload{j: j})
+		e.q.Push(j.Submit, eventq.Submit, payload{j: j})
 	}
 
-	res := &Result{Triple: cfg.Name(), Workload: w.Name, MaxProcs: w.MaxProcs, Jobs: jobs}
 	if !cfg.Script.Empty() {
 		res.Scenario = cfg.Script.Name
 		for _, ev := range cfg.Script.Events {
@@ -160,12 +189,12 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 			case ev.Time < 0:
 				return nil, fmt.Errorf("sim: scenario event at negative instant %d", ev.Time)
 			case ev.Action == scenario.Drain && ev.Procs > 0:
-				q.Push(ev.Time, eventq.Drain, payload{procs: ev.Procs})
+				e.q.Push(ev.Time, eventq.Drain, payload{procs: ev.Procs})
 			case ev.Action == scenario.Restore && ev.Procs > 0:
-				q.Push(ev.Time, eventq.Restore, payload{procs: ev.Procs})
+				e.q.Push(ev.Time, eventq.Restore, payload{procs: ev.Procs})
 			case ev.Action == scenario.Cancel:
 				if j := byID[ev.JobID]; j != nil {
-					q.Push(ev.Time, eventq.Cancel, payload{j: j})
+					e.q.Push(ev.Time, eventq.Cancel, payload{j: j})
 				}
 				// Unknown IDs are ignored: scripts derived from a raw
 				// log may name jobs the workload cleaning dropped.
@@ -175,177 +204,17 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 		}
 	}
 
-	machine := platform.New(w.MaxProcs)
-	queue := make([]*job.Job, 0, 64)
-
-	// recordCapacity appends to the realized capacity timeline,
-	// collapsing multiple changes at one instant into the last.
-	recordCapacity := func(now int64) {
-		c := machine.Capacity()
-		if n := len(res.CapacitySteps); n > 0 && res.CapacitySteps[n-1].At == now {
-			res.CapacitySteps[n-1].Capacity = c
-			return
-		}
-		res.CapacitySteps = append(res.CapacitySteps, CapacityStep{At: now, Capacity: c})
-	}
-
-	startJob := func(j *job.Job, now int64) {
-		j.Started = true
-		j.Start = now
-		machine.Start(j)
-		cfg.Predictor.OnStart(j, now)
-		cfg.Policy.OnStart(j, now)
-		q.Push(now+j.Runtime, eventq.Finish, payload{j: j})
-		if j.Prediction < j.Runtime {
-			q.Push(now+j.Prediction, eventq.Expiry, payload{j: j})
-		}
-	}
-
-	schedulePass := func(now int64) {
-		for {
-			res.Perf.PickCalls++
-			next := cfg.Policy.Pick(now, machine, queue)
-			if next == nil {
-				return
-			}
-			removed := false
-			for i, qj := range queue {
-				if qj == next {
-					queue = append(queue[:i], queue[i+1:]...)
-					removed = true
-					break
-				}
-			}
-			if !removed {
-				panic(fmt.Sprintf("sim: policy %s picked job %d not in queue", cfg.Policy.Name(), next.ID))
-			}
-			startJob(next, now)
-		}
-	}
-
-	// release frees a running job's processors and reports whether a
-	// pending drain absorbed part of the release (a capacity change).
-	release := func(j *job.Job) (capacityChanged bool) {
-		before := machine.Capacity()
-		machine.Finish(j)
-		return machine.Capacity() != before
-	}
-
 	for {
-		ev, ok := q.Pop()
+		ev, ok := e.q.Pop()
 		if !ok {
 			break
 		}
 		res.Perf.Events++
-		now := ev.Time
-		j := ev.Payload.j
-		switch ev.Kind {
-		case eventq.Submit:
-			if j.Canceled {
-				continue // canceled before submission: never enters the system
-			}
-			j.Prediction = j.ClampPrediction(cfg.Predictor.Predict(j, now))
-			j.SubmitPrediction = j.Prediction
-			cfg.Predictor.OnSubmit(j, now)
-			queue = append(queue, j)
-			cfg.Policy.OnSubmit(j, now)
-		case eventq.Finish:
-			if j.Finished {
-				continue // stale: the job was killed by a cancellation
-			}
-			changed := release(j)
-			j.Finished = true
-			j.End = now
-			if j.End > res.Makespan {
-				res.Makespan = j.End
-			}
-			cfg.Predictor.OnFinish(j, now)
-			cfg.Policy.OnFinish(j, now)
-			if changed {
-				recordCapacity(now)
-				cfg.Policy.OnCapacityChange(now, machine)
-			}
-		case eventq.Cancel:
-			if j.Finished || j.Canceled {
-				continue // stale: already completed or already canceled
-			}
-			j.Canceled = true
-			res.Canceled++
-			if j.Started {
-				// Kill the running job: it occupied the machine for
-				// exactly now-Start seconds, which becomes its realized
-				// runtime.
-				changed := release(j)
-				j.Finished = true
-				j.End = now
-				j.Runtime = now - j.Start
-				if j.End > res.Makespan {
-					res.Makespan = j.End
-				}
-				cfg.Predictor.OnFinish(j, now)
-				cfg.Policy.OnCancel(j, now)
-				if changed {
-					recordCapacity(now)
-					cfg.Policy.OnCapacityChange(now, machine)
-				}
-				break
-			}
-			// Still waiting (or, if absent from the queue, not yet
-			// submitted — the Submit event will observe Canceled).
-			for i, qj := range queue {
-				if qj == j {
-					queue = append(queue[:i], queue[i+1:]...)
-					cfg.Policy.OnCancel(j, now)
-					break
-				}
-			}
-		case eventq.Drain:
-			before := machine.Capacity()
-			machine.Drain(ev.Payload.procs)
-			if machine.Capacity() != before {
-				recordCapacity(now)
-			}
-			// Even a fully pending drain changes the eventual capacity
-			// every availability view plans against.
-			cfg.Policy.OnCapacityChange(now, machine)
-		case eventq.Restore:
-			before := machine.Capacity()
-			machine.Restore(ev.Payload.procs)
-			if machine.Capacity() != before {
-				recordCapacity(now)
-			}
-			cfg.Policy.OnCapacityChange(now, machine)
-		case eventq.Expiry:
-			if j.Finished || !j.Started {
-				continue // stale: the job completed at this same instant or earlier
-			}
-			if j.PredictedEnd() > now {
-				continue // stale: a correction already extended the prediction
-			}
-			elapsed := now - j.Start
-			next := corrector.Correct(elapsed, j.Request, j.Corrections)
-			next = j.ClampPrediction(next)
-			if next <= elapsed {
-				// Progress guard: a correction that does not extend the
-				// prediction would loop; push it just past the present.
-				next = elapsed + 1
-				if next > j.Request {
-					next = j.Request
-				}
-			}
-			j.Prediction = next
-			j.Corrections++
-			res.Corrections++
-			cfg.Policy.OnExpiry(j, now)
-			if j.PredictedEnd() < j.Start+j.Runtime {
-				q.Push(j.PredictedEnd(), eventq.Expiry, payload{j: j})
-			}
-		}
-		schedulePass(now)
+		e.handle(ev)
 	}
 
-	if len(queue) != 0 {
-		return nil, fmt.Errorf("sim: %d jobs never started (first: %d) — did the scenario restore its drains?", len(queue), queue[0].ID)
+	if len(e.queue) != 0 {
+		return nil, fmt.Errorf("sim: %d jobs never started (first: %d) — did the scenario restore its drains?", len(e.queue), e.queue[0].ID)
 	}
 	for _, j := range jobs {
 		if !j.Finished && !j.Canceled {
@@ -354,4 +223,15 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 	}
 	res.Perf.WallNanos = time.Since(wallStart).Nanoseconds()
 	return res, nil
+}
+
+// checkConfig validates the triple and resolves the default corrector.
+func checkConfig(cfg Config) (correct.Corrector, error) {
+	if cfg.Policy == nil || cfg.Predictor == nil {
+		return nil, fmt.Errorf("sim: policy and predictor are required")
+	}
+	if cfg.Corrector == nil {
+		return correct.RequestedTime{}, nil
+	}
+	return cfg.Corrector, nil
 }

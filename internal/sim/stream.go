@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/eventq"
+	"repro/internal/job"
+	"repro/internal/platform"
+	"repro/internal/scenario"
+	"repro/internal/swf"
+	"repro/internal/workload"
+)
+
+// RunStream simulates a lazily pulled workload in bounded memory: peak
+// heap is O(live jobs + window) — queued and running jobs, their pending
+// events, the scenario script and per-user predictor state — instead of
+// O(trace). Submissions are pulled from src exactly when the event clock
+// reaches them, and finished jobs are handed to cfg.Sink and forgotten,
+// so Result.Jobs stays nil (Result.Streamed is set).
+//
+// The source must yield jobs in nondecreasing SubmitTime order (all
+// workload.Source implementations do); an out-of-order record is an
+// error. Decisions, metrics observations and the Result counters are
+// identical to Run on the same job sequence — the property
+// stream_diff_test.go enforces across presets, policies and disruption
+// scripts. One deliberate exception: a script cancellation naming a job
+// the source never delivers (possible for scripts derived from a raw
+// log) still pops here — the stream cannot know the ID is absent, while
+// Run drops it at setup — so Perf.Events/PickCalls may exceed Run's by
+// those benign pops; decisions and metrics are unaffected (the extra
+// scheduling pass sees unchanged state and starts nothing).
+func RunStream(name string, maxProcs int64, src workload.Source, cfg Config) (*Result, error) {
+	wallStart := time.Now()
+	corrector, err := checkConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if maxProcs <= 0 {
+		return nil, fmt.Errorf("sim: stream %q: machine size %d must be positive", name, maxProcs)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("sim: stream %q: nil source", name)
+	}
+
+	res := &Result{Triple: cfg.Name(), Workload: name, MaxProcs: maxProcs, Streamed: true}
+	e := &engine{
+		cfg:       cfg,
+		corrector: corrector,
+		machine:   platform.New(maxProcs),
+		queue:     make([]*job.Job, 0, 64),
+		sink:      cfg.Sink,
+		res:       res,
+	}
+
+	// Scenario events enter the queue up front, exactly as on the
+	// preloading path — same-instant ordering between same-kind events
+	// is script order either way. Cancellations are keyed by job ID and
+	// resolved against the bounded target map when they fire.
+	if !cfg.Script.Empty() {
+		res.Scenario = cfg.Script.Name
+		e.targets = make(map[int64]*cancelTarget)
+		for _, ev := range cfg.Script.Events {
+			switch {
+			case ev.Time < 0:
+				return nil, fmt.Errorf("sim: scenario event at negative instant %d", ev.Time)
+			case ev.Action == scenario.Drain && ev.Procs > 0:
+				e.q.Push(ev.Time, eventq.Drain, payload{procs: ev.Procs})
+			case ev.Action == scenario.Restore && ev.Procs > 0:
+				e.q.Push(ev.Time, eventq.Restore, payload{procs: ev.Procs})
+			case ev.Action == scenario.Cancel:
+				if e.targets[ev.JobID] == nil {
+					e.targets[ev.JobID] = &cancelTarget{}
+				}
+				e.q.Push(ev.Time, eventq.Cancel, payload{id: ev.JobID})
+			default:
+				return nil, fmt.Errorf("sim: scenario %s event with %d processors", ev.Action, ev.Procs)
+			}
+		}
+	}
+
+	// admit turns the next source record into a live job and schedules
+	// its submission. It runs when the event clock is about to reach the
+	// record's submit instant, so every pushed event is in the future.
+	lastSubmit := int64(-1 << 62)
+	admit := func(rec swf.Job) error {
+		if rec.Procs() > maxProcs {
+			return fmt.Errorf("sim: job %d wider (%d) than machine (%d)", rec.JobNumber, rec.Procs(), maxProcs)
+		}
+		if rec.SubmitTime < lastSubmit {
+			return fmt.Errorf("sim: stream %q not submit-ordered: job %d at %d after %d", name, rec.JobNumber, rec.SubmitTime, lastSubmit)
+		}
+		lastSubmit = rec.SubmitTime
+		r := rec // escapes with the job; collected when the job retires
+		j := job.FromSWF(&r)
+		if tgt := e.target(j.ID); tgt != nil {
+			if tgt.bound {
+				return fmt.Errorf("sim: stream %q: duplicate job id %d targeted by a cancellation", name, j.ID)
+			}
+			tgt.bound = true
+			if tgt.canceled {
+				// Canceled before submission: count it now (the cancel
+				// event fired before the job existed) and let the Submit
+				// event drop it, as the preloading path does.
+				j.Canceled = true
+				res.Canceled++
+			} else {
+				tgt.j = j
+			}
+		}
+		e.q.Push(j.Submit, eventq.Submit, payload{j: j})
+		return nil
+	}
+
+	var pending swf.Job
+	havePending, exhausted := false, false
+	for {
+		// Top up arrivals: everything submitting at or before the next
+		// event's instant must be in the queue before that event pops
+		// (the kind order then serializes the instant correctly).
+		for !exhausted {
+			if !havePending {
+				rec, err := src.NextJob()
+				if err == io.EOF {
+					exhausted = true
+					break
+				}
+				if err != nil {
+					return nil, fmt.Errorf("sim: stream %q: %w", name, err)
+				}
+				pending, havePending = rec, true
+			}
+			if t, ok := e.q.PeekTime(); ok && pending.SubmitTime > t {
+				break
+			}
+			if err := admit(pending); err != nil {
+				return nil, err
+			}
+			havePending = false
+		}
+
+		ev, ok := e.q.Pop()
+		if !ok {
+			break
+		}
+		res.Perf.Events++
+		e.handle(ev)
+	}
+
+	if len(e.queue) != 0 {
+		return nil, fmt.Errorf("sim: %d jobs never started (first: %d) — did the scenario restore its drains?", len(e.queue), e.queue[0].ID)
+	}
+	if n := e.machine.RunningCount(); n != 0 {
+		return nil, fmt.Errorf("sim: %d jobs still running after the event queue drained", n)
+	}
+	res.Perf.WallNanos = time.Since(wallStart).Nanoseconds()
+	return res, nil
+}

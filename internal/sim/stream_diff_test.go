@@ -1,0 +1,329 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/correct"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/swf"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The differential-testing layer of the streaming engine: RunStream must
+// be decision- and metrics-identical to Run on the same job sequence —
+// every preset, every policy, disrupted or not. The comparison is strict:
+// the retirement sequence (job identity and realized schedule, in event
+// order), every Result counter including the deterministic Perf
+// counters, the capacity timeline, and the streaming metric collectors
+// must all agree exactly.
+
+// retirement is one observed job exit, the unit of schedule comparison.
+type retirement struct {
+	id          int64
+	start       int64
+	end         int64
+	runtime     int64
+	wait        int64
+	prediction  int64
+	submitPred  int64
+	corrections int
+	canceled    bool
+}
+
+// recordingSink captures the retirement sequence and forwards to a
+// metrics collector, so one run yields both views.
+type recordingSink struct {
+	seq []retirement
+	col *metrics.Collector
+}
+
+func newRecordingSink() *recordingSink {
+	return &recordingSink{col: metrics.NewCollector()}
+}
+
+func (r *recordingSink) Observe(j *job.Job) {
+	r.seq = append(r.seq, retirement{
+		id: j.ID, start: j.Start, end: j.End, runtime: j.Runtime,
+		wait: j.Wait(), prediction: j.Prediction, submitPred: j.SubmitPrediction,
+		corrections: j.Corrections, canceled: j.Canceled,
+	})
+	r.col.Observe(j)
+}
+
+// diffConfigs is the policy-triple grid the differential tests sweep:
+// every policy crossed with predictors that exercise distinct engine
+// paths (requested times never expire; AVE2 underpredicts and drives the
+// correction machinery; clairvoyant pins the lower bound) and both
+// correction styles.
+func diffConfigs() []core.Triple {
+	policies := []core.Triple{
+		{NoBackfill: true},          // FCFS
+		{Backfill: sched.FCFSOrder}, // EASY
+		{Backfill: sched.SJBFOrder}, // EASY-SJBF
+		{Conservative: true},        // Conservative BF
+	}
+	predictors := []core.PredictorKind{core.PredRequested, core.PredAve2, core.PredClairvoyant}
+	correctors := []correct.Corrector{correct.Incremental{}, correct.RecursiveDoubling{}}
+	var out []core.Triple
+	for _, p := range policies {
+		for _, pr := range predictors {
+			for _, c := range correctors {
+				t := p
+				t.Predictor = pr
+				t.Corrector = c
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// runBoth simulates the workload with both engines under fresh triple
+// state and returns the two results and sinks.
+func runBoth(t *testing.T, w *trace.Workload, tr core.Triple, script *scenario.Script) (mem, str *sim.Result, memSink, strSink *recordingSink) {
+	t.Helper()
+	memSink = newRecordingSink()
+	cfg := tr.Config()
+	cfg.Script = script
+	cfg.Sink = memSink
+	mem, err := sim.Run(w, cfg)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", tr.Name(), err)
+	}
+
+	strSink = newRecordingSink()
+	cfg = tr.Config()
+	cfg.Script = script
+	cfg.Sink = strSink
+	str, err = sim.RunStream(w.Name, w.MaxProcs, workload.FromWorkload(w), cfg)
+	if err != nil {
+		t.Fatalf("RunStream(%s): %v", tr.Name(), err)
+	}
+	return mem, str, memSink, strSink
+}
+
+// assertIdentical compares every observable the two engines share.
+func assertIdentical(t *testing.T, label string, mem, str *sim.Result, memSink, strSink *recordingSink) {
+	t.Helper()
+	if len(memSink.seq) != len(strSink.seq) {
+		t.Fatalf("%s: retirement counts differ: %d vs %d", label, len(memSink.seq), len(strSink.seq))
+	}
+	for i := range memSink.seq {
+		if memSink.seq[i] != strSink.seq[i] {
+			t.Fatalf("%s: retirement %d differs:\n mem: %+v\n str: %+v", label, i, memSink.seq[i], strSink.seq[i])
+		}
+	}
+	if !str.Streamed || str.Jobs != nil {
+		t.Fatalf("%s: streamed result retained jobs", label)
+	}
+	if mem.Makespan != str.Makespan || mem.Corrections != str.Corrections ||
+		mem.Canceled != str.Canceled || mem.Finished != str.Finished {
+		t.Fatalf("%s: counters differ: makespan %d/%d corrections %d/%d canceled %d/%d finished %d/%d",
+			label, mem.Makespan, str.Makespan, mem.Corrections, str.Corrections,
+			mem.Canceled, str.Canceled, mem.Finished, str.Finished)
+	}
+	if len(mem.CapacitySteps) != len(str.CapacitySteps) {
+		t.Fatalf("%s: capacity timelines differ in length: %d vs %d", label, len(mem.CapacitySteps), len(str.CapacitySteps))
+	}
+	for i := range mem.CapacitySteps {
+		if mem.CapacitySteps[i] != str.CapacitySteps[i] {
+			t.Fatalf("%s: capacity step %d differs: %+v vs %+v", label, i, mem.CapacitySteps[i], str.CapacitySteps[i])
+		}
+	}
+	// Perf.Events/PickCalls are deterministic for a given input; the two
+	// drivers must do exactly the same work (WallNanos is wall-clock and
+	// excluded).
+	if mem.Perf.Events != str.Perf.Events || mem.Perf.PickCalls != str.Perf.PickCalls {
+		t.Fatalf("%s: perf counters differ: events %d/%d picks %d/%d",
+			label, mem.Perf.Events, str.Perf.Events, mem.Perf.PickCalls, str.Perf.PickCalls)
+	}
+	// Both sinks saw the same observation sequence, so the collectors
+	// must agree bit-for-bit, float sums included.
+	mc, sc := memSink.col, strSink.col
+	if mc.AVEbsld() != sc.AVEbsld() || mc.MaxBsld() != sc.MaxBsld() ||
+		mc.MeanWait() != sc.MeanWait() || mc.MAE() != sc.MAE() || mc.MeanELoss() != sc.MeanELoss() ||
+		mc.Utilization(mem.Makespan, mem.MaxProcs) != sc.Utilization(str.Makespan, str.MaxProcs) {
+		t.Fatalf("%s: streaming metric collectors diverged", label)
+	}
+}
+
+// TestStreamIdenticalAcrossPresets sweeps every Table-4 preset (scaled)
+// across the full policy-triple grid with no disruptions.
+func TestStreamIdenticalAcrossPresets(t *testing.T) {
+	triples := diffConfigs()
+	for _, preset := range workload.PresetNames() {
+		cfg, err := workload.Scaled(preset, 220)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range triples {
+			label := fmt.Sprintf("%s/%s", preset, tr.Name())
+			mem, str, ms, ss := runBoth(t, w, tr, nil)
+			assertIdentical(t, label, mem, str, ms, ss)
+		}
+	}
+}
+
+// TestStreamIdenticalUnderDisruption replays randomized disruption
+// scripts — drains, maintenance windows, cancellations at every
+// intensity — through both engines, across seeds.
+func TestStreamIdenticalUnderDisruption(t *testing.T) {
+	cfg, err := workload.Scaled("SDSC-SP2", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triples := []core.Triple{
+		core.EASY(),
+		core.EASYPlusPlus(),
+		core.ClairvoyantSJBF(),
+		core.ConservativeBF(),
+	}
+	src := rng.New(0xd1ff)
+	for _, in := range scenario.Intensities {
+		if in.Name == "none" {
+			continue
+		}
+		for s := 0; s < 3; s++ {
+			seed := src.Uint64()
+			script := scenario.Generate(w, in, seed)
+			for _, tr := range triples {
+				label := fmt.Sprintf("%s/seed%x/%s", in.Name, seed, tr.Name())
+				mem, str, ms, ss := runBoth(t, w, tr, script)
+				assertIdentical(t, label, mem, str, ms, ss)
+			}
+		}
+	}
+}
+
+// TestStreamIdenticalWithLearning runs the paper's learning triple (the
+// heaviest predictor state) through both engines.
+func TestStreamIdenticalWithLearning(t *testing.T) {
+	cfg, err := workload.Scaled("CTC-SP2", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := core.PaperBest()
+	mem, str, ms, ss := runBoth(t, w, tr, nil)
+	assertIdentical(t, "paper-best", mem, str, ms, ss)
+}
+
+// TestStreamIdenticalOnGenSource streams the bounded-memory generator
+// directly and compares against the preloading engine fed the collected
+// form of the very same stream — generator determinism makes the two
+// inputs identical by construction.
+func TestStreamIdenticalOnGenSource(t *testing.T) {
+	cfg, err := workload.Scaled("KTH-SP2", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := workload.Collect(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &trace.Workload{Name: cfg.Name, MaxProcs: cfg.MaxProcs, Jobs: jobs}
+
+	tr := core.EASYPlusPlus()
+	memSink := newRecordingSink()
+	mcfg := tr.Config()
+	mcfg.Sink = memSink
+	mem, err := sim.Run(w, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen2, err := workload.NewGenSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strSink := newRecordingSink()
+	scfg := tr.Config()
+	scfg.Sink = strSink
+	str, err := sim.RunStream(cfg.Name, cfg.MaxProcs, gen2, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "gensource", mem, str, memSink, strSink)
+}
+
+// TestStreamUnknownCancelTargetIsBenign pins the one documented Run /
+// RunStream asymmetry: a script cancellation naming a job the stream
+// never delivers adds benign event pops but changes no decision,
+// metric or counter other than Perf.
+func TestStreamUnknownCancelTargetIsBenign(t *testing.T) {
+	cfg, err := workload.Scaled("KTH-SP2", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := &scenario.Script{Name: "ghost", Events: []scenario.Event{
+		{Time: 10, Action: scenario.Cancel, JobID: 1 << 40}, // no such job
+		{Time: 500, Action: scenario.Cancel, JobID: w.Jobs[20].JobNumber},
+	}}
+	tr := core.EASYPlusPlus()
+	mem, str, ms, ss := runBoth(t, w, tr, script)
+	if mem.Perf.Events+1 != str.Perf.Events {
+		t.Fatalf("expected exactly one extra streamed pop, got %d vs %d", str.Perf.Events, mem.Perf.Events)
+	}
+	// Everything except Perf must still match exactly.
+	if len(ms.seq) != len(ss.seq) {
+		t.Fatalf("retirement counts differ: %d vs %d", len(ms.seq), len(ss.seq))
+	}
+	for i := range ms.seq {
+		if ms.seq[i] != ss.seq[i] {
+			t.Fatalf("retirement %d differs: %+v vs %+v", i, ms.seq[i], ss.seq[i])
+		}
+	}
+	if mem.Canceled != str.Canceled || mem.Makespan != str.Makespan || mem.Finished != str.Finished {
+		t.Fatalf("counters differ: %+v vs %+v", mem, str)
+	}
+}
+
+// TestStreamRejectsUnsortedSource pins the ordering contract.
+func TestStreamRejectsUnsortedSource(t *testing.T) {
+	jobs := []swf.Job{
+		{JobNumber: 1, SubmitTime: 100, RunTime: 10, RequestedProcs: 1, RequestedTime: 20},
+		{JobNumber: 2, SubmitTime: 50, RunTime: 10, RequestedProcs: 1, RequestedTime: 20},
+	}
+	cfg := core.EASY().Config()
+	_, err := sim.RunStream("unsorted", 4, workload.NewSliceSource(jobs), cfg)
+	if err == nil {
+		t.Fatal("out-of-order stream must be rejected")
+	}
+}
+
+// TestStreamRejectsWideJob pins the capacity check on the lazy path.
+func TestStreamRejectsWideJob(t *testing.T) {
+	jobs := []swf.Job{{JobNumber: 1, SubmitTime: 0, RunTime: 10, RequestedProcs: 8, RequestedTime: 20}}
+	cfg := core.EASY().Config()
+	_, err := sim.RunStream("wide", 4, workload.NewSliceSource(jobs), cfg)
+	if err == nil {
+		t.Fatal("over-wide job must be rejected")
+	}
+}

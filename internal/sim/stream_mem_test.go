@@ -1,0 +1,105 @@
+package sim_test
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// peakSink samples the heap every sampleEvery retirements and tracks the
+// worst HeapAlloc observed, wrapping the real collector.
+type peakSink struct {
+	inner       sim.JobSink
+	sampleEvery int
+	seen        int
+	peak        uint64
+}
+
+func (p *peakSink) Observe(j *job.Job) {
+	p.inner.Observe(j)
+	p.seen++
+	if p.seen%p.sampleEvery == 0 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > p.peak {
+			p.peak = ms.HeapAlloc
+		}
+	}
+}
+
+// TestStreamMemorySmoke is the always-on scaled-down form of the guard:
+// a 20k-job stream completes with every job finishing. (No heap
+// assertion here — the shared test binary's allocations make small
+// thresholds flaky; the long-mode test below pins the envelope.)
+func TestStreamMemorySmoke(t *testing.T) {
+	cfg, err := workload.Scaled("huge-synthetic", 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewGenSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := metrics.NewCollector()
+	scfg := core.EASYPlusPlus().Config()
+	scfg.Sink = col
+	res, err := sim.RunStream(cfg.Name, cfg.MaxProcs, g, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != cfg.Jobs || col.Finished() != cfg.Jobs {
+		t.Fatalf("finished %d/%d jobs, want %d", res.Finished, col.Finished(), cfg.Jobs)
+	}
+	if res.Jobs != nil {
+		t.Fatal("streamed result retained jobs")
+	}
+	if col.AVEbsld() < 1 {
+		t.Fatalf("AVEbsld %v below 1 — bounded slowdown cannot be", col.AVEbsld())
+	}
+}
+
+// TestStreamHugeSyntheticBoundedMemory is the acceptance guard for the
+// streaming path: the full 1M-job huge-synthetic preset must complete
+// with peak heap bounded by the live-job window, far below what the
+// preloading path would need (>400 MB of retained jobs and events before
+// GC headroom). It takes a few minutes, so it only runs when asked:
+//
+//	SIM_LONG=1 go test ./internal/sim -run TestStreamHugeSynthetic -v -timeout 30m
+func TestStreamHugeSyntheticBoundedMemory(t *testing.T) {
+	if os.Getenv("SIM_LONG") == "" {
+		t.Skip("set SIM_LONG=1 to run the million-job bounded-memory guard")
+	}
+	cfg, err := workload.Preset("huge-synthetic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewGenSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &peakSink{inner: metrics.NewCollector(), sampleEvery: 20_000}
+	scfg := core.EASYPlusPlus().Config()
+	scfg.Sink = sink
+	res, err := sim.RunStream(cfg.Name, cfg.MaxProcs, g, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != cfg.Jobs {
+		t.Fatalf("finished %d jobs, want %d", res.Finished, cfg.Jobs)
+	}
+	// Measured ~28 MiB at introduction; the budget leaves generous
+	// GC/platform headroom while staying far below the >400 MB the
+	// preloading path retains for the same trace.
+	const heapBudget = 256 << 20
+	if sink.peak > heapBudget {
+		t.Fatalf("peak heap %d MiB exceeds the %d MiB streaming budget", sink.peak>>20, heapBudget>>20)
+	}
+	t.Logf("1M jobs: peak heap %d MiB, %d events, %v wall",
+		sink.peak>>20, res.Perf.Events, res.Perf.Wall())
+}

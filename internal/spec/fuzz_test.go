@@ -1,0 +1,53 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSpecYAML throws arbitrary input at the strict YAML-subset parser
+// and the schema decoder: malformed input must come back as a positional
+// error, never a panic, and whatever decodes must also resolve workload
+// configurations without panicking. The checked-in specs seed the
+// corpus so the fuzzer starts from every accepted construct.
+func FuzzSpecYAML(f *testing.F) {
+	specDir := filepath.Join("..", "..", "specs")
+	if entries, err := os.ReadDir(specDir); err == nil {
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".yaml" {
+				continue
+			}
+			if b, err := os.ReadFile(filepath.Join(specDir, e.Name())); err == nil {
+				f.Add(string(b))
+			}
+		}
+	}
+	for _, s := range []string{
+		"",
+		"kind: campaign\n",
+		"kind: robustness\nscenarios:\n  - light\n",
+		"workloads:\n  - preset: KTH-SP2\n    jobs: 10\n",
+		"triples:\n  - predictor: ml\n    over: sq\n    under: lin\n    weight: largearea\n",
+		"stream: true\njobs: 5\n",
+		"output:\n  tables: [1, 6]\n  figures: [3]\n",
+		"a:\n - b\n -   c: [1, \"two\", 3]\n",
+		"include: other.yaml\n",
+		"\t\n: :\n- -\n",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		tree, err := parseYAML("fuzz.yaml", data)
+		if err != nil || tree == nil {
+			return
+		}
+		s := &Spec{Path: "fuzz.yaml"}
+		if err := s.decode(tree); err != nil {
+			return
+		}
+		// A spec that decodes must resolve (or reject) its workload set
+		// without panicking; generation is deliberately not exercised.
+		_, _ = s.WorkloadConfigs()
+	})
+}

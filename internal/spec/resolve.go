@@ -24,7 +24,7 @@ import (
 // decode fills the Spec from the merged tree.
 func (s *Spec) decode(tree *node) error {
 	if err := tree.checkKeys("kind", "seed", "repeats", "jobs", "parallelism",
-		"workloads", "triples", "scenarios", "output"); err != nil {
+		"stream", "workloads", "triples", "scenarios", "output"); err != nil {
 		return err
 	}
 
@@ -81,6 +81,13 @@ func (s *Spec) decode(tree *node) error {
 			return n.errf("parallelism must be >= 0 (0 = GOMAXPROCS), got %d", v)
 		}
 		s.Parallelism = v
+	}
+	if n := tree.at("stream"); n != nil {
+		v, err := n.toBool()
+		if err != nil {
+			return err
+		}
+		s.Stream = v
 	}
 
 	if n := tree.at("workloads"); n != nil {

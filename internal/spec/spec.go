@@ -47,6 +47,9 @@ type Spec struct {
 	Jobs int
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// Stream runs every cell on the bounded-memory engine (see
+	// campaign.Campaign.Stream): same tables, O(live jobs) per cell.
+	Stream bool
 	// Workloads are the grid's inputs.
 	Workloads []WorkloadSpec
 	// Triples is the heuristic-triple set (nil = the kind's default).
@@ -91,6 +94,7 @@ type Overrides struct {
 	Jobs        *int
 	Seed        *uint64
 	Parallelism *int
+	Stream      *bool
 	Journal     *string
 	Resume      *bool
 	Perf        *bool
@@ -115,6 +119,9 @@ func (s *Spec) Apply(o Overrides) {
 	}
 	if o.Parallelism != nil {
 		s.Parallelism = *o.Parallelism
+	}
+	if o.Stream != nil {
+		s.Stream = *o.Stream
 	}
 	if o.Journal != nil {
 		s.Output.Journal = *o.Journal
@@ -333,6 +340,7 @@ func (s *Spec) Campaign(ws []*trace.Workload) *campaign.Campaign {
 		Triples:     s.Triples,
 		Parallelism: s.Parallelism,
 		Seed:        s.Seed,
+		Stream:      s.Stream,
 	}
 }
 
@@ -345,6 +353,7 @@ func (s *Spec) Robustness(ws []*trace.Workload, repeat int) *campaign.Robustness
 		Scenarios:   s.Scenarios,
 		Seed:        s.Seed + uint64(repeat),
 		Parallelism: s.Parallelism,
+		Stream:      s.Stream,
 	}
 }
 

@@ -1,0 +1,67 @@
+package spec
+
+import (
+	"testing"
+)
+
+// TestStreamField covers the spec's stream knob: parsing, default,
+// validation, carry-through to the harnesses, and the flag override.
+func TestStreamField(t *testing.T) {
+	dir := t.TempDir()
+
+	path := writeSpec(t, dir, "s.yaml", "kind: campaign\nstream: true\njobs: 50\n")
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Stream {
+		t.Fatal("stream: true not decoded")
+	}
+	if c := s.Campaign(nil); !c.Stream {
+		t.Fatal("Campaign() dropped Stream")
+	}
+	if r := s.Robustness(nil, 0); !r.Stream {
+		t.Fatal("Robustness() dropped Stream")
+	}
+
+	off := false
+	s.Apply(Overrides{Stream: &off})
+	if s.Stream {
+		t.Fatal("flag override -stream=false did not win over the spec")
+	}
+
+	path = writeSpec(t, dir, "d.yaml", "kind: campaign\njobs: 50\n")
+	s, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stream {
+		t.Fatal("stream should default to false")
+	}
+
+	loadErr(t, "stream: sometimes\n", "expected true or false", "1")
+}
+
+// TestStreamFieldMergesThroughInclude pins include-chain semantics: the
+// including file's stream value overrides the included one.
+func TestStreamFieldMergesThroughInclude(t *testing.T) {
+	dir := t.TempDir()
+	writeSpec(t, dir, "base.yaml", "kind: campaign\nstream: true\n")
+	top := writeSpec(t, dir, "top.yaml", "include: base.yaml\nstream: false\njobs: 10\n")
+	s, err := Load(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stream {
+		t.Fatal("including file's stream: false should override the include")
+	}
+
+	top2 := writeSpec(t, dir, "top2.yaml", "include: base.yaml\njobs: 10\n")
+	s, err = Load(top2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Stream {
+		t.Fatal("included stream: true should survive when not overridden")
+	}
+}

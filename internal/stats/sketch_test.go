@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSketchExactWhenSmall(t *testing.T) {
+	s := NewSketch()
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if s.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count())
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Fatalf("extremes %v..%v, want 1..100", s.Min(), s.Max())
+	}
+	// Under one buffer's worth of data nothing has been compacted, so
+	// quantiles are exact.
+	if q := s.Quantile(0.5); math.Abs(q-50) > 1 {
+		t.Fatalf("median %v, want ~50", q)
+	}
+	if p := s.At(25); math.Abs(p-0.25) > 0.01 {
+		t.Fatalf("At(25) = %v, want 0.25", p)
+	}
+}
+
+func TestSketchBoundedMemoryAndAccuracy(t *testing.T) {
+	const n = 1_000_000
+	s := NewSketch()
+	for i := 0; i < n; i++ {
+		// Deterministic pseudo-shuffled uniform values over [0, 1).
+		s.Add(float64((i*2654435761)%n) / n)
+	}
+	if s.Count() != n {
+		t.Fatalf("Count = %d, want %d", s.Count(), n)
+	}
+	// Memory: k per level, ~log2(n/k) levels.
+	if got := s.Stored(); got > 16*defaultSketchK {
+		t.Fatalf("sketch stores %d samples for n=%d, want bounded by %d", got, n, 16*defaultSketchK)
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		if got := s.Quantile(q); math.Abs(got-q) > 0.03 {
+			t.Fatalf("Quantile(%v) = %v, want within 0.03", q, got)
+		}
+	}
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		if got := s.At(x); math.Abs(got-x) > 0.03 {
+			t.Fatalf("At(%v) = %v, want within 0.03", x, got)
+		}
+	}
+	if s.Quantile(0) != s.Min() || s.Quantile(1) != s.Max() {
+		t.Fatalf("extreme quantiles not anchored: %v/%v vs %v/%v",
+			s.Quantile(0), s.Quantile(1), s.Min(), s.Max())
+	}
+}
+
+func TestSketchDeterministic(t *testing.T) {
+	build := func() *Sketch {
+		s := NewSketchK(64)
+		for i := 0; i < 50_000; i++ {
+			s.Add(float64((i * 48271) % 9973))
+		}
+		return s
+	}
+	a, b := build(), build()
+	for _, q := range []float64{0.01, 0.3, 0.5, 0.77, 0.99} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("sketch not deterministic at q=%v: %v vs %v", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+}
+
+func TestSketchEmpty(t *testing.T) {
+	s := NewSketch()
+	if s.Count() != 0 || s.At(1) != 0 || s.Quantile(0.5) != 0 || s.Stored() != 0 {
+		t.Fatal("empty sketch should report zeros")
+	}
+}

@@ -1,0 +1,118 @@
+package swf
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds is the shared corpus: well-formed traces, the edge cases the
+// unit tests pin, and structurally hostile inputs.
+var fuzzSeeds = []string{
+	scanFixture,
+	"",
+	";\n",
+	"; MaxProcs: 64\n",
+	"; MaxProcs: not-a-number\n",
+	";UnixStartTime:123\n1 0 -1 10 1 -1 -1 1 20 -1 1 1 1 1 1 1 -1 -1\n",
+	"1 0 -1 10 1 -1 -1 1 20 -1 1 1 1 1 1 1 -1 -1",
+	"1 0 -1 10 1 3.5 -1 1 20 -1 1 1 1 1 1 1 -1 -1\n", // float field 6
+	"1 0 -1 10 1\n", // short row
+	"1 0 -1 10 1 -1 -1 1 20 -1 1 1 1 1 1 1 -1 -1 99 99\n", // overlong row
+	"-1 -2 -3 -4 -5 -6 -7 -8 -9 -10 -11 -12 -13 -14 -15 -16 -17 -18\n",
+	"9223372036854775807 0 0 1 1 0 0 1 1 0 1 1 1 1 1 1 0 0\n",
+	"not a job line\n",
+	"\n\n  \n\t\n",
+}
+
+// drainScanner collects every record until EOF or error, mirroring what
+// Parse does internally.
+func drainScanner(r io.Reader) ([]Job, Header, error) {
+	sc := NewScanner(r)
+	var jobs []Job
+	for {
+		j, err := sc.Next()
+		if err == io.EOF {
+			return jobs, *sc.Header(), nil
+		}
+		if err != nil {
+			return jobs, *sc.Header(), err
+		}
+		jobs = append(jobs, j)
+	}
+}
+
+// FuzzParse is the differential fuzz target: Parse and Scanner share the
+// line parsers and must accept exactly the same inputs with exactly the
+// same results, and every accepted trace must round-trip through Write.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, perr := Parse(strings.NewReader(data))
+		jobs, header, serr := drainScanner(strings.NewReader(data))
+
+		if (perr != nil) != (serr != nil) {
+			t.Fatalf("Parse err %v but Scanner err %v", perr, serr)
+		}
+		if perr != nil {
+			if perr.Error() != serr.Error() {
+				t.Fatalf("error texts differ:\n Parse:   %v\n Scanner: %v", perr, serr)
+			}
+			return
+		}
+		if len(tr.Jobs) != len(jobs) || (len(jobs) > 0 && !reflect.DeepEqual(tr.Jobs, jobs)) {
+			t.Fatalf("job streams differ: Parse %d jobs, Scanner %d", len(tr.Jobs), len(jobs))
+		}
+		if !reflect.DeepEqual(tr.Header, header) {
+			t.Fatalf("headers differ:\n Parse:   %+v\n Scanner: %+v", tr.Header, header)
+		}
+
+		// Round trip: what Write emits, Parse accepts, bit-identically.
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("Write rejected a parsed trace: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-Parse of Write output failed: %v", err)
+		}
+		if len(back.Jobs) != len(tr.Jobs) || (len(tr.Jobs) > 0 && !reflect.DeepEqual(back.Jobs, tr.Jobs)) {
+			t.Fatalf("round trip changed the jobs")
+		}
+	})
+}
+
+// FuzzScanner hammers the incremental reader alone: no panics on any
+// byte soup, errors are sticky, and the reported line number never runs
+// past the input.
+func FuzzScanner(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		sc := NewScanner(strings.NewReader(data))
+		lines := strings.Count(data, "\n") + 1
+		var firstErr error
+		for i := 0; i < len(data)+2; i++ {
+			_, err := sc.Next()
+			if err == nil {
+				continue
+			}
+			if firstErr == nil {
+				firstErr = err
+			} else if err != firstErr {
+				t.Fatalf("error not sticky: %v then %v", firstErr, err)
+			}
+			if sc.Line() > lines {
+				t.Fatalf("line %d beyond input's %d", sc.Line(), lines)
+			}
+			if i > 0 && err == io.EOF {
+				break
+			}
+		}
+	})
+}

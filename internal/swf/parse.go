@@ -1,40 +1,30 @@
 package swf
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 )
 
-// Parse reads an SWF trace from r. Malformed data lines produce an error
-// naming the line number; unknown header directives are preserved
-// verbatim in Header.Fields.
+// Parse reads an SWF trace from r, materializing every record. Malformed
+// data lines produce an error naming the line number; unknown header
+// directives are preserved verbatim in Header.Fields. For bounded-memory
+// iteration over huge logs use Scanner (scan.go), which Parse is built on.
 func Parse(r io.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	sc := NewScanner(r)
 	tr := &Trace{}
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+	for {
+		job, err := sc.Next()
+		if err == io.EOF {
+			break
 		}
-		if strings.HasPrefix(line, ";") {
-			parseHeaderLine(&tr.Header, line)
-			continue
-		}
-		job, err := parseJobLine(line)
 		if err != nil {
-			return nil, fmt.Errorf("swf: line %d: %w", lineNo, err)
+			return nil, err
 		}
 		tr.Jobs = append(tr.Jobs, job)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("swf: read: %w", err)
-	}
+	tr.Header = *sc.Header()
 	return tr, nil
 }
 
@@ -107,39 +97,17 @@ func parseJobLine(line string) (Job, error) {
 }
 
 // Write serializes the trace to w in SWF format, emitting header
-// directives first and then one line per job.
+// directives first and then one line per job. It is the whole-trace form
+// of the streaming Writer (scan.go).
 func Write(w io.Writer, tr *Trace) error {
-	bw := bufio.NewWriter(w)
-	for _, f := range tr.Header.Fields {
-		if _, err := fmt.Fprintf(bw, "; %s: %s\n", f.Key, f.Value); err != nil {
-			return err
-		}
-	}
-	if len(tr.Header.Fields) == 0 {
-		// Emit the structural directives so the output is self-describing.
-		if tr.Header.MaxProcs > 0 {
-			fmt.Fprintf(bw, "; MaxProcs: %d\n", tr.Header.MaxProcs)
-		}
-		if tr.Header.MaxNodes > 0 {
-			fmt.Fprintf(bw, "; MaxNodes: %d\n", tr.Header.MaxNodes)
-		}
-		if tr.Header.MaxJobs > 0 {
-			fmt.Fprintf(bw, "; MaxJobs: %d\n", tr.Header.MaxJobs)
-		}
-		if tr.Header.UnixStartTime > 0 {
-			fmt.Fprintf(bw, "; UnixStartTime: %d\n", tr.Header.UnixStartTime)
-		}
+	sw := NewWriter(w)
+	if err := sw.WriteHeader(&tr.Header); err != nil {
+		return err
 	}
 	for i := range tr.Jobs {
-		j := &tr.Jobs[i]
-		_, err := fmt.Fprintf(bw, "%d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d\n",
-			j.JobNumber, j.SubmitTime, j.WaitTime, j.RunTime, j.AllocatedProcs,
-			j.AvgCPUTime, j.UsedMemory, j.RequestedProcs, j.RequestedTime,
-			j.RequestedMemory, j.Status, j.UserID, j.GroupID, j.Executable,
-			j.Queue, j.Partition, j.PrecedingJob, j.ThinkTime)
-		if err != nil {
+		if err := sw.WriteJob(&tr.Jobs[i]); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return sw.Flush()
 }

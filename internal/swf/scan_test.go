@@ -1,0 +1,149 @@
+package swf
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const scanFixture = `; Version: 2.2
+; MaxProcs: 64
+; MaxJobs: 3
+1 0 -1 100 4 -1 -1 4 200 -1 1 7 1 3 1 1 -1 -1
+; a mid-file comment directive
+; UnixStartTime: 123
+2 5 -1 50 1 -1 -1 1 60 -1 1 8 1 3 1 1 -1 -1
+3 9 -1 10 2 -1 -1 2 20 -1 0 7 1 4 1 1 -1 -1
+`
+
+// TestScannerMatchesParse holds the streaming reader to Parse's output on
+// a fixture with header directives, mid-file comments and blank lines.
+func TestScannerMatchesParse(t *testing.T) {
+	want, err := Parse(strings.NewReader(scanFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScanner(strings.NewReader(scanFixture))
+	var jobs []Job
+	for {
+		j, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	if !reflect.DeepEqual(jobs, want.Jobs) {
+		t.Fatalf("scanner jobs differ from Parse:\n%v\nvs\n%v", jobs, want.Jobs)
+	}
+	if !reflect.DeepEqual(*sc.Header(), want.Header) {
+		t.Fatalf("scanner header %+v != Parse header %+v", *sc.Header(), want.Header)
+	}
+	if sc.Header().MaxProcs != 64 || sc.Header().UnixStartTime != 123 {
+		t.Fatalf("header directives not folded in: %+v", sc.Header())
+	}
+}
+
+// TestScannerHeaderBeforeFirstJob checks the usual contract: a top-placed
+// header is complete by the time the first job is returned.
+func TestScannerHeaderBeforeFirstJob(t *testing.T) {
+	sc := NewScanner(strings.NewReader(scanFixture))
+	if _, err := sc.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Header().MaxProcs != 64 {
+		t.Fatalf("MaxProcs = %d before first job, want 64", sc.Header().MaxProcs)
+	}
+}
+
+// TestScannerErrorSticks verifies a parse error is positional, matches
+// Parse's, and repeats on further calls.
+func TestScannerErrorSticks(t *testing.T) {
+	bad := "1 0 -1 100 4 -1 -1 4 200 -1 1 7 1 3 1 1 -1 -1\nnot a job line\n"
+	_, perr := Parse(strings.NewReader(bad))
+	if perr == nil {
+		t.Fatal("Parse accepted malformed input")
+	}
+	sc := NewScanner(strings.NewReader(bad))
+	if _, err := sc.Next(); err != nil {
+		t.Fatalf("first record should parse: %v", err)
+	}
+	_, err1 := sc.Next()
+	if err1 == nil || err1.Error() != perr.Error() {
+		t.Fatalf("scanner error %v, want Parse's %v", err1, perr)
+	}
+	if _, err2 := sc.Next(); err2 != err1 {
+		t.Fatalf("error did not stick: %v then %v", err1, err2)
+	}
+}
+
+// TestWriterStreamsRoundTrip writes a trace job-by-job and re-parses it.
+func TestWriterStreamsRoundTrip(t *testing.T) {
+	src, err := Parse(strings.NewReader(scanFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteHeader(&src.Header); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src.Jobs {
+		if err := w.WriteJob(&src.Jobs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The streaming writer must produce exactly what the whole-trace
+	// Write produces.
+	var whole bytes.Buffer
+	if err := Write(&whole, src); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != whole.String() {
+		t.Fatalf("streaming writer output differs from Write:\n%q\nvs\n%q", buf.String(), whole.String())
+	}
+
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Jobs, src.Jobs) {
+		t.Fatalf("round trip changed jobs:\n%v\nvs\n%v", back.Jobs, src.Jobs)
+	}
+}
+
+// TestWriterHeaderAfterJobs rejects late headers.
+func TestWriterHeaderAfterJobs(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.WriteJob(&Job{JobNumber: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader(&Header{MaxProcs: 4}); err == nil {
+		t.Fatal("WriteHeader after WriteJob should fail")
+	}
+}
+
+// TestWriterStructuralHeader checks the directive fallback when no raw
+// fields are present.
+func TestWriterStructuralHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteHeader(&Header{MaxProcs: 32, MaxJobs: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "; MaxProcs: 32") || !strings.Contains(out, "; MaxJobs: 7") {
+		t.Fatalf("structural directives missing:\n%s", out)
+	}
+}

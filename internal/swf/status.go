@@ -67,37 +67,46 @@ func interrupted(j *Job) bool {
 	return j.Status == StatusCancelled || j.Status == StatusFailed
 }
 
+// ApplyStatusJob applies the completion-status policy to a single
+// record: it reports whether the job survives and returns the (possibly
+// repaired) record. It is the per-job core of ApplyStatus, shared with
+// the streaming job sources so the two paths can never drift.
+func ApplyStatusJob(j *Job, mode StatusMode) (keep bool, out Job) {
+	out = *j
+	switch mode {
+	case StatusSkip:
+		if interrupted(j) {
+			return false, out
+		}
+	case StatusTruncate:
+		if interrupted(j) && j.RunTime <= 0 {
+			return false, out
+		}
+	case StatusReplay:
+		if j.Status == StatusCancelled && j.RunTime <= 0 {
+			if j.Request() <= 0 {
+				return false, out // no usable runtime even hypothetically
+			}
+			out.RunTime = j.Request()
+		}
+	}
+	return true, out
+}
+
 // ApplyStatus returns a copy of the trace with the completion-status
 // policy applied; the input is not modified. Apply it before Clean —
 // Clean drops zero-runtime jobs, which is exactly the population
 // StatusReplay repairs.
 func ApplyStatus(tr *Trace, mode StatusMode) *Trace {
+	out := &Trace{Header: tr.Header}
 	if mode == StatusKeep {
-		out := &Trace{Header: tr.Header}
 		out.Jobs = append([]Job(nil), tr.Jobs...)
 		return out
 	}
-	out := &Trace{Header: tr.Header}
 	for i := range tr.Jobs {
-		j := tr.Jobs[i]
-		switch mode {
-		case StatusSkip:
-			if interrupted(&j) {
-				continue
-			}
-		case StatusTruncate:
-			if interrupted(&j) && j.RunTime <= 0 {
-				continue
-			}
-		case StatusReplay:
-			if j.Status == StatusCancelled && j.RunTime <= 0 {
-				if j.Request() <= 0 {
-					continue // no usable runtime even hypothetically
-				}
-				j.RunTime = j.Request()
-			}
+		if keep, j := ApplyStatusJob(&tr.Jobs[i], mode); keep {
+			out.Jobs = append(out.Jobs, j)
 		}
-		out.Jobs = append(out.Jobs, j)
 	}
 	return out
 }

@@ -53,6 +53,28 @@ func Validate(tr *Trace, maxProcs int64) []ValidationIssue {
 	return issues
 }
 
+// CleanJob applies Clean's per-job rules to a single record: it reports
+// whether a simulation can use the job and returns the (possibly
+// repaired) record. It is the per-job core of Clean, shared with the
+// streaming job sources so the two paths can never drift. maxProcs <= 0
+// skips the capacity check.
+func CleanJob(j *Job, maxProcs int64) (keep bool, out Job) {
+	out = *j
+	if j.RunTime <= 0 || j.Procs() <= 0 || j.SubmitTime < 0 {
+		return false, out
+	}
+	if maxProcs > 0 && j.Procs() > maxProcs {
+		return false, out
+	}
+	if out.RequestedTime > 0 && out.RunTime > out.RequestedTime {
+		out.RunTime = out.RequestedTime
+	}
+	if out.RequestedTime <= 0 {
+		out.RequestedTime = out.RunTime
+	}
+	return true, out
+}
+
 // Clean returns a copy of the trace with jobs a simulation cannot use
 // removed or repaired: jobs with non-positive runtime or processor count
 // are dropped, runtimes are capped at the requested time (real systems
@@ -64,20 +86,9 @@ func Clean(tr *Trace, maxProcs int64) *Trace {
 	}
 	out := &Trace{Header: tr.Header}
 	for i := range tr.Jobs {
-		j := tr.Jobs[i]
-		if j.RunTime <= 0 || j.Procs() <= 0 || j.SubmitTime < 0 {
-			continue
+		if keep, j := CleanJob(&tr.Jobs[i], maxProcs); keep {
+			out.Jobs = append(out.Jobs, j)
 		}
-		if maxProcs > 0 && j.Procs() > maxProcs {
-			continue
-		}
-		if j.RequestedTime > 0 && j.RunTime > j.RequestedTime {
-			j.RunTime = j.RequestedTime
-		}
-		if j.RequestedTime <= 0 {
-			j.RequestedTime = j.RunTime
-		}
-		out.Jobs = append(out.Jobs, j)
 	}
 	sort.SliceStable(out.Jobs, func(a, b int) bool {
 		if out.Jobs[a].SubmitTime != out.Jobs[b].SubmitTime {

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"io"
+	"reflect"
+	"testing"
+)
+
+// streamCfg is a small config exercising every generator feature.
+func streamCfg(jobs int) Config {
+	cfg, err := Scaled("KTH-SP2", jobs)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// TestGenSourceDeterministic: two streams from the same config are
+// identical, and a reseeded one is not.
+func TestGenSourceDeterministic(t *testing.T) {
+	cfg := streamCfg(400)
+	a, err := NewGenSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := Collect(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := Collect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ja, jb) {
+		t.Fatal("same config produced different streams")
+	}
+	cfg.Seed++
+	c, err := NewGenSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := Collect(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(ja, jc) {
+		t.Fatal("reseeded config produced the same stream")
+	}
+}
+
+// TestGenSourceInvariants: the stream is submit-ordered, sized exactly,
+// and every record respects the structural invariants the simulator
+// relies on (positive runtime <= request, width within the machine).
+func TestGenSourceInvariants(t *testing.T) {
+	cfg := streamCfg(600)
+	g, err := NewGenSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxProcs() != cfg.MaxProcs || g.Jobs() != cfg.Jobs || g.Name() != cfg.Name {
+		t.Fatalf("accessor mismatch: %d/%d/%s", g.MaxProcs(), g.Jobs(), g.Name())
+	}
+	var prev int64
+	n := 0
+	for {
+		j, err := g.NextJob()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if j.SubmitTime < prev {
+			t.Fatalf("job %d: submit %d before previous %d", j.JobNumber, j.SubmitTime, prev)
+		}
+		prev = j.SubmitTime
+		if j.RunTime <= 0 || j.RunTime > j.Request() {
+			t.Fatalf("job %d: runtime %d outside (0, %d]", j.JobNumber, j.RunTime, j.Request())
+		}
+		if j.Procs() <= 0 || j.Procs() > cfg.MaxProcs {
+			t.Fatalf("job %d: width %d outside machine %d", j.JobNumber, j.Procs(), cfg.MaxProcs)
+		}
+		if j.JobNumber != int64(n) {
+			t.Fatalf("job numbers not sequential: %d at position %d", j.JobNumber, n)
+		}
+	}
+	if n != cfg.Jobs {
+		t.Fatalf("stream emitted %d jobs, want %d", n, cfg.Jobs)
+	}
+	if _, err := g.NextJob(); err != io.EOF {
+		t.Fatalf("exhausted stream returned %v, want io.EOF", err)
+	}
+}
+
+// TestGenSourceLoadMatchesGenerate: the streaming arrival process must
+// land the offered load in the same regime as Generate (same proto jobs,
+// same calibrated duration, different arrival draws).
+func TestGenSourceLoadMatchesGenerate(t *testing.T) {
+	cfg := streamCfg(1500)
+	g, err := NewGenSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := Collect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamWork, memWork int64
+	for i := range jobs {
+		streamWork += jobs[i].RunTime * jobs[i].Procs()
+	}
+	for i := range w.Jobs {
+		memWork += w.Jobs[i].RunTime * w.Jobs[i].Procs()
+	}
+	if streamWork != memWork {
+		t.Fatalf("proto streams diverged: stream work %d, Generate work %d", streamWork, memWork)
+	}
+	span := jobs[len(jobs)-1].SubmitTime - jobs[0].SubmitTime
+	memSpan := w.Jobs[len(w.Jobs)-1].SubmitTime - w.Jobs[0].SubmitTime
+	if span <= 0 || memSpan <= 0 {
+		t.Fatalf("degenerate spans: %d vs %d", span, memSpan)
+	}
+	ratio := float64(span) / float64(memSpan)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("arrival span diverged: stream %d vs Generate %d (ratio %.2f)", span, memSpan, ratio)
+	}
+}
+
+func TestGenSourceHeader(t *testing.T) {
+	cfg := streamCfg(100)
+	g, err := NewGenSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := g.Header()
+	if h.MaxProcs != cfg.MaxProcs || h.MaxJobs != int64(cfg.Jobs) {
+		t.Fatalf("header %+v does not describe the stream", h)
+	}
+	if len(h.Fields) == 0 {
+		t.Fatal("header should carry descriptive directives")
+	}
+}
+
+// TestHugeSyntheticPresetResolvable: the benchmark preset is addressable
+// but stays out of the Table-4 campaign set.
+func TestHugeSyntheticPresetResolvable(t *testing.T) {
+	cfg, err := Preset("huge-synthetic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Jobs != 1_000_000 {
+		t.Fatalf("huge-synthetic has %d jobs, want 1M", cfg.Jobs)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range PresetNames() {
+		if n == "huge-synthetic" {
+			t.Fatal("huge-synthetic must not join the Table-4 preset list")
+		}
+	}
+	scaled, err := Scaled("huge-synthetic", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Jobs != 2000 {
+		t.Fatalf("Scaled kept %d jobs, want 2000", scaled.Jobs)
+	}
+}

@@ -163,81 +163,115 @@ type user struct {
 	lastClass int
 }
 
+// protoJob is one drawn job before its arrival instant is assigned.
+type protoJob struct {
+	user    *user
+	class   *jobClass
+	runtime int64
+	request int64
+	procs   int64
+}
+
+// protoStream draws the deterministic sequence of proto jobs for a
+// config. The sequence is a pure function of cfg.Seed, so rebuilding a
+// stream replays exactly the same jobs — the property the bounded-memory
+// generator (stream.go) relies on for its two-pass calibration.
+type protoStream struct {
+	cfg      Config
+	users    []*user
+	zipf     *rng.Zipf
+	jobSrc   *rng.Source
+	prevUser *user
+}
+
+// newProtoStream builds the user population and draw state from scratch.
+func newProtoStream(cfg Config) *protoStream {
+	src := rng.New(cfg.Seed)
+	userSrc := src.Split(1)
+	jobSrc := src.Split(2)
+	users := buildUsers(cfg, userSrc)
+	zipf := rng.NewZipf(userSrc.Split(99), len(users), cfg.UserZipfExponent)
+	return &protoStream{cfg: cfg, users: users, zipf: zipf, jobSrc: jobSrc}
+}
+
+// next draws the following proto job (session/class stickiness included).
+func (ps *protoStream) next() protoJob {
+	cfg := &ps.cfg
+	u := ps.prevUser
+	if u == nil || !ps.jobSrc.Bernoulli(cfg.SessionStickiness) {
+		u = ps.users[ps.zipf.Draw()-1]
+	}
+	ps.prevUser = u
+	ci := u.lastClass
+	if !ps.jobSrc.Bernoulli(cfg.ClassStickiness) {
+		ci = ps.jobSrc.Intn(len(u.classes))
+	}
+	u.lastClass = ci
+	cl := &u.classes[ci]
+	runtime, request := drawTimes(ps.cfg, ps.jobSrc, cl)
+	return protoJob{user: u, class: cl, runtime: runtime, request: request, procs: cl.procs}
+}
+
+// toSWF renders the proto as the SWF record with the given identity.
+func (p *protoJob) toSWF(jobNumber, submit int64) swf.Job {
+	j := swf.Job{
+		JobNumber:       jobNumber,
+		SubmitTime:      submit,
+		WaitTime:        -1,
+		RunTime:         p.runtime,
+		AllocatedProcs:  p.procs,
+		AvgCPUTime:      -1,
+		UsedMemory:      -1,
+		RequestedProcs:  p.procs,
+		RequestedTime:   p.request,
+		RequestedMemory: -1,
+		Status:          1,
+		UserID:          p.user.id,
+		GroupID:         1,
+		Executable:      p.class.id,
+		Queue:           1,
+		Partition:       1,
+		PrecedingJob:    -1,
+		ThinkTime:       -1,
+	}
+	if p.runtime == p.request {
+		j.Status = 0 // killed at the walltime
+	}
+	return j
+}
+
+// calibratedDuration sizes the log so the offered load hits the target.
+func calibratedDuration(cfg *Config, totalWork float64) float64 {
+	duration := totalWork / (float64(cfg.MaxProcs) * cfg.TargetLoad)
+	if duration < 3600 {
+		duration = 3600
+	}
+	return duration
+}
+
 // Generate produces a deterministic synthetic workload from the config.
 func Generate(cfg Config) (*trace.Workload, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	src := rng.New(cfg.Seed)
-	userSrc := src.Split(1)
-	jobSrc := src.Split(2)
-	arrivalSrc := src.Split(3)
+	ps := newProtoStream(cfg)
+	arrivalSrc := rng.New(cfg.Seed).Split(3)
 
-	users := buildUsers(cfg, userSrc)
-	zipf := rng.NewZipf(userSrc.Split(99), len(users), cfg.UserZipfExponent)
-
-	type protoJob struct {
-		user    *user
-		class   *jobClass
-		runtime int64
-		request int64
-		procs   int64
-	}
 	protos := make([]protoJob, cfg.Jobs)
-	var prevUser *user
 	var totalWork float64
 	for i := range protos {
-		u := prevUser
-		if u == nil || !jobSrc.Bernoulli(cfg.SessionStickiness) {
-			u = users[zipf.Draw()-1]
-		}
-		prevUser = u
-		ci := u.lastClass
-		if !jobSrc.Bernoulli(cfg.ClassStickiness) {
-			ci = jobSrc.Intn(len(u.classes))
-		}
-		u.lastClass = ci
-		cl := &u.classes[ci]
-
-		runtime, request := drawTimes(cfg, jobSrc, cl)
-		protos[i] = protoJob{user: u, class: cl, runtime: runtime, request: request, procs: cl.procs}
-		totalWork += float64(runtime) * float64(cl.procs)
+		protos[i] = ps.next()
+		totalWork += float64(protos[i].runtime) * float64(protos[i].procs)
 	}
 
 	// Calibrate the log duration so that offered load hits the target,
 	// then scatter arrivals over it with daily/weekly modulation.
-	duration := totalWork / (float64(cfg.MaxProcs) * cfg.TargetLoad)
-	if duration < 3600 {
-		duration = 3600
-	}
+	duration := calibratedDuration(&cfg, totalWork)
 	arrivals := sampleArrivals(arrivalSrc, cfg.Jobs, duration, cfg.BurstFraction, cfg.BurstGap)
 
 	jobs := make([]swf.Job, cfg.Jobs)
 	for i := range protos {
-		p := &protos[i]
-		jobs[i] = swf.Job{
-			JobNumber:       int64(i + 1),
-			SubmitTime:      arrivals[i],
-			WaitTime:        -1,
-			RunTime:         p.runtime,
-			AllocatedProcs:  p.procs,
-			AvgCPUTime:      -1,
-			UsedMemory:      -1,
-			RequestedProcs:  p.procs,
-			RequestedTime:   p.request,
-			RequestedMemory: -1,
-			Status:          1,
-			UserID:          p.user.id,
-			GroupID:         1,
-			Executable:      p.class.id,
-			Queue:           1,
-			Partition:       1,
-			PrecedingJob:    -1,
-			ThinkTime:       -1,
-		}
-		if p.runtime == p.request {
-			jobs[i].Status = 0 // killed at the walltime
-		}
+		jobs[i] = protos[i].toSWF(int64(i+1), arrivals[i])
 	}
 
 	tr := &swf.Trace{
@@ -379,25 +413,8 @@ func sampleArrivals(src *rng.Source, n int, duration float64, burstFraction floa
 		burstGap = 120
 	}
 	const hour = 3600.0
-	hours := int(duration/hour) + 1
-	weights := make([]float64, hours)
-	var total float64
-	for h := 0; h < hours; h++ {
-		hourOfDay := h % 24
-		dayOfWeek := (h / 24) % 7
-		w := 0.35 + 0.65*dayWeight(hourOfDay)
-		if dayOfWeek >= 5 {
-			w *= 0.45 // weekend dip
-		}
-		weights[h] = w
-		total += w
-	}
-	cum := make([]float64, hours)
-	acc := 0.0
-	for h, w := range weights {
-		acc += w
-		cum[h] = acc / total
-	}
+	cum := hourlyCum(duration)
+	hours := len(cum)
 	arrivals := make([]int64, n)
 	var prev int64
 	for i := range arrivals {
@@ -424,6 +441,34 @@ func sampleArrivals(src *rng.Source, n int, duration float64, burstFraction floa
 	}
 	sort.Slice(arrivals, func(a, b int) bool { return arrivals[a] < arrivals[b] })
 	return arrivals
+}
+
+// hourlyCum returns the cumulative distribution of arrival mass over the
+// log's hours, following the daily/weekly intensity cycles. Its size is
+// one entry per trace hour — the "window" part of the streaming
+// generator's memory envelope.
+func hourlyCum(duration float64) []float64 {
+	const hour = 3600.0
+	hours := int(duration/hour) + 1
+	weights := make([]float64, hours)
+	var total float64
+	for h := 0; h < hours; h++ {
+		hourOfDay := h % 24
+		dayOfWeek := (h / 24) % 7
+		w := 0.35 + 0.65*dayWeight(hourOfDay)
+		if dayOfWeek >= 5 {
+			w *= 0.45 // weekend dip
+		}
+		weights[h] = w
+		total += w
+	}
+	cum := make([]float64, hours)
+	acc := 0.0
+	for h, w := range weights {
+		acc += w
+		cum[h] = acc / total
+	}
+	return cum
 }
 
 // dayWeight peaks during working hours and bottoms out at night.
