@@ -401,6 +401,40 @@ func BenchmarkSchedSimStreamGen(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedSimRouted measures the federated engine end to end: the
+// KTH-SP2 trace routed across three heterogeneous clusters, each running
+// its own easy-sjbf-incremental session. Against the single-machine
+// easy-sjbf-incremental baseline this prices the routing stage plus the
+// N-cluster event-loop bookkeeping.
+func BenchmarkSchedSimRouted(b *testing.B) {
+	w := benchWorkload(b, "KTH-SP2")
+	clusters := []platform.Cluster{
+		{Name: "big", Procs: w.MaxProcs},
+		{Name: "fast", Procs: w.MaxProcs / 2, Speed: 1.5},
+		{Name: "slow", Procs: w.MaxProcs / 2, Speed: 0.5},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunFederated(w, sim.FederatedConfig{
+			Clusters: clusters,
+			Router:   &sched.RoundRobin{},
+			Session: func() sim.Config {
+				return sim.Config{
+					Policy:    sched.NewEASY(sched.SJBFOrder),
+					Predictor: predict.NewUserAverage(2),
+					Corrector: correct.Incremental{},
+				}
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Finished != len(w.Jobs) {
+			b.Fatalf("finished %d of %d jobs", res.Finished, len(w.Jobs))
+		}
+	}
+}
+
 // --- Ablations (DESIGN.md §5) ------------------------------------------
 
 // BenchmarkAblationBackfillOrder isolates SJBF vs FCFS backfill order

@@ -12,6 +12,14 @@
 //	campaign -jobs 3000 -figure 4       # just Figure 4 (Curie ECDFs)
 //	campaign -jobs 3000 -robustness     # disruption sweep
 //
+// With -clusters the campaign runs on a federated multi-cluster
+// platform: each workload is routed across the listed clusters by every
+// -routing policy, and the report gains per-cluster columns (AVEbsld
+// and finished jobs per cluster) next to the global metrics:
+//
+//	campaign -clusters 100,64x1.5,slow=32x0.5 -routing least-loaded,queue-depth
+//	campaign -spec specs/federated.yaml          # the same, declaratively
+//
 // Experiments can also be described declaratively: -spec runs the
 // experiment in a versioned spec file (workloads, triples, disruption
 // scenarios, grid dimensions, output settings — see specs/ for the
@@ -65,8 +73,10 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/platform"
 	"repro/internal/report"
 	"repro/internal/scenario"
+	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -86,6 +96,8 @@ func main() {
 	memLimit := flag.Int("memlimit", 0, "soft memory cap in MiB for the whole process (0 = none); pairs with -stream for big grids on small machines")
 	specPath := flag.String("spec", "", "run the experiment described by this spec file (see specs/ and the README schema); other flags override its fields")
 	validate := flag.Bool("validate", false, "with -spec: parse and resolve the spec, print its shape, and exit without simulating")
+	clustersFlag := flag.String("clusters", "", "federated platform: comma-separated NAME=PROCS[xSPEED] entries (e.g. \"100,64x1.5,slow=32x0.5\"); the campaign grids over -routing policies and renders the federated table")
+	routingFlag := flag.String("routing", "", "comma-separated routing policies in front of -clusters: "+sched.RouterNames+" (default round-robin)")
 	flag.Parse()
 
 	// Negative values used to be silently mapped to the defaults; they
@@ -104,6 +116,28 @@ func main() {
 	}
 	if *memLimit < 0 {
 		usageError("-memlimit must be >= 0 MiB, got %d", *memLimit)
+	}
+	if *routingFlag != "" && *clustersFlag == "" && *specPath == "" {
+		usageError("-routing needs -clusters (a single-machine grid has nothing to route)")
+	}
+	var clusters []platform.Cluster
+	var routings []string
+	if *clustersFlag != "" {
+		var err error
+		if clusters, err = platform.ParseClusters(*clustersFlag); err != nil {
+			usageError("%v", err)
+		}
+	}
+	if *routingFlag != "" {
+		routings = parseRoutings(*routingFlag)
+	}
+	if *clustersFlag != "" {
+		if *robustness {
+			usageError("-clusters conflicts with -robustness (the disruption sweep is single-machine)")
+		}
+		if *table != 0 || *figure != 0 {
+			usageError("-table/-figure do not apply to a federated campaign (it renders the federated table)")
+		}
 	}
 	if *memLimit > 0 {
 		// A soft cap: the runtime GCs harder as the heap approaches it
@@ -156,6 +190,10 @@ func main() {
 					ov.Figures = []int{*figure}
 				}
 				figuresSet = true
+			case "clusters":
+				ov.Clusters = clusters
+			case "routing":
+				ov.Routings = routings
 			case "robustness":
 				usageError("-robustness conflicts with -spec (the spec's kind decides the grid)")
 			}
@@ -167,6 +205,19 @@ func main() {
 	if *robustness {
 		r := &campaign.Robustness{Seed: *seed, Parallelism: *par, Stream: *stream}
 		runRobustnessGrids(ctx, []*campaign.Robustness{r}, *jobs, nil, *out, *resume, *perf)
+		return
+	}
+
+	if len(clusters) > 0 {
+		if len(routings) == 0 {
+			routings = []string{"round-robin"}
+		}
+		feds := make([]campaign.Federation, len(routings))
+		for i, r := range routings {
+			feds[i] = campaign.Federation{Clusters: clusters, Routing: r}
+		}
+		fc := &campaign.FederatedCampaign{Federations: feds, Seed: *seed, Parallelism: *par, Stream: *stream}
+		runFederatedGrid(ctx, fc, nil, *jobs, *out, *resume, *perf)
 		return
 	}
 
@@ -201,6 +252,9 @@ func runSpec(ctx context.Context, path string, validateOnly bool, ov spec.Overri
 	if s.Output.Resume && s.Output.Journal == "" {
 		usageError("resume needs a journal: set output.journal in the spec or pass -out")
 	}
+	if len(s.Routings) > 0 && !s.Federated() {
+		usageError("routing needs clusters: set clusters in the spec or pass -clusters")
+	}
 	// -table/-figure are selections, not additions: naming one
 	// suppresses the spec's other axis, exactly as in flag-only mode.
 	if tablesSet && !figuresSet {
@@ -228,6 +282,13 @@ func runSpec(ctx context.Context, path string, validateOnly bool, ov spec.Overri
 		}
 		runRobustnessGrids(ctx, grids, -1, ws, o.Journal, o.Resume, o.Perf)
 	default:
+		if s.Federated() {
+			if len(o.Tables) > 0 || len(o.Figures) > 0 {
+				usageError("tables/figures do not apply to a federated campaign (it renders the federated table)")
+			}
+			runFederatedGrid(ctx, s.FederatedCampaign(ws), ws, s.Jobs, o.Journal, o.Resume, o.Perf)
+			return
+		}
 		tables, figures := o.Tables, o.Figures
 		if len(tables) == 0 && len(figures) == 0 {
 			tables, figures = allTables, allFigures
@@ -260,7 +321,22 @@ func printSpecShape(s *spec.Spec) {
 		fmt.Printf("  scenarios   %d\n", s.ScenarioCount())
 		fmt.Printf("  repeats     %d\n", s.Repeats)
 	}
-	fmt.Printf("  grid        %d cells\n", len(cfgs)*s.TripleCount()*s.ScenarioCount()*s.Repeats)
+	nfed := 1
+	if s.Federated() {
+		feds := s.Federations()
+		nfed = len(feds)
+		entries := make([]string, len(s.Clusters))
+		for i, c := range s.Clusters {
+			entries[i] = c.String()
+		}
+		policies := make([]string, len(feds))
+		for i, f := range feds {
+			policies[i] = f.Routing
+		}
+		fmt.Printf("  clusters    %d (%d procs): %s\n", len(s.Clusters), platform.ClustersTotal(s.Clusters), strings.Join(entries, ", "))
+		fmt.Printf("  routing     %s\n", strings.Join(policies, ", "))
+	}
+	fmt.Printf("  grid        %d cells\n", len(cfgs)*nfed*s.TripleCount()*s.ScenarioCount()*s.Repeats)
 	if s.Output.Journal != "" {
 		mode := ""
 		if s.Output.Resume {
@@ -346,6 +422,61 @@ func runCampaignGrid(ctx context.Context, c *campaign.Campaign, ws []*trace.Work
 			fmt.Println(report.Figure5(series))
 		}
 	}
+}
+
+// parseRoutings splits and validates the -routing flag.
+func parseRoutings(s string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if _, err := sched.NewRouter(name); err != nil {
+			usageError("%v", err)
+		}
+		if seen[name] {
+			usageError("-routing lists %q twice", name)
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	return out
+}
+
+// runFederatedGrid runs the federated campaign — workloads x routing
+// policies x triples on a multi-cluster platform — and renders the
+// federated table with its per-cluster columns.
+func runFederatedGrid(ctx context.Context, fc *campaign.FederatedCampaign, ws []*trace.Workload, jobs int, out string, resume, perf bool) {
+	if ws == nil {
+		var err error
+		ws, err = campaign.DefaultWorkloads(jobs)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fc.Workloads = ws
+	fc.Progress = progressReporter("federated")
+	journal, done := openJournal(out, resume)
+	fc.Journal = journal
+	fc.Resume = done
+	ntr := len(fc.Triples)
+	if ntr == 0 {
+		ntr = len(core.CampaignTriples())
+	}
+	fmt.Fprintf(os.Stderr, "campaign: running %d federated simulations (%d workloads x %d federations x %d triples)...\n",
+		len(ws)*len(fc.Federations)*ntr, len(ws), len(fc.Federations), ntr)
+	results, err := fc.Run(ctx)
+	closeJournal(journal)
+	if err != nil {
+		gridFailed(err, len(results), out)
+	}
+	if perf {
+		flat := make([]campaign.RunResult, len(results))
+		for i, r := range results {
+			flat[i] = r.RunResult
+		}
+		fmt.Fprintln(os.Stderr, report.PerfSummary(flat))
+	}
+	fmt.Println(report.FederatedTable(results))
 }
 
 // runRobustnessGrids runs one disruption sweep per repeat (sharing the

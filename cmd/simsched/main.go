@@ -12,6 +12,23 @@
 //	simsched -preset KTH-SP2 -policy easy-sjbf -predictor ml -loss "over=sq,under=lin,w=largearea" -corrector incremental
 //	simsched -swf huge.swf -stream                               # bounded memory: O(live jobs), any trace length
 //	simsched -preset huge-synthetic -jobs 0 -stream              # a million generated jobs, streamed
+//
+// With -clusters the run is federated: jobs are routed across the
+// listed clusters by the -routing policy, each cluster runs its own
+// policy session, and the output gains a per-cluster split. -disrupt
+// then generates an independent disruption script per cluster (drains
+// scaled to each cluster's size, under per-cluster derived seeds):
+//
+//	simsched -preset KTH-SP2 -clusters 100,64x1.5,slow=32x0.5 -routing least-loaded
+//	simsched -preset KTH-SP2 -clusters 100,100 -disrupt moderate
+//
+// Contradictory flag combinations are rejected up front with exit
+// status 2 (usage error) rather than silently ignored: -stream cannot
+// honor -disrupt or -status replay (both sample the whole trace),
+// -triple excludes the per-axis -policy/-predictor/-corrector/-loss
+// flags, -maxprocs and -status only describe -swf inputs, -preset and
+// -jobs only describe generated ones, -disrupt-seed needs -disrupt, and
+// -routing needs -clusters.
 package main
 
 import (
@@ -25,6 +42,8 @@ import (
 	"repro/internal/correct"
 	"repro/internal/metrics"
 	"repro/internal/ml"
+	"repro/internal/platform"
+	"repro/internal/rng"
 	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -34,64 +53,299 @@ import (
 )
 
 func main() {
-	preset := flag.String("preset", "KTH-SP2", "workload preset")
-	jobs := flag.Int("jobs", 5000, "scale the preset to this many jobs (0 = full size)")
-	swfPath := flag.String("swf", "", "load this SWF file instead of generating a preset")
-	maxProcs := flag.Int64("maxprocs", 0, "machine size override for -swf (0 = use header)")
-	status := flag.String("status", "keep", "how -swf honors cancelled/failed jobs: keep | skip | truncate | replay (replay re-kills never-ran cancelled jobs at their logged instant)")
-	disrupt := flag.String("disrupt", "none", "synthetic disruption intensity: none | light | moderate | heavy")
-	disruptSeed := flag.Uint64("disrupt-seed", 1, "seed for the synthetic disruption generator")
-	triple := flag.String("triple", "", "named triple: easy | easy++ | best | clairvoyant | clairvoyant-sjbf")
-	policy := flag.String("policy", "easy-sjbf", "scheduling policy: fcfs | easy | easy-sjbf | conservative")
-	predictor := flag.String("predictor", "ml", "prediction technique: clairvoyant | requested | ave2 | ml")
-	lossName := flag.String("loss", ml.ELoss.Name(), "ML loss, e.g. \"over=sq,under=lin,w=largearea\"")
-	corrector := flag.String("corrector", "incremental", "correction: requested | incremental | doubling")
-	stream := flag.Bool("stream", false, "bounded-memory run: pull the workload lazily (SWF from disk, or the streaming generator for presets) and compute metrics one-pass; peak memory is O(live jobs), so million-job traces fit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *stream {
-		runStreaming(*preset, *jobs, *swfPath, *maxProcs, *status, *disrupt,
-			*triple, *policy, *predictor, *lossName, *corrector)
-		return
+// options is the parsed flag set; run validates the combinations before
+// dispatching.
+type options struct {
+	preset      string
+	jobs        int
+	swfPath     string
+	maxProcs    int64
+	status      string
+	disrupt     string
+	disruptSeed uint64
+	triple      string
+	policy      string
+	predictor   string
+	lossName    string
+	corrector   string
+	stream      bool
+	clusters    []platform.Cluster
+	routing     string
+}
+
+// run is the testable entry point: parse, validate the flag surface,
+// dispatch. Exit status 2 is a usage error, 1 a runtime failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simsched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.preset, "preset", "KTH-SP2", "workload preset")
+	fs.IntVar(&o.jobs, "jobs", 5000, "scale the preset to this many jobs (0 = full size)")
+	fs.StringVar(&o.swfPath, "swf", "", "load this SWF file instead of generating a preset")
+	fs.Int64Var(&o.maxProcs, "maxprocs", 0, "machine size override for -swf (0 = use header)")
+	fs.StringVar(&o.status, "status", "keep", "how -swf honors cancelled/failed jobs: keep | skip | truncate | replay (replay re-kills never-ran cancelled jobs at their logged instant)")
+	fs.StringVar(&o.disrupt, "disrupt", "none", "synthetic disruption intensity: none | light | moderate | heavy")
+	fs.Uint64Var(&o.disruptSeed, "disrupt-seed", 1, "seed for the synthetic disruption generator")
+	fs.StringVar(&o.triple, "triple", "", "named triple: easy | easy++ | best | clairvoyant | clairvoyant-sjbf")
+	fs.StringVar(&o.policy, "policy", "easy-sjbf", "scheduling policy: fcfs | easy | easy-sjbf | conservative")
+	fs.StringVar(&o.predictor, "predictor", "ml", "prediction technique: clairvoyant | requested | ave2 | ml")
+	fs.StringVar(&o.lossName, "loss", ml.ELoss.Name(), "ML loss, e.g. \"over=sq,under=lin,w=largearea\"")
+	fs.StringVar(&o.corrector, "corrector", "incremental", "correction: requested | incremental | doubling")
+	fs.BoolVar(&o.stream, "stream", false, "bounded-memory run: pull the workload lazily (SWF from disk, or the streaming generator for presets) and compute metrics one-pass; peak memory is O(live jobs), so million-job traces fit")
+	clustersFlag := fs.String("clusters", "", "federated platform: comma-separated NAME=PROCS[xSPEED] entries (e.g. \"100,64x1.5,slow=32x0.5\"); empty = classic single machine")
+	fs.StringVar(&o.routing, "routing", "", "routing policy in front of -clusters: "+sched.RouterNames+" (default round-robin)")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	w, script, err := loadWorkload(*preset, *jobs, *swfPath, *maxProcs, *status)
-	if err != nil {
-		fatal(err)
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	usage := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "simsched: "+format+"\n", a...)
+		fs.Usage()
+		return 2
 	}
-	cfg, err := buildConfig(*triple, *policy, *predictor, *lossName, *corrector)
-	if err != nil {
-		fatal(err)
+
+	// Reject contradictory combinations loudly: every one of these used
+	// to silently ignore one of its flags.
+	if o.stream && o.disrupt != "none" {
+		return usage("-stream cannot generate disruption scripts (they sample the whole trace); drop -disrupt")
 	}
-	if *disrupt != "none" {
-		in, ok := scenario.IntensityByName(*disrupt)
-		if !ok {
-			fatal(fmt.Errorf("unknown disruption intensity %q", *disrupt))
+	if o.stream && o.status == "replay" {
+		return usage("-stream cannot replay logged cancellations (the script needs the whole trace); use -status keep/skip/truncate")
+	}
+	if o.triple != "" {
+		for _, axis := range []string{"policy", "predictor", "corrector", "loss"} {
+			if set[axis] {
+				return usage("-triple names a complete (policy, predictor, corrector) bundle; drop -%s", axis)
+			}
 		}
-		script = scenario.Merge(fmt.Sprintf("%s+%s", *disrupt, *status), script, scenario.Generate(w, in, *disruptSeed))
+	}
+	if o.swfPath == "" {
+		if set["maxprocs"] {
+			return usage("-maxprocs overrides an SWF header; it needs -swf")
+		}
+		if set["status"] {
+			return usage("-status filters an SWF log; it needs -swf")
+		}
+	} else {
+		if set["preset"] {
+			return usage("-preset generates a workload; it conflicts with -swf")
+		}
+		if set["jobs"] {
+			return usage("-jobs scales a generated preset; it conflicts with -swf")
+		}
+	}
+	if set["disrupt-seed"] && o.disrupt == "none" {
+		return usage("-disrupt-seed seeds the disruption generator; it needs -disrupt")
+	}
+	if o.routing != "" && *clustersFlag == "" {
+		return usage("-routing needs -clusters (a single machine has nothing to route)")
+	}
+	if *clustersFlag != "" {
+		var err error
+		if o.clusters, err = platform.ParseClusters(*clustersFlag); err != nil {
+			return usage("%v", err)
+		}
+		if o.routing == "" {
+			o.routing = "round-robin"
+		}
+		if _, err := sched.NewRouter(o.routing); err != nil {
+			return usage("%v", err)
+		}
+	}
+
+	var err error
+	switch {
+	case o.stream && len(o.clusters) > 0:
+		err = runFederatedStreaming(o, stdout)
+	case o.stream:
+		err = runStreaming(o, stdout)
+	case len(o.clusters) > 0:
+		err = runFederated(o, stdout)
+	default:
+		err = runOnce(o, stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "simsched:", err)
+		return 1
+	}
+	return 0
+}
+
+// runOnce is the classic single-machine preloading run.
+func runOnce(o options, stdout io.Writer) error {
+	w, script, err := loadWorkload(o.preset, o.jobs, o.swfPath, o.maxProcs, o.status)
+	if err != nil {
+		return err
+	}
+	cfg, err := buildConfig(o.triple, o.policy, o.predictor, o.lossName, o.corrector)
+	if err != nil {
+		return err
+	}
+	if o.disrupt != "none" {
+		in, ok := scenario.IntensityByName(o.disrupt)
+		if !ok {
+			return fmt.Errorf("unknown disruption intensity %q", o.disrupt)
+		}
+		script = scenario.Merge(fmt.Sprintf("%s+%s", o.disrupt, o.status), script, scenario.Generate(w, in, o.disruptSeed))
 	}
 	cfg.Script = script
 
 	res, err := sim.Run(w, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if errs := sim.ValidateResult(res); len(errs) != 0 {
-		fatal(fmt.Errorf("schedule invalid: %v", errs[0]))
+		return fmt.Errorf("schedule invalid: %v", errs[0])
 	}
-	fmt.Printf("workload      %s (%d jobs, %d procs)\n", w.Name, len(w.Jobs), w.MaxProcs)
-	fmt.Printf("triple        %s\n", res.Triple)
+	fmt.Fprintf(stdout, "workload      %s (%d jobs, %d procs)\n", w.Name, len(w.Jobs), w.MaxProcs)
+	fmt.Fprintf(stdout, "triple        %s\n", res.Triple)
 	if !script.Empty() {
 		drains, restores, cancels := script.Counts()
-		fmt.Printf("scenario      %s (%d drains, %d restores, %d cancel events)\n", res.Scenario, drains, restores, cancels)
-		fmt.Printf("canceled      %d jobs, %d capacity changes\n", res.Canceled, len(res.CapacitySteps))
+		fmt.Fprintf(stdout, "scenario      %s (%d drains, %d restores, %d cancel events)\n", res.Scenario, drains, restores, cancels)
+		fmt.Fprintf(stdout, "canceled      %d jobs, %d capacity changes\n", res.Canceled, len(res.CapacitySteps))
 	}
-	fmt.Printf("AVEbsld       %.2f\n", metrics.AVEbsld(res))
-	fmt.Printf("max bsld      %.1f\n", metrics.MaxBsld(res))
-	fmt.Printf("mean wait     %.0f s\n", metrics.MeanWait(res))
-	fmt.Printf("utilization   %.3f\n", metrics.Utilization(res))
-	fmt.Printf("corrections   %d\n", res.Corrections)
-	fmt.Printf("prediction MAE %.0f s, mean E-Loss %.3g\n", metrics.MAE(res.Jobs), metrics.MeanELoss(res.Jobs))
+	fmt.Fprintf(stdout, "AVEbsld       %.2f\n", metrics.AVEbsld(res))
+	fmt.Fprintf(stdout, "max bsld      %.1f\n", metrics.MaxBsld(res))
+	fmt.Fprintf(stdout, "mean wait     %.0f s\n", metrics.MeanWait(res))
+	fmt.Fprintf(stdout, "utilization   %.3f\n", metrics.Utilization(res))
+	fmt.Fprintf(stdout, "corrections   %d\n", res.Corrections)
+	fmt.Fprintf(stdout, "prediction MAE %.0f s, mean E-Loss %.3g\n", metrics.MAE(res.Jobs), metrics.MeanELoss(res.Jobs))
+	return nil
+}
+
+// runFederated is the federated preloading run: one workload routed
+// across -clusters, validated cluster by cluster.
+func runFederated(o options, stdout io.Writer) error {
+	w, script, err := loadWorkload(o.preset, o.jobs, o.swfPath, o.maxProcs, o.status)
+	if err != nil {
+		return err
+	}
+	fed, err := buildFederatedConfig(o)
+	if err != nil {
+		return err
+	}
+	if o.disrupt != "none" {
+		script, err = federatedDisruption(o, w, script)
+		if err != nil {
+			return err
+		}
+	}
+	fed.Script = script
+	col := metrics.NewFederated(len(o.clusters))
+	fed.Sink = col
+
+	res, err := sim.RunFederated(w, fed)
+	if err != nil {
+		return err
+	}
+	if errs := sim.ValidateResult(res); len(errs) != 0 {
+		return fmt.Errorf("schedule invalid: %v", errs[0])
+	}
+	fmt.Fprintf(stdout, "workload      %s (%d jobs, %d procs over %d clusters)\n", w.Name, len(w.Jobs), res.MaxProcs, len(res.Clusters))
+	fmt.Fprintf(stdout, "routing       %s\n", res.Routing)
+	fmt.Fprintf(stdout, "triple        %s\n", res.Triple)
+	if script != nil && !script.Empty() {
+		drains, restores, cancels := script.Counts()
+		fmt.Fprintf(stdout, "scenario      %s (%d drains, %d restores, %d cancel events)\n", res.Scenario, drains, restores, cancels)
+		fmt.Fprintf(stdout, "canceled      %d jobs\n", res.Canceled)
+	}
+	fmt.Fprintf(stdout, "AVEbsld       %.2f\n", col.Global.AVEbsld())
+	fmt.Fprintf(stdout, "max bsld      %.1f\n", col.Global.MaxBsld())
+	fmt.Fprintf(stdout, "mean wait     %.0f s\n", col.Global.MeanWait())
+	fmt.Fprintf(stdout, "utilization   %.3f\n", col.Global.Utilization(res.Makespan, res.MaxProcs))
+	fmt.Fprintf(stdout, "corrections   %d\n", res.Corrections)
+	printClusterSplit(stdout, res, col)
+	return nil
+}
+
+// runFederatedStreaming is the federated bounded-memory run.
+func runFederatedStreaming(o options, stdout io.Writer) error {
+	fed, err := buildFederatedConfig(o)
+	if err != nil {
+		return err
+	}
+	col := metrics.NewFederated(len(o.clusters))
+	fed.Sink = col
+
+	name, _, src, err := buildStreamSource(o.preset, o.jobs, o.swfPath, o.maxProcs, o.status)
+	if err != nil {
+		return err
+	}
+	res, err := sim.RunFederatedStream(name, src, fed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "workload      %s (streamed, %d jobs finished, %d procs over %d clusters)\n", name, res.Finished, res.MaxProcs, len(res.Clusters))
+	fmt.Fprintf(stdout, "routing       %s\n", res.Routing)
+	fmt.Fprintf(stdout, "triple        %s\n", res.Triple)
+	fmt.Fprintf(stdout, "AVEbsld       %.2f\n", col.Global.AVEbsld())
+	fmt.Fprintf(stdout, "max bsld      %.1f\n", col.Global.MaxBsld())
+	fmt.Fprintf(stdout, "mean wait     %.0f s\n", col.Global.MeanWait())
+	fmt.Fprintf(stdout, "utilization   %.3f\n", col.Global.Utilization(res.Makespan, res.MaxProcs))
+	fmt.Fprintf(stdout, "corrections   %d\n", res.Corrections)
+	printClusterSplit(stdout, res, col)
+	return nil
+}
+
+// buildFederatedConfig assembles the federated engine configuration.
+// Session builds a fresh policy/predictor per cluster — sessions hold
+// state, so sharing one across clusters would corrupt both.
+func buildFederatedConfig(o options) (sim.FederatedConfig, error) {
+	if _, err := buildConfig(o.triple, o.policy, o.predictor, o.lossName, o.corrector); err != nil {
+		return sim.FederatedConfig{}, err
+	}
+	router, err := sched.NewRouter(o.routing)
+	if err != nil {
+		return sim.FederatedConfig{}, err
+	}
+	return sim.FederatedConfig{
+		Clusters: o.clusters,
+		Router:   router,
+		Session: func() sim.Config {
+			cfg, _ := buildConfig(o.triple, o.policy, o.predictor, o.lossName, o.corrector)
+			return cfg
+		},
+	}, nil
+}
+
+// federatedDisruption generates one disruption script per cluster —
+// drains scaled to that cluster's size, targeted at it by name, under a
+// seed derived per cluster — and merges them with any replay script.
+// Cancellations are drawn once (on the first cluster's script): a
+// cancel targets a job wherever it was routed, so drawing per cluster
+// would multiply the cancel rate by the cluster count.
+func federatedDisruption(o options, w *trace.Workload, script *scenario.Script) (*scenario.Script, error) {
+	in, ok := scenario.IntensityByName(o.disrupt)
+	if !ok {
+		return nil, fmt.Errorf("unknown disruption intensity %q", o.disrupt)
+	}
+	parts := []*scenario.Script{script}
+	for ci, cl := range o.clusters {
+		cin := in
+		if ci > 0 {
+			cin.CancelFrac = 0
+		}
+		cw := *w
+		cw.MaxProcs = cl.Procs
+		gen := scenario.Generate(&cw, cin, rng.DeriveSeed(o.disruptSeed, uint64(ci)))
+		parts = append(parts, scenario.Retarget(gen, cl.Name))
+	}
+	return scenario.Merge(fmt.Sprintf("%s+%s/federated", o.disrupt, o.status), parts...), nil
+}
+
+// printClusterSplit renders the per-cluster lines of a federated run.
+func printClusterSplit(stdout io.Writer, res *sim.Result, col *metrics.Federated) {
+	for ci := range res.Clusters {
+		cr := &res.Clusters[ci]
+		cc := col.Clusters[ci]
+		fmt.Fprintf(stdout, "cluster %-10s %4d procs x%-4g  routed %6d  finished %6d  AVEbsld %6.2f  util %.3f\n",
+			cr.Name, cr.MaxProcs, cr.Speed, cr.Routed, cr.Finished, cc.AVEbsld(), cc.Utilization(cr.Makespan, cr.MaxProcs))
+	}
 }
 
 // runStreaming is the -stream path: the workload is never materialized.
@@ -99,35 +353,33 @@ func main() {
 // filters; presets use the bounded-memory generator (same statistical
 // structure as the preloading generator, arrival draws differ). The
 // -disrupt and -status replay modes need the whole trace to derive
-// their scripts and are rejected here.
-func runStreaming(preset string, jobs int, swfPath string, maxProcs int64, status, disrupt, triple, policy, predictor, lossName, corrector string) {
-	if disrupt != "none" {
-		fatal(fmt.Errorf("-stream cannot generate disruption scripts (they sample the whole trace); drop -disrupt"))
-	}
-	cfg, err := buildConfig(triple, policy, predictor, lossName, corrector)
+// their scripts and are rejected at flag validation.
+func runStreaming(o options, stdout io.Writer) error {
+	cfg, err := buildConfig(o.triple, o.policy, o.predictor, o.lossName, o.corrector)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	col := metrics.NewCollector()
 	cfg.Sink = col
 
-	name, mp, src, err := buildStreamSource(preset, jobs, swfPath, maxProcs, status)
+	name, mp, src, err := buildStreamSource(o.preset, o.jobs, o.swfPath, o.maxProcs, o.status)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	res, err := sim.RunStream(name, mp, src, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("workload      %s (streamed, %d jobs finished, %d procs)\n", name, res.Finished, mp)
-	fmt.Printf("triple        %s\n", res.Triple)
-	fmt.Printf("AVEbsld       %.2f\n", col.AVEbsld())
-	fmt.Printf("max bsld      %.1f\n", col.MaxBsld())
-	fmt.Printf("mean wait     %.0f s (p50 %.0f, p95 %.0f, p99 %.0f)\n", col.MeanWait(),
+	fmt.Fprintf(stdout, "workload      %s (streamed, %d jobs finished, %d procs)\n", name, res.Finished, mp)
+	fmt.Fprintf(stdout, "triple        %s\n", res.Triple)
+	fmt.Fprintf(stdout, "AVEbsld       %.2f\n", col.AVEbsld())
+	fmt.Fprintf(stdout, "max bsld      %.1f\n", col.MaxBsld())
+	fmt.Fprintf(stdout, "mean wait     %.0f s (p50 %.0f, p95 %.0f, p99 %.0f)\n", col.MeanWait(),
 		col.WaitSketch().Quantile(0.50), col.WaitSketch().Quantile(0.95), col.WaitSketch().Quantile(0.99))
-	fmt.Printf("utilization   %.3f\n", col.Utilization(res.Makespan, res.MaxProcs))
-	fmt.Printf("corrections   %d\n", res.Corrections)
-	fmt.Printf("prediction MAE %.0f s, mean E-Loss %.3g\n", col.MAE(), col.MeanELoss())
+	fmt.Fprintf(stdout, "utilization   %.3f\n", col.Utilization(res.Makespan, res.MaxProcs))
+	fmt.Fprintf(stdout, "corrections   %d\n", res.Corrections)
+	fmt.Fprintf(stdout, "prediction MAE %.0f s, mean E-Loss %.3g\n", col.MAE(), col.MeanELoss())
+	return nil
 }
 
 // buildStreamSource assembles the lazy job pipeline and resolves the
@@ -281,9 +533,4 @@ func findLoss(name string) (ml.Loss, error) {
 		}
 	}
 	return ml.Loss{}, fmt.Errorf("unknown loss %q (see ml.AllLosses)", name)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "simsched:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestUsageErrors pins the flag-combination validation: every
+// contradictory combination exits 2 with a message naming the conflict,
+// instead of silently ignoring one of the flags.
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"stream+disrupt", []string{"-stream", "-disrupt", "light"}, "drop -disrupt"},
+		{"stream+replay", []string{"-stream", "-status", "replay", "-swf", "x.swf"}, "cannot replay"},
+		{"triple+policy", []string{"-triple", "easy", "-policy", "fcfs"}, "drop -policy"},
+		{"triple+predictor", []string{"-triple", "easy", "-predictor", "ave2"}, "drop -predictor"},
+		{"triple+corrector", []string{"-triple", "easy", "-corrector", "doubling"}, "drop -corrector"},
+		{"triple+loss", []string{"-triple", "easy", "-loss", "over=sq,under=lin,w=const"}, "drop -loss"},
+		{"maxprocs-without-swf", []string{"-maxprocs", "64"}, "needs -swf"},
+		{"status-without-swf", []string{"-status", "skip"}, "needs -swf"},
+		{"preset+swf", []string{"-swf", "x.swf", "-preset", "Curie"}, "conflicts with -swf"},
+		{"jobs+swf", []string{"-swf", "x.swf", "-jobs", "100"}, "conflicts with -swf"},
+		{"disrupt-seed-without-disrupt", []string{"-disrupt-seed", "7"}, "needs -disrupt"},
+		{"routing-without-clusters", []string{"-routing", "spillover"}, "needs -clusters"},
+		{"bad-clusters", []string{"-clusters", "100,zero"}, "bad processor count"},
+		{"bad-routing", []string{"-clusters", "100", "-routing", "random"}, "unknown router"},
+		{"unknown-flag", []string{"-flood", "everything"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestRunSingle is the classic path end to end at a tiny scale.
+func TestRunSingle(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-jobs", "150", "-triple", "easy++"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"KTH-SP2", "AVEbsld", "utilization"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestRunFederated: the federated preloading path prints the routing
+// policy and one line per cluster.
+func TestRunFederated(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-jobs", "150", "-triple", "easy++",
+		"-clusters", "100,slow=64x0.5", "-routing", "least-loaded"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"routing       least-loaded", "over 2 clusters", "cluster c0", "cluster slow"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunFederatedDisrupted: -disrupt on a federated run generates
+// per-cluster scripts (the scenario line reports merged counts).
+func TestRunFederatedDisrupted(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-jobs", "150", "-triple", "easy",
+		"-clusters", "100,100", "-disrupt", "light", "-disrupt-seed", "9"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "scenario      light+keep/federated") {
+		t.Errorf("scenario line missing:\n%s", stdout.String())
+	}
+}
+
+// TestRunFederatedStreaming: the bounded-memory federated path.
+func TestRunFederatedStreaming(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-jobs", "150", "-triple", "easy++",
+		"-clusters", "100,64", "-stream"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"streamed", "routing       round-robin", "cluster c1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

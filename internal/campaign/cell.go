@@ -30,6 +30,12 @@ type CellRecord struct {
 	// function of the grid's base seed and the cell's position, so it
 	// doubles as a fingerprint of both in the cell key.
 	Seed uint64 `json:"seed"`
+	// Federation and Topology identify the platform of a federated cell:
+	// the federation's name (usually its routing policy) and the
+	// canonical cluster-shape fingerprint (platform.Topology). Both are
+	// empty on classic single-machine cells, whose keys are unchanged.
+	Federation string `json:"federation,omitempty"`
+	Topology   string `json:"topology,omitempty"`
 
 	AVEbsld     float64 `json:"avebsld"`
 	MaxBsld     float64 `json:"max_bsld"`
@@ -45,17 +51,27 @@ type CellRecord struct {
 	Drains       int `json:"drains,omitempty"`
 	CancelEvents int `json:"cancel_events,omitempty"`
 
+	// Clusters carries the per-cluster metrics of a federated cell.
+	Clusters []ClusterMetrics `json:"clusters,omitempty"`
+
 	// Perf holds the simulation's performance counters, making every
 	// journal a performance record of the engine itself.
 	Perf sim.Perf `json:"perf"`
 }
 
-// Key returns the identity a resumed grid matches cells on.
+// Key returns the identity a resumed grid matches cells on. Federated
+// cells append their platform identity; single-machine cells keep the
+// historical key shape, so journals from before the federation axis
+// existed still resume.
 func (r CellRecord) Key() string {
-	return strings.Join([]string{
+	parts := []string{
 		r.Kind, r.Workload, strconv.Itoa(r.JobCount), r.Intensity, r.Triple,
 		strconv.FormatUint(r.Seed, 16),
-	}, "|")
+	}
+	if r.Federation != "" || r.Topology != "" {
+		parts = append(parts, r.Federation, r.Topology)
+	}
+	return strings.Join(parts, "|")
 }
 
 // newCellRecord journals one completed cell.

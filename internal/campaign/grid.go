@@ -13,6 +13,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/rng"
 )
 
 // grid describes one executor invocation. The zero value of every field
@@ -33,17 +35,14 @@ type grid struct {
 	skip func(i int) bool
 }
 
-// cellSeed derives the deterministic seed of cell i from the base seed:
-// one SplitMix64 output of the base offset by the index (the same
-// finalizer internal/rng seeds its generators with). Cells get
+// cellSeed derives the deterministic seed of cell i from the base seed
+// via rng.DeriveSeed (the repository's shared SplitMix64 child-seed
+// scheme — this used to be an inline copy of its arithmetic). Cells get
 // statistically independent seeds, yet the mapping is a pure function
 // of (base, i), so an interrupted and resumed grid sees identical
-// seeds.
+// seeds, and journals keyed by derived seeds stay valid.
 func cellSeed(base uint64, i int) uint64 {
-	st := base + (uint64(i)+1)*0x9e3779b97f4a7c15
-	z := (st ^ (st >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return rng.DeriveSeed(base, uint64(i))
 }
 
 // run executes cell(i, seed) for every non-skipped i on a bounded

@@ -47,6 +47,10 @@ type Job struct {
 	// the job never runs) or killed while running (Finished is set and
 	// Runtime is truncated to the time actually executed).
 	Canceled bool
+	// Cluster is the index of the federated cluster the job was routed
+	// to at submission. Always 0 on single-machine runs, and for jobs a
+	// scenario canceled before they were ever routed.
+	Cluster int
 
 	// Record points at the original SWF record, which carries the extra
 	// descriptive fields (executable, queue, ...) used by learning.

@@ -1,0 +1,38 @@
+package metrics
+
+import (
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// Federated is the sink of a federated run: one global Collector over
+// every finished job plus one Collector per cluster, split by the
+// destination the router stamped on each job. Global figures therefore
+// aggregate the whole platform while the per-cluster collectors expose
+// the load imbalance a routing policy produced.
+type Federated struct {
+	// Global observes every finished job.
+	Global *Collector
+	// Clusters holds one collector per cluster, in platform order.
+	Clusters []*Collector
+}
+
+// NewFederated returns an empty federated sink for n clusters.
+func NewFederated(n int) *Federated {
+	f := &Federated{Global: NewCollector(), Clusters: make([]*Collector, n)}
+	for i := range f.Clusters {
+		f.Clusters[i] = NewCollector()
+	}
+	return f
+}
+
+// Observe implements sim.JobSink.
+func (f *Federated) Observe(j *job.Job) {
+	f.Global.Observe(j)
+	if j.Cluster >= 0 && j.Cluster < len(f.Clusters) {
+		f.Clusters[j.Cluster].Observe(j)
+	}
+}
+
+// statically assert the sink contract.
+var _ sim.JobSink = (*Federated)(nil)

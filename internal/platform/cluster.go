@@ -1,0 +1,156 @@
+package platform
+
+// This file describes federated platforms: a list of Cluster descriptors
+// — heterogeneous processor counts and per-processor speed factors —
+// that the simulation engine instantiates as independent Machines, one
+// capacity step function each, behind a routing stage (sched.Router).
+// A single-cluster description is exactly the classic one-machine world.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Cluster describes one member of a federated platform.
+type Cluster struct {
+	// Name labels the cluster in reports, journal keys and scenario
+	// scripts. Empty names are auto-filled as c0, c1, ... by Normalize.
+	Name string
+	// Procs is the cluster's nominal processor count.
+	Procs int64
+	// Speed is the relative per-processor speed factor: a job routed to
+	// the cluster runs (and is bounded) for ceil(time/Speed) seconds.
+	// Zero means 1.0 (reference speed).
+	Speed float64
+}
+
+// SpeedFactor resolves the zero-value default.
+func (c Cluster) SpeedFactor() float64 {
+	if c.Speed == 0 {
+		return 1.0
+	}
+	return c.Speed
+}
+
+// Validate rejects a structurally impossible descriptor.
+func (c Cluster) Validate() error {
+	if c.Procs <= 0 {
+		return fmt.Errorf("platform: cluster %q: %d processors must be positive", c.Name, c.Procs)
+	}
+	if c.Speed < 0 {
+		return fmt.Errorf("platform: cluster %q: speed factor %v must be positive", c.Name, c.Speed)
+	}
+	if strings.ContainsAny(c.Name, "|+,= \t") {
+		return fmt.Errorf("platform: cluster name %q contains reserved separator characters", c.Name)
+	}
+	return nil
+}
+
+// String renders the descriptor in the flag syntax ParseClusters reads.
+func (c Cluster) String() string {
+	s := strconv.FormatInt(c.Procs, 10)
+	if sp := c.SpeedFactor(); sp != 1.0 {
+		s += "x" + strconv.FormatFloat(sp, 'g', -1, 64)
+	}
+	if c.Name != "" {
+		s = c.Name + "=" + s
+	}
+	return s
+}
+
+// Normalize validates a federated platform description and fills in
+// default cluster names (c0, c1, ...), rejecting duplicates. It returns
+// a copy; the input is not mutated.
+func Normalize(clusters []Cluster) ([]Cluster, error) {
+	if len(clusters) == 0 {
+		return nil, fmt.Errorf("platform: a federated platform needs at least one cluster")
+	}
+	out := make([]Cluster, len(clusters))
+	copy(out, clusters)
+	seen := make(map[string]bool, len(out))
+	for i := range out {
+		if out[i].Name == "" {
+			out[i].Name = "c" + strconv.Itoa(i)
+		}
+		if err := out[i].Validate(); err != nil {
+			return nil, err
+		}
+		if seen[out[i].Name] {
+			return nil, fmt.Errorf("platform: duplicate cluster name %q", out[i].Name)
+		}
+		seen[out[i].Name] = true
+	}
+	return out, nil
+}
+
+// ClustersTotal sums the nominal processor counts.
+func ClustersTotal(clusters []Cluster) int64 {
+	var total int64
+	for _, c := range clusters {
+		total += c.Procs
+	}
+	return total
+}
+
+// Topology renders a canonical fingerprint of the platform shape —
+// "100+64x1.5+32" — used in journal keys and report headers. Names are
+// deliberately excluded: two platforms with the same sizes and speeds
+// in the same order are the same topology.
+func Topology(clusters []Cluster) string {
+	parts := make([]string, len(clusters))
+	for i, c := range clusters {
+		parts[i] = Cluster{Procs: c.Procs, Speed: c.Speed}.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseClusters reads the -clusters flag / spec shorthand syntax: a
+// comma-separated list of PROCS[xSPEED] entries, each optionally
+// prefixed NAME= — e.g. "100,64x1.5,slow=32x0.5". Unnamed clusters are
+// auto-named c0, c1, ... by position.
+func ParseClusters(s string) ([]Cluster, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("platform: empty cluster list")
+	}
+	var out []Cluster
+	for _, entry := range strings.Split(s, ",") {
+		c, err := ParseClusterEntry(entry)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return Normalize(out)
+}
+
+// ParseClusterEntry reads one NAME=PROCS[xSPEED] entry without
+// normalizing (auto-naming happens against the whole platform, so
+// callers collecting entries one by one — the spec decoder — keep
+// positional names consistent).
+func ParseClusterEntry(entry string) (Cluster, error) {
+	entry = strings.TrimSpace(entry)
+	var c Cluster
+	if i := strings.IndexByte(entry, '='); i >= 0 {
+		c.Name = strings.TrimSpace(entry[:i])
+		if c.Name == "" {
+			return Cluster{}, fmt.Errorf("platform: cluster entry %q: empty name before '='", entry)
+		}
+		entry = strings.TrimSpace(entry[i+1:])
+	}
+	spec := entry
+	if i := strings.IndexByte(entry, 'x'); i >= 0 {
+		speed, err := strconv.ParseFloat(entry[i+1:], 64)
+		if err != nil || speed <= 0 {
+			return Cluster{}, fmt.Errorf("platform: cluster entry %q: bad speed factor %q", entry, entry[i+1:])
+		}
+		c.Speed = speed
+		spec = entry[:i]
+	}
+	procs, err := strconv.ParseInt(spec, 10, 64)
+	if err != nil {
+		return Cluster{}, fmt.Errorf("platform: cluster entry %q: bad processor count %q (want PROCS[xSPEED], e.g. 64 or 64x0.5)", entry, spec)
+	}
+	c.Procs = procs
+	return c, nil
+}

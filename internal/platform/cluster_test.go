@@ -1,0 +1,82 @@
+package platform
+
+import "testing"
+
+func TestParseClusters(t *testing.T) {
+	cs, err := ParseClusters("100, 64x1.5, slow=32x0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Cluster{
+		{Name: "c0", Procs: 100},
+		{Name: "c1", Procs: 64, Speed: 1.5},
+		{Name: "slow", Procs: 32, Speed: 0.5},
+	}
+	if len(cs) != len(want) {
+		t.Fatalf("parsed %d clusters, want %d", len(cs), len(want))
+	}
+	for i := range want {
+		if cs[i] != want[i] {
+			t.Errorf("cluster %d = %+v, want %+v", i, cs[i], want[i])
+		}
+	}
+	if got, want := ClustersTotal(cs), int64(196); got != want {
+		t.Errorf("total %d, want %d", got, want)
+	}
+	if got, want := Topology(cs), "100+64x1.5+32x0.5"; got != want {
+		t.Errorf("topology %q, want %q", got, want)
+	}
+}
+
+func TestParseClustersRejects(t *testing.T) {
+	for _, s := range []string{
+		"", "abc", "64x", "64x0", "64x-1", "0", "-5", "=64",
+		"a=64,a=32", // duplicate names
+		"c1=64,32",  // collides with the auto-name of position 1
+	} {
+		if _, err := ParseClusters(s); err == nil {
+			t.Errorf("ParseClusters(%q) accepted", s)
+		}
+	}
+}
+
+func TestClusterValidate(t *testing.T) {
+	if err := (Cluster{Name: "ok", Procs: 4}).Validate(); err != nil {
+		t.Errorf("valid cluster rejected: %v", err)
+	}
+	for _, c := range []Cluster{
+		{Name: "x", Procs: 0},
+		{Name: "x", Procs: -1},
+		{Name: "x", Procs: 4, Speed: -0.5},
+		{Name: "a|b", Procs: 4},
+		{Name: "a b", Procs: 4},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", c)
+		}
+	}
+}
+
+func TestSpeedFactorDefault(t *testing.T) {
+	if got := (Cluster{Procs: 1}).SpeedFactor(); got != 1.0 {
+		t.Fatalf("zero speed resolves to %v, want 1.0", got)
+	}
+	if got := (Cluster{Procs: 1, Speed: 2.5}).SpeedFactor(); got != 2.5 {
+		t.Fatalf("explicit speed resolves to %v, want 2.5", got)
+	}
+}
+
+func TestClusterString(t *testing.T) {
+	for _, c := range []struct {
+		in   Cluster
+		want string
+	}{
+		{Cluster{Procs: 64}, "64"},
+		{Cluster{Procs: 64, Speed: 0.5}, "64x0.5"},
+		{Cluster{Name: "big", Procs: 128, Speed: 2}, "big=128x2"},
+	} {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

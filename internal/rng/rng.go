@@ -18,6 +18,47 @@ func splitMix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// DeriveSeed derives a deterministic child seed from a base seed and a
+// label path, folding each label through one SplitMix64 step (golden-gamma
+// offset, then the finalizer New seeds its generators with). It is the
+// single seed-derivation scheme of the repository — per-cell grid seeds,
+// per-cluster disruption seeds — replacing ad-hoc inline arithmetic:
+//
+//   - children are statistically independent across labels (the SplitMix64
+//     finalizer is a bijective avalanche mix, so nearby labels share no
+//     structure);
+//   - the mapping is a pure function of (base, labels...), so an
+//     interrupted-and-resumed grid, or two processes deriving the same
+//     coordinate, always agree;
+//   - labels compose: DeriveSeed(base, a, b) == DeriveSeed(DeriveSeed(base, a), b),
+//     so a harness may hand a subsystem a derived base and let it derive
+//     further children without coordination.
+//
+// With a single label the mapping is exactly the historical per-cell
+// formula of the campaign grid executor, so journals keyed by derived
+// cell seeds stay valid.
+func DeriveSeed(base uint64, labels ...uint64) uint64 {
+	z := base
+	for _, label := range labels {
+		// splitMix64 adds one golden-gamma increment itself, so offsetting
+		// by label increments here yields finalize(z + (label+1)*gamma).
+		st := z + label*0x9e3779b97f4a7c15
+		z = splitMix64(&st)
+	}
+	return z
+}
+
+// Stream returns the labeled child generator of a root seeded from seed:
+// Stream(seed, label) is New(seed).Split(label) without materializing the
+// root. It names the convention the workload generators share — the
+// preloading and streaming generator of one config must draw, say, their
+// arrival sequences from the same (seed, label) stream to stay
+// comparable — so the label constants live next to the generators and
+// the derivation lives here.
+func Stream(seed, label uint64) *Source {
+	return New(seed).Split(label)
+}
+
 // Source is a deterministic xoshiro256** generator. The zero value is not
 // usable; construct with New.
 type Source struct {

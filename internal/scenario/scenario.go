@@ -60,6 +60,11 @@ type Event struct {
 	Procs int64
 	// JobID is the target of a Cancel (the SWF job number).
 	JobID int64
+	// Cluster optionally names the federated cluster a Drain or Restore
+	// targets. Empty means the first cluster; single-machine runs reject
+	// any other value. Cancellations identify their job by ID alone and
+	// ignore this field.
+	Cluster string
 }
 
 // Script is a named, time-sorted disruption sequence. The zero value
@@ -138,6 +143,25 @@ func (s *Script) replayCapacity(total int64) (lowest, final int64) {
 	return lowest, capacity
 }
 
+// Retarget returns a copy of the script whose drain and restore events
+// all target the named federated cluster. Cancellations are untouched
+// (they identify their job by ID, not by placement). It is how a
+// single-machine disruption script — e.g. one from Generate, sized to
+// one cluster — is aimed at a member of a federated platform before
+// merging the per-cluster scripts.
+func Retarget(s *Script, cluster string) *Script {
+	if s == nil {
+		return nil
+	}
+	out := &Script{Name: s.Name, Events: append([]Event(nil), s.Events...)}
+	for i := range out.Events {
+		if out.Events[i].Action == Drain || out.Events[i].Action == Restore {
+			out.Events[i].Cluster = cluster
+		}
+	}
+	return out
+}
+
 // Merge combines scripts into one time-sorted script under a new name.
 func Merge(name string, scripts ...*Script) *Script {
 	out := &Script{Name: name}
@@ -194,6 +218,22 @@ func (b *Builder) Restore(at, procs int64) *Builder {
 		b.errf("restore of %d processors at %d", procs, at)
 	}
 	b.events = append(b.events, Event{Time: at, Action: Restore, Procs: procs})
+	return b
+}
+
+// DrainOn schedules a drain of procs processors on the named federated
+// cluster at the given instant.
+func (b *Builder) DrainOn(cluster string, at, procs int64) *Builder {
+	b.Drain(at, procs)
+	b.events[len(b.events)-1].Cluster = cluster
+	return b
+}
+
+// RestoreOn schedules a restore of procs processors on the named
+// federated cluster at the given instant.
+func (b *Builder) RestoreOn(cluster string, at, procs int64) *Builder {
+	b.Restore(at, procs)
+	b.events[len(b.events)-1].Cluster = cluster
 	return b
 }
 

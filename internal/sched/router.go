@@ -1,0 +1,214 @@
+package sched
+
+// This file is the routing stage of the federated platform: a Router
+// picks which cluster a submitted job is dispatched to, in front of the
+// per-cluster policy sessions. Routing is a submit-time decision — once
+// a job is routed its queueing, backfilling and corrections all happen
+// inside one cluster's scheduling session — so the Router sees the
+// machines and queue depths, not the policies.
+//
+// Every implementation shares one hard rule, enforced by eligible():
+// a job is never placed on a cluster whose eventual capacity (nominal
+// minus pending drains) cannot fit it while any cluster that can fit it
+// exists. If drains have taken every fitting cluster below the job's
+// width, the routers fall back to the clusters whose nominal size fits —
+// the job waits there for a restore, exactly as a single-machine run
+// waits out a drain. A job wider than every cluster's nominal size is
+// rejected by the engine before routing, so Route always has a
+// candidate.
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/platform"
+)
+
+// ClusterState is the router's read-only view of one cluster at the
+// instant a job is routed.
+type ClusterState struct {
+	// Name labels the cluster.
+	Name string
+	// Machine is the cluster's live machine state (capacity, free
+	// processors, pending drains).
+	Machine *platform.Machine
+	// QueueLen is the cluster's current waiting-queue length.
+	QueueLen int
+}
+
+// Router picks the destination cluster for a job at submit time.
+type Router interface {
+	// Name identifies the routing policy in reports and journal keys.
+	Name() string
+	// Route returns the index into clusters the job is dispatched to.
+	// Implementations must return an eligible index (see eligible); the
+	// engine panics on an out-of-range or too-small destination, since
+	// that is a router bug, not an input error.
+	Route(j *job.Job, now int64, clusters []ClusterState) int
+}
+
+// RouterNames lists the built-in routing policies in NewRouter's
+// vocabulary, for flag/spec error messages.
+const RouterNames = "round-robin, least-loaded, queue-depth, spillover"
+
+// NewRouter constructs a fresh routing session by name. Stateful
+// routers (round-robin) must not be shared across concurrent runs.
+func NewRouter(name string) (Router, error) {
+	switch name {
+	case "round-robin":
+		return &RoundRobin{}, nil
+	case "least-loaded":
+		return &LeastLoaded{}, nil
+	case "queue-depth":
+		return &QueueDepth{}, nil
+	case "spillover":
+		return &Spillover{}, nil
+	}
+	return nil, fmt.Errorf("sched: unknown router %q (have %s)", name, RouterNames)
+}
+
+// eligible appends to dst the indices of the clusters the job may be
+// routed to: those whose eventual capacity fits it, or — when drains
+// have taken every fitting cluster below the job's width — those whose
+// nominal size fits, where the job can wait for a restore. The result
+// is empty only for a job wider than every cluster, which the engine
+// rejects before routing.
+func eligible(dst []int, j *job.Job, clusters []ClusterState) []int {
+	dst = dst[:0]
+	for i, c := range clusters {
+		if c.Machine.EventualCapacity() >= j.Procs {
+			dst = append(dst, i)
+		}
+	}
+	if len(dst) > 0 {
+		return dst
+	}
+	for i, c := range clusters {
+		if c.Machine.Total() >= j.Procs {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// busyFraction is the load measure LeastLoaded minimizes: occupied over
+// in-service processors. A fully drained cluster counts as fully busy.
+func busyFraction(m *platform.Machine) float64 {
+	cap := m.Capacity()
+	if cap <= 0 {
+		return 1
+	}
+	return float64(cap-m.Free()) / float64(cap)
+}
+
+// RoundRobin rotates over the eligible clusters: the k-th routed job
+// goes to the k-th eligible candidate (mod their count). With
+// homogeneous always-eligible clusters this is the textbook cycle; when
+// eligibility shifts (drains, wide jobs) the rotation continues over
+// whatever is currently eligible, so no routed job is ever skipped or
+// starved. The rotation counter is the only state.
+type RoundRobin struct {
+	next int
+	idx  []int
+}
+
+// Name implements Router.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Route implements Router.
+func (r *RoundRobin) Route(j *job.Job, now int64, clusters []ClusterState) int {
+	r.idx = eligible(r.idx, j, clusters)
+	if len(r.idx) == 0 {
+		return -1
+	}
+	pick := r.idx[r.next%len(r.idx)]
+	r.next++
+	return pick
+}
+
+// LeastLoaded routes to the eligible cluster with the lowest occupied
+// fraction of in-service processors, ties broken by lower index. It is
+// stateless: the load signal is entirely in the machines.
+type LeastLoaded struct{ idx []int }
+
+// Name implements Router.
+func (*LeastLoaded) Name() string { return "least-loaded" }
+
+// Route implements Router.
+func (l *LeastLoaded) Route(j *job.Job, now int64, clusters []ClusterState) int {
+	l.idx = eligible(l.idx, j, clusters)
+	idx := l.idx
+	if len(idx) == 0 {
+		return -1
+	}
+	best, bestFrac := idx[0], busyFraction(clusters[idx[0]].Machine)
+	for _, i := range idx[1:] {
+		if f := busyFraction(clusters[i].Machine); f < bestFrac {
+			best, bestFrac = i, f
+		}
+	}
+	return best
+}
+
+// QueueDepth scores eligible clusters by waiting-queue length per
+// eventually-available processor — the backlog each new job joins,
+// normalized so a deep queue on a big cluster beats a shallow queue on
+// a drained one. Ties break toward more free processors, then lower
+// index.
+type QueueDepth struct{ idx []int }
+
+// Name implements Router.
+func (*QueueDepth) Name() string { return "queue-depth" }
+
+// Route implements Router.
+func (q *QueueDepth) Route(j *job.Job, now int64, clusters []ClusterState) int {
+	q.idx = eligible(q.idx, j, clusters)
+	idx := q.idx
+	if len(idx) == 0 {
+		return -1
+	}
+	score := func(i int) float64 {
+		ec := clusters[i].Machine.EventualCapacity()
+		if ec <= 0 {
+			// Fallback candidates (everything fitting is fully drained):
+			// rank by raw backlog against the nominal size instead.
+			ec = clusters[i].Machine.Total()
+		}
+		return float64(clusters[i].QueueLen) / float64(ec)
+	}
+	best, bestScore := idx[0], score(idx[0])
+	for _, i := range idx[1:] {
+		s := score(i)
+		switch {
+		case s < bestScore:
+			best, bestScore = i, s
+		case s == bestScore && clusters[i].Machine.Free() > clusters[best].Machine.Free():
+			best = i
+		}
+	}
+	return best
+}
+
+// Spillover prefers the first eligible cluster with enough free
+// processors to start the job immediately; when every eligible cluster
+// is saturated it falls back to the first eligible one — a primary
+// cluster with overflow targets, in list order.
+type Spillover struct{ idx []int }
+
+// Name implements Router.
+func (*Spillover) Name() string { return "spillover" }
+
+// Route implements Router.
+func (s *Spillover) Route(j *job.Job, now int64, clusters []ClusterState) int {
+	s.idx = eligible(s.idx, j, clusters)
+	idx := s.idx
+	if len(idx) == 0 {
+		return -1
+	}
+	for _, i := range idx {
+		if clusters[i].Machine.Free() >= j.Procs {
+			return i
+		}
+	}
+	return idx[0]
+}

@@ -2,21 +2,27 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/correct"
 	"repro/internal/eventq"
 	"repro/internal/job"
 	"repro/internal/platform"
+	"repro/internal/predict"
+	"repro/internal/sched"
 )
 
 // payload is the event-queue payload: a job for job events, a processor
 // count for capacity events. Streaming cancellations carry the target's
 // job ID instead of a pointer (the job may not have been pulled from the
 // source yet); the handler resolves it through the engine's target map.
+// cluster aims a Drain or Restore at one member of a federated platform
+// (always 0 on single-machine runs).
 type payload struct {
-	j     *job.Job
-	procs int64
-	id    int64
+	j       *job.Job
+	procs   int64
+	id      int64
+	cluster int
 }
 
 // cancelTarget is the bounded bookkeeping a streaming run keeps for each
@@ -34,74 +40,149 @@ type cancelTarget struct {
 	finished bool
 }
 
-// engine is the shared event core both drivers run: Run (preloading) and
-// RunStream (bounded memory) construct one, seed its event queue, and
-// feed popped events to handle. All scheduling semantics live here so
-// the two paths cannot drift.
-type engine struct {
-	cfg       Config
-	corrector correct.Corrector
+// clusterState is the live state of one member of the platform: its
+// machine, its waiting queue, and its own policy/predictor session. A
+// classic single-machine run is exactly one clusterState — no name, no
+// speed scaling, no per-cluster result slot — which is how the federated
+// engine stays byte-identical to the historical single-machine one.
+type clusterState struct {
+	name  string
+	speed float64
+
 	machine   *platform.Machine
 	queue     []*job.Job
-	q         eventq.Queue[payload]
-	sink      JobSink
-	res       *Result
+	policy    sched.Policy
+	predictor predict.Predictor
+
+	// sub points at this cluster's slot on Result.Clusters, nil on
+	// single-machine runs (whose counters live on the Result alone).
+	sub *ClusterResult
+}
+
+// engine is the shared event core all drivers run: Run/RunFederated
+// (preloading) and RunStream/RunFederatedStream (bounded memory)
+// construct one, seed its event queue, and feed popped events to handle.
+// All scheduling semantics live here so the paths cannot drift. The
+// engine drives one event loop over N independent cluster states; every
+// event affects exactly one cluster, and only that cluster's policy is
+// offered start decisions at the event's instant.
+type engine struct {
+	corrector correct.Corrector
+	clusters  []*clusterState
+	// router picks the destination cluster at submit time. Non-nil only
+	// on federated runs; single-machine runs dispatch every job to
+	// clusters[0] without consulting anything.
+	router sched.Router
+	// views is the router's reusable read-only snapshot of the clusters.
+	views []sched.ClusterState
+	q     eventq.Queue[payload]
+	sink  JobSink
+	res   *Result
 	// targets is non-nil only on streaming runs with a cancellation
 	// script; see cancelTarget.
 	targets map[int64]*cancelTarget
 }
 
-// recordCapacity appends to the realized capacity timeline, collapsing
-// multiple changes at one instant into the last.
-func (e *engine) recordCapacity(now int64) {
-	c := e.machine.Capacity()
-	if n := len(e.res.CapacitySteps); n > 0 && e.res.CapacitySteps[n-1].At == now {
-		e.res.CapacitySteps[n-1].Capacity = c
-		return
+// scaleTime converts a reference-speed duration to a cluster running at
+// the given speed factor: ceil(x/speed), never rounding a positive
+// duration down to zero.
+func scaleTime(x int64, speed float64) int64 {
+	if x <= 0 {
+		return x
 	}
-	e.res.CapacitySteps = append(e.res.CapacitySteps, CapacityStep{At: now, Capacity: c})
+	s := int64(math.Ceil(float64(x) / speed))
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
-func (e *engine) startJob(j *job.Job, now int64) {
+// recordCapacity appends to the cluster's realized capacity timeline,
+// collapsing multiple changes at one instant into the last. Federated
+// runs record onto the per-cluster result; single-machine runs onto the
+// Result's own timeline, as they always have.
+func (e *engine) recordCapacity(c *clusterState, now int64) {
+	steps := &e.res.CapacitySteps
+	if c.sub != nil {
+		steps = &c.sub.CapacitySteps
+	}
+	cp := c.machine.Capacity()
+	if n := len(*steps); n > 0 && (*steps)[n-1].At == now {
+		(*steps)[n-1].Capacity = cp
+		return
+	}
+	*steps = append(*steps, CapacityStep{At: now, Capacity: cp})
+}
+
+// route picks the destination cluster for a submission. Single-machine
+// runs (nil router) dispatch to the sole cluster with the job untouched
+// — the identity the differential tests pin. Federated runs consult the
+// router over a fresh snapshot, stamp the job with its destination, and
+// scale its runtime and kill bound by the cluster's speed factor.
+func (e *engine) route(j *job.Job, now int64) *clusterState {
+	if e.router == nil {
+		return e.clusters[0]
+	}
+	for i, cs := range e.clusters {
+		e.views[i] = sched.ClusterState{Name: cs.name, Machine: cs.machine, QueueLen: len(cs.queue)}
+	}
+	pick := e.router.Route(j, now, e.views)
+	if pick < 0 || pick >= len(e.clusters) || e.clusters[pick].machine.Total() < j.Procs {
+		panic(fmt.Sprintf("sim: router %s sent job %d (%d procs) to invalid cluster %d",
+			e.router.Name(), j.ID, j.Procs, pick))
+	}
+	c := e.clusters[pick]
+	j.Cluster = pick
+	if c.sub != nil {
+		c.sub.Routed++
+	}
+	if c.speed != 1 {
+		j.Runtime = scaleTime(j.Runtime, c.speed)
+		j.Request = scaleTime(j.Request, c.speed)
+	}
+	return c
+}
+
+func (e *engine) startJob(c *clusterState, j *job.Job, now int64) {
 	j.Started = true
 	j.Start = now
-	e.machine.Start(j)
-	e.cfg.Predictor.OnStart(j, now)
-	e.cfg.Policy.OnStart(j, now)
+	c.machine.Start(j)
+	c.predictor.OnStart(j, now)
+	c.policy.OnStart(j, now)
 	e.q.Push(now+j.Runtime, eventq.Finish, payload{j: j})
 	if j.Prediction < j.Runtime {
 		e.q.Push(now+j.Prediction, eventq.Expiry, payload{j: j})
 	}
 }
 
-func (e *engine) schedulePass(now int64) {
+func (e *engine) schedulePass(c *clusterState, now int64) {
 	for {
 		e.res.Perf.PickCalls++
-		next := e.cfg.Policy.Pick(now, e.machine, e.queue)
+		next := c.policy.Pick(now, c.machine, c.queue)
 		if next == nil {
 			return
 		}
 		removed := false
-		for i, qj := range e.queue {
+		for i, qj := range c.queue {
 			if qj == next {
-				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				c.queue = append(c.queue[:i], c.queue[i+1:]...)
 				removed = true
 				break
 			}
 		}
 		if !removed {
-			panic(fmt.Sprintf("sim: policy %s picked job %d not in queue", e.cfg.Policy.Name(), next.ID))
+			panic(fmt.Sprintf("sim: policy %s picked job %d not in queue", c.policy.Name(), next.ID))
 		}
-		e.startJob(next, now)
+		e.startJob(c, next, now)
 	}
 }
 
 // release frees a running job's processors and reports whether a
 // pending drain absorbed part of the release (a capacity change).
-func (e *engine) release(j *job.Job) (capacityChanged bool) {
-	before := e.machine.Capacity()
-	e.machine.Finish(j)
-	return e.machine.Capacity() != before
+func (e *engine) release(c *clusterState, j *job.Job) (capacityChanged bool) {
+	before := c.machine.Capacity()
+	c.machine.Finish(j)
+	return c.machine.Capacity() != before
 }
 
 // target returns the streaming cancel bookkeeping for a job ID, nil when
@@ -113,11 +194,25 @@ func (e *engine) target(id int64) *cancelTarget {
 	return e.targets[id]
 }
 
+// noteEnd folds a job's completion instant into the global and
+// per-cluster makespans.
+func (e *engine) noteEnd(c *clusterState, end int64) {
+	if end > e.res.Makespan {
+		e.res.Makespan = end
+	}
+	if c.sub != nil && end > c.sub.Makespan {
+		c.sub.Makespan = end
+	}
+}
+
 // retire marks a job's exit from the system: it is counted, its cancel
 // bookkeeping (if any) is closed so the pointer can be collected, and
 // the sink observes its realized schedule.
-func (e *engine) retire(j *job.Job) {
+func (e *engine) retire(c *clusterState, j *job.Job) {
 	e.res.Finished++
+	if c.sub != nil {
+		c.sub.Finished++
+	}
 	if tgt := e.target(j.ID); tgt != nil {
 		tgt.finished = true
 		tgt.j = nil
@@ -128,59 +223,65 @@ func (e *engine) retire(j *job.Job) {
 }
 
 // handle processes one popped event and, unless the event was stale,
-// runs the scheduling pass at its instant. The branch structure mirrors
-// the paper's same-instant semantics; see the package comment.
+// runs the affected cluster's scheduling pass at its instant. The branch
+// structure mirrors the paper's same-instant semantics; see the package
+// comment.
 func (e *engine) handle(ev eventq.Event[payload]) {
 	now := ev.Time
+	var c *clusterState
 	switch ev.Kind {
 	case eventq.Submit:
 		j := ev.Payload.j
 		if j.Canceled {
 			return // canceled before submission: never enters the system
 		}
-		j.Prediction = j.ClampPrediction(e.cfg.Predictor.Predict(j, now))
+		c = e.route(j, now)
+		j.Prediction = j.ClampPrediction(c.predictor.Predict(j, now))
 		j.SubmitPrediction = j.Prediction
-		e.cfg.Predictor.OnSubmit(j, now)
-		e.queue = append(e.queue, j)
-		e.cfg.Policy.OnSubmit(j, now)
+		c.predictor.OnSubmit(j, now)
+		c.queue = append(c.queue, j)
+		c.policy.OnSubmit(j, now)
 	case eventq.Finish:
 		j := ev.Payload.j
 		if j.Finished {
 			return // stale: the job was killed by a cancellation
 		}
-		changed := e.release(j)
+		c = e.clusters[j.Cluster]
+		changed := e.release(c, j)
 		j.Finished = true
 		j.End = now
-		if j.End > e.res.Makespan {
-			e.res.Makespan = j.End
-		}
-		e.cfg.Predictor.OnFinish(j, now)
-		e.cfg.Policy.OnFinish(j, now)
+		e.noteEnd(c, j.End)
+		c.predictor.OnFinish(j, now)
+		c.policy.OnFinish(j, now)
 		if changed {
-			e.recordCapacity(now)
-			e.cfg.Policy.OnCapacityChange(now, e.machine)
+			e.recordCapacity(c, now)
+			c.policy.OnCapacityChange(now, c.machine)
 		}
-		e.retire(j)
+		e.retire(c, j)
 	case eventq.Cancel:
-		if !e.handleCancel(ev.Payload, now) {
+		var runPass bool
+		c, runPass = e.handleCancel(ev.Payload, now)
+		if !runPass {
 			return
 		}
 	case eventq.Drain:
-		before := e.machine.Capacity()
-		e.machine.Drain(ev.Payload.procs)
-		if e.machine.Capacity() != before {
-			e.recordCapacity(now)
+		c = e.clusters[ev.Payload.cluster]
+		before := c.machine.Capacity()
+		c.machine.Drain(ev.Payload.procs)
+		if c.machine.Capacity() != before {
+			e.recordCapacity(c, now)
 		}
 		// Even a fully pending drain changes the eventual capacity
 		// every availability view plans against.
-		e.cfg.Policy.OnCapacityChange(now, e.machine)
+		c.policy.OnCapacityChange(now, c.machine)
 	case eventq.Restore:
-		before := e.machine.Capacity()
-		e.machine.Restore(ev.Payload.procs)
-		if e.machine.Capacity() != before {
-			e.recordCapacity(now)
+		c = e.clusters[ev.Payload.cluster]
+		before := c.machine.Capacity()
+		c.machine.Restore(ev.Payload.procs)
+		if c.machine.Capacity() != before {
+			e.recordCapacity(c, now)
 		}
-		e.cfg.Policy.OnCapacityChange(now, e.machine)
+		c.policy.OnCapacityChange(now, c.machine)
 	case eventq.Expiry:
 		j := ev.Payload.j
 		if j.Finished || !j.Started {
@@ -189,6 +290,7 @@ func (e *engine) handle(ev eventq.Event[payload]) {
 		if j.PredictedEnd() > now {
 			return // stale: a correction already extended the prediction
 		}
+		c = e.clusters[j.Cluster]
 		elapsed := now - j.Start
 		next := e.corrector.Correct(elapsed, j.Request, j.Corrections)
 		next = j.ClampPrediction(next)
@@ -203,18 +305,22 @@ func (e *engine) handle(ev eventq.Event[payload]) {
 		j.Prediction = next
 		j.Corrections++
 		e.res.Corrections++
-		e.cfg.Policy.OnExpiry(j, now)
+		if c.sub != nil {
+			c.sub.Corrections++
+		}
+		c.policy.OnExpiry(j, now)
 		if j.PredictedEnd() < j.Start+j.Runtime {
 			e.q.Push(j.PredictedEnd(), eventq.Expiry, payload{j: j})
 		}
 	}
-	e.schedulePass(now)
+	e.schedulePass(c, now)
 }
 
 // handleCancel removes a job from the system — before submission, from
-// the queue, or killing it mid-run — and reports whether the scheduling
-// pass should run (false only for stale cancellations).
-func (e *engine) handleCancel(p payload, now int64) (runPass bool) {
+// its cluster's queue, or killing it mid-run — and reports the affected
+// cluster and whether the scheduling pass should run (false only for
+// stale cancellations).
+func (e *engine) handleCancel(p payload, now int64) (c *clusterState, runPass bool) {
 	j := p.j
 	if j == nil {
 		// Streaming: resolve the target by ID. An unbound entry is a job
@@ -223,52 +329,82 @@ func (e *engine) handleCancel(p payload, now int64) (runPass bool) {
 		// "canceled before submission".
 		tgt := e.target(p.id)
 		if tgt == nil || tgt.finished || tgt.canceled {
-			return false
+			return nil, false
 		}
 		if tgt.j == nil {
 			tgt.canceled = true
-			return true
+			// The job was never routed, so no cluster state changed; the
+			// pass runs where a single-machine run would run it.
+			return e.clusters[0], true
 		}
 		j = tgt.j
 	}
 	if j.Finished || j.Canceled {
-		return false // stale: already completed or already canceled
+		return nil, false // stale: already completed or already canceled
 	}
 	j.Canceled = true
 	e.res.Canceled++
 	if tgt := e.target(j.ID); tgt != nil {
 		tgt.canceled = true
 	}
+	c = e.clusters[j.Cluster]
 	if j.Started {
 		// Kill the running job: it occupied the machine for exactly
 		// now-Start seconds, which becomes its realized runtime.
-		changed := e.release(j)
+		if c.sub != nil {
+			c.sub.Canceled++
+		}
+		changed := e.release(c, j)
 		j.Finished = true
 		j.End = now
 		j.Runtime = now - j.Start
-		if j.End > e.res.Makespan {
-			e.res.Makespan = j.End
-		}
-		e.cfg.Predictor.OnFinish(j, now)
-		e.cfg.Policy.OnCancel(j, now)
+		e.noteEnd(c, j.End)
+		c.predictor.OnFinish(j, now)
+		c.policy.OnCancel(j, now)
 		if changed {
-			e.recordCapacity(now)
-			e.cfg.Policy.OnCapacityChange(now, e.machine)
+			e.recordCapacity(c, now)
+			c.policy.OnCapacityChange(now, c.machine)
 		}
-		e.retire(j)
-		return true
+		e.retire(c, j)
+		return c, true
 	}
 	// Still waiting (or, if absent from the queue, not yet submitted —
-	// the Submit event will observe Canceled).
-	for i, qj := range e.queue {
+	// the Submit event will observe Canceled). A queued job was routed,
+	// so its cluster index is authoritative; an unrouted one leaves no
+	// per-cluster trace.
+	for i, qj := range c.queue {
 		if qj == j {
-			e.queue = append(e.queue[:i], e.queue[i+1:]...)
-			e.cfg.Policy.OnCancel(j, now)
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			c.policy.OnCancel(j, now)
+			if c.sub != nil {
+				c.sub.Canceled++
+			}
 			break
 		}
 	}
 	if tgt := e.target(j.ID); tgt != nil {
 		tgt.j = nil // never runs; release the pointer
 	}
-	return true
+	return c, true
+}
+
+// queuedJobs counts waiting jobs across every cluster, returning one of
+// them for error reporting.
+func (e *engine) queuedJobs() (n int, first *job.Job) {
+	for _, c := range e.clusters {
+		n += len(c.queue)
+		if first == nil && len(c.queue) > 0 {
+			first = c.queue[0]
+		}
+	}
+	return n, first
+}
+
+// runningJobs counts running jobs across every cluster.
+func (e *engine) runningJobs() int {
+	n := 0
+	for _, c := range e.clusters {
+		n += c.machine.RunningCount()
+	}
+	return n
 }

@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/eventq"
+	"repro/internal/job"
+	"repro/internal/platform"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/swf"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// FederatedConfig describes a federated run: a platform of independent
+// clusters, a routing policy in front of them, and a factory producing
+// one fresh heuristic-triple session per cluster. Each cluster runs its
+// own policy and predictor instance — scheduling state, backfilling
+// reservations and learned per-user history never cross clusters; only
+// the router sees the whole platform.
+type FederatedConfig struct {
+	// Clusters describes the platform. Normalized (named, validated)
+	// internally; at least one cluster is required.
+	Clusters []platform.Cluster
+	// Router picks the destination cluster at submit time. Nil defaults
+	// to round-robin.
+	Router sched.Router
+	// Session returns the heuristic triple for one cluster. It is called
+	// once per cluster, so stateful policies and predictors get
+	// independent sessions. The returned Config's Script and Sink must
+	// be nil: disruptions and observation are per-run, not per-cluster
+	// (use FederatedConfig.Script and Sink). The corrector of the first
+	// session is used for the whole run.
+	Session func() Config
+	// Script optionally injects timed disruptions. Drains and restores
+	// target the cluster named by their Cluster field (empty means the
+	// first cluster); cancellations find their job wherever it is.
+	Script *scenario.Script
+	// Sink, when non-nil, observes every finished job exactly once, in
+	// event order (see Config.Sink). Jobs carry their destination in
+	// Job.Cluster, which is how metrics.Federated splits them.
+	Sink JobSink
+}
+
+// setup validates the config and builds the N-cluster engine. maxTotal
+// is the widest single cluster — the admission bound for any job.
+func (fed FederatedConfig) setup() (e *engine, res *Result, maxTotal int64, err error) {
+	clusters, err := platform.Normalize(fed.Clusters)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if fed.Session == nil {
+		return nil, nil, 0, fmt.Errorf("sim: federated run needs a Session factory")
+	}
+	router := fed.Router
+	if router == nil {
+		router = &sched.RoundRobin{}
+	}
+	res = &Result{
+		MaxProcs: platform.ClustersTotal(clusters),
+		Routing:  router.Name(),
+		Clusters: make([]ClusterResult, len(clusters)),
+	}
+	e = &engine{
+		router: router,
+		views:  make([]sched.ClusterState, len(clusters)),
+		sink:   fed.Sink,
+		res:    res,
+	}
+	for i, c := range clusters {
+		cfg := fed.Session()
+		corrector, err := checkConfig(cfg)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("sim: cluster %s session: %w", c.Name, err)
+		}
+		if cfg.Script != nil || cfg.Sink != nil {
+			return nil, nil, 0, fmt.Errorf("sim: cluster %s session: Script and Sink belong on FederatedConfig, not the per-cluster Config", c.Name)
+		}
+		if i == 0 {
+			res.Triple = cfg.Name()
+			e.corrector = corrector
+		}
+		res.Clusters[i] = ClusterResult{Name: c.Name, MaxProcs: c.Procs, Speed: c.SpeedFactor()}
+		e.clusters = append(e.clusters, &clusterState{
+			name:      c.Name,
+			speed:     c.SpeedFactor(),
+			machine:   platform.New(c.Procs),
+			queue:     make([]*job.Job, 0, 64),
+			policy:    cfg.Policy,
+			predictor: cfg.Predictor,
+			sub:       &res.Clusters[i],
+		})
+		if c.Procs > maxTotal {
+			maxTotal = c.Procs
+		}
+	}
+	return e, res, maxTotal, nil
+}
+
+// clusterIndex resolves a scenario event's cluster name against the
+// engine's platform. Empty names mean the first cluster, so
+// single-machine scripts replay unchanged on a federation's head.
+func (e *engine) clusterIndex(name string) (int, error) {
+	if name == "" {
+		return 0, nil
+	}
+	for i, c := range e.clusters {
+		if c.name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: scenario targets unknown cluster %q", name)
+}
+
+// pushScript seeds the event queue with the scenario's disruptions,
+// resolving cluster names. Cancellations resolve through byID on
+// preloading runs; a nil byID means a streaming run, where they are
+// tracked by ID in the engine's target map instead.
+func (e *engine) pushScript(script *scenario.Script, byID map[int64]*job.Job) error {
+	if script.Empty() {
+		return nil
+	}
+	e.res.Scenario = script.Name
+	for _, ev := range script.Events {
+		switch {
+		case ev.Time < 0:
+			return fmt.Errorf("sim: scenario event at negative instant %d", ev.Time)
+		case ev.Action == scenario.Drain && ev.Procs > 0:
+			ci, err := e.clusterIndex(ev.Cluster)
+			if err != nil {
+				return err
+			}
+			e.q.Push(ev.Time, eventq.Drain, payload{procs: ev.Procs, cluster: ci})
+		case ev.Action == scenario.Restore && ev.Procs > 0:
+			ci, err := e.clusterIndex(ev.Cluster)
+			if err != nil {
+				return err
+			}
+			e.q.Push(ev.Time, eventq.Restore, payload{procs: ev.Procs, cluster: ci})
+		case ev.Action == scenario.Cancel:
+			if byID == nil {
+				if e.targets == nil {
+					e.targets = make(map[int64]*cancelTarget)
+				}
+				if e.targets[ev.JobID] == nil {
+					e.targets[ev.JobID] = &cancelTarget{}
+				}
+				e.q.Push(ev.Time, eventq.Cancel, payload{id: ev.JobID})
+			} else if j := byID[ev.JobID]; j != nil {
+				e.q.Push(ev.Time, eventq.Cancel, payload{j: j})
+			}
+			// Unknown IDs on the preloading path are ignored: scripts
+			// derived from a raw log may name jobs the cleaning dropped.
+		default:
+			return fmt.Errorf("sim: scenario %s event with %d processors", ev.Action, ev.Procs)
+		}
+	}
+	return nil
+}
+
+// finishFederated runs the shared post-loop bookkeeping: a
+// single-cluster federation surfaces its sole capacity timeline at the
+// Result level, exactly where a single-machine run records it.
+func finishFederated(res *Result, wallStart time.Time) {
+	if len(res.Clusters) == 1 && len(res.Clusters[0].CapacitySteps) > 0 {
+		res.CapacitySteps = append([]CapacityStep(nil), res.Clusters[0].CapacitySteps...)
+	}
+	res.Perf.WallNanos = time.Since(wallStart).Nanoseconds()
+}
+
+// RunFederated simulates the workload over a federated platform,
+// preloading every job and retaining the full realized schedule, the
+// per-cluster counters and the per-cluster capacity timelines on the
+// Result. A one-cluster federation with a unit speed factor reproduces
+// Run byte for byte — the identity federated_diff_test.go enforces.
+func RunFederated(w *trace.Workload, fed FederatedConfig) (*Result, error) {
+	wallStart := time.Now()
+	e, res, maxTotal, err := fed.setup()
+	if err != nil {
+		return nil, err
+	}
+	res.Workload = w.Name
+
+	jobs := make([]*job.Job, len(w.Jobs))
+	byID := make(map[int64]*job.Job, len(w.Jobs))
+	res.Jobs = jobs
+	for i := range w.Jobs {
+		r := &w.Jobs[i]
+		if r.Procs() > maxTotal {
+			return nil, fmt.Errorf("sim: job %d wider (%d) than every cluster (widest %d)", r.JobNumber, r.Procs(), maxTotal)
+		}
+		j := job.FromSWF(r)
+		jobs[i] = j
+		byID[j.ID] = j
+		e.q.Push(j.Submit, eventq.Submit, payload{j: j})
+	}
+	if err := e.pushScript(fed.Script, byID); err != nil {
+		return nil, err
+	}
+
+	for {
+		ev, ok := e.q.Pop()
+		if !ok {
+			break
+		}
+		res.Perf.Events++
+		e.handle(ev)
+	}
+
+	if n, first := e.queuedJobs(); n != 0 {
+		return nil, fmt.Errorf("sim: %d jobs never started (first: %d) — did the scenario restore its drains?", n, first.ID)
+	}
+	for _, j := range jobs {
+		if !j.Finished && !j.Canceled {
+			return nil, fmt.Errorf("sim: job %d never finished", j.ID)
+		}
+	}
+	finishFederated(res, wallStart)
+	return res, nil
+}
+
+// RunFederatedStream is the bounded-memory federated driver: it pulls
+// submissions lazily from src and retires finished jobs into fed.Sink,
+// like RunStream, while routing each submission across the federation
+// like RunFederated. Peak memory is O(live jobs + window) summed over
+// the clusters. A one-cluster unit-speed federation reproduces
+// RunStream byte for byte.
+func RunFederatedStream(name string, src workload.Source, fed FederatedConfig) (*Result, error) {
+	wallStart := time.Now()
+	e, res, maxTotal, err := fed.setup()
+	if err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("sim: stream %q: nil source", name)
+	}
+	res.Workload = name
+	res.Streamed = true
+	if err := e.pushScript(fed.Script, nil); err != nil {
+		return nil, err
+	}
+
+	lastSubmit := int64(-1 << 62)
+	admit := func(rec swf.Job) error {
+		if rec.Procs() > maxTotal {
+			return fmt.Errorf("sim: job %d wider (%d) than every cluster (widest %d)", rec.JobNumber, rec.Procs(), maxTotal)
+		}
+		if rec.SubmitTime < lastSubmit {
+			return fmt.Errorf("sim: stream %q not submit-ordered: job %d at %d after %d", name, rec.JobNumber, rec.SubmitTime, lastSubmit)
+		}
+		lastSubmit = rec.SubmitTime
+		r := rec // escapes with the job; collected when the job retires
+		j := job.FromSWF(&r)
+		if tgt := e.target(j.ID); tgt != nil {
+			if tgt.bound {
+				return fmt.Errorf("sim: stream %q: duplicate job id %d targeted by a cancellation", name, j.ID)
+			}
+			tgt.bound = true
+			if tgt.canceled {
+				j.Canceled = true
+				res.Canceled++
+			} else {
+				tgt.j = j
+			}
+		}
+		e.q.Push(j.Submit, eventq.Submit, payload{j: j})
+		return nil
+	}
+
+	var pending swf.Job
+	havePending, exhausted := false, false
+	for {
+		for !exhausted {
+			if !havePending {
+				rec, err := src.NextJob()
+				if err == io.EOF {
+					exhausted = true
+					break
+				}
+				if err != nil {
+					return nil, fmt.Errorf("sim: stream %q: %w", name, err)
+				}
+				pending, havePending = rec, true
+			}
+			if t, ok := e.q.PeekTime(); ok && pending.SubmitTime > t {
+				break
+			}
+			if err := admit(pending); err != nil {
+				return nil, err
+			}
+			havePending = false
+		}
+
+		ev, ok := e.q.Pop()
+		if !ok {
+			break
+		}
+		res.Perf.Events++
+		e.handle(ev)
+	}
+
+	if n, first := e.queuedJobs(); n != 0 {
+		return nil, fmt.Errorf("sim: %d jobs never started (first: %d) — did the scenario restore its drains?", n, first.ID)
+	}
+	if n := e.runningJobs(); n != 0 {
+		return nil, fmt.Errorf("sim: %d jobs still running after the event queue drained", n)
+	}
+	finishFederated(res, wallStart)
+	return res, nil
+}

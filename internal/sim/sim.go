@@ -140,12 +140,48 @@ type Result struct {
 	Canceled int
 	// CapacitySteps records the realized capacity step function: one
 	// entry per instant the in-service processor count changed. Empty
-	// means the capacity stayed at MaxProcs throughout.
+	// means the capacity stayed at MaxProcs throughout. On a federated
+	// run this is set only for single-cluster platforms (where it equals
+	// the sole cluster's timeline); multi-cluster timelines live on
+	// Clusters.
 	CapacitySteps []CapacityStep
 	// Makespan is the completion time of the last job.
 	Makespan int64
+	// Routing names the routing policy of a federated run, "" on classic
+	// single-machine runs.
+	Routing string
+	// Clusters holds the per-cluster results of a federated run in
+	// platform order, nil on classic single-machine runs. MaxProcs is
+	// then the federation's total processor count.
+	Clusters []ClusterResult
 	// Perf holds the run's performance counters.
 	Perf Perf
+}
+
+// ClusterResult is one cluster's slice of a federated Result: the
+// counters and capacity timeline of the jobs routed to it.
+type ClusterResult struct {
+	// Name labels the cluster (platform.Cluster.Name).
+	Name string
+	// MaxProcs is the cluster's nominal processor count.
+	MaxProcs int64
+	// Speed is the cluster's resolved speed factor.
+	Speed float64
+	// Routed counts the jobs the router dispatched to this cluster.
+	Routed int
+	// Finished counts the routed jobs that completed (including jobs
+	// killed mid-run by a cancellation).
+	Finished int
+	// Canceled counts scenario cancellations of jobs routed here (jobs
+	// canceled before routing belong to no cluster).
+	Canceled int
+	// Corrections is the number of prediction-expiry corrections on
+	// this cluster.
+	Corrections int
+	// CapacitySteps is the cluster's realized capacity step function.
+	CapacitySteps []CapacityStep
+	// Makespan is the completion time of the cluster's last job.
+	Makespan int64
 }
 
 // Run simulates the workload under the given configuration, preloading
@@ -164,12 +200,16 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 	byID := make(map[int64]*job.Job, len(w.Jobs))
 	res := &Result{Triple: cfg.Name(), Workload: w.Name, MaxProcs: w.MaxProcs, Jobs: jobs}
 	e := &engine{
-		cfg:       cfg,
 		corrector: corrector,
-		machine:   platform.New(w.MaxProcs),
-		queue:     make([]*job.Job, 0, 64),
-		sink:      cfg.Sink,
-		res:       res,
+		clusters: []*clusterState{{
+			speed:     1,
+			machine:   platform.New(w.MaxProcs),
+			queue:     make([]*job.Job, 0, 64),
+			policy:    cfg.Policy,
+			predictor: cfg.Predictor,
+		}},
+		sink: cfg.Sink,
+		res:  res,
 	}
 	for i := range w.Jobs {
 		r := &w.Jobs[i]
@@ -188,6 +228,8 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 			switch {
 			case ev.Time < 0:
 				return nil, fmt.Errorf("sim: scenario event at negative instant %d", ev.Time)
+			case ev.Cluster != "":
+				return nil, fmt.Errorf("sim: scenario targets cluster %q but the run is single-machine (use RunFederated)", ev.Cluster)
 			case ev.Action == scenario.Drain && ev.Procs > 0:
 				e.q.Push(ev.Time, eventq.Drain, payload{procs: ev.Procs})
 			case ev.Action == scenario.Restore && ev.Procs > 0:
@@ -213,8 +255,8 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 		e.handle(ev)
 	}
 
-	if len(e.queue) != 0 {
-		return nil, fmt.Errorf("sim: %d jobs never started (first: %d) — did the scenario restore its drains?", len(e.queue), e.queue[0].ID)
+	if n, first := e.queuedJobs(); n != 0 {
+		return nil, fmt.Errorf("sim: %d jobs never started (first: %d) — did the scenario restore its drains?", n, first.ID)
 	}
 	for _, j := range jobs {
 		if !j.Finished && !j.Canceled {

@@ -46,12 +46,16 @@ func RunStream(name string, maxProcs int64, src workload.Source, cfg Config) (*R
 
 	res := &Result{Triple: cfg.Name(), Workload: name, MaxProcs: maxProcs, Streamed: true}
 	e := &engine{
-		cfg:       cfg,
 		corrector: corrector,
-		machine:   platform.New(maxProcs),
-		queue:     make([]*job.Job, 0, 64),
-		sink:      cfg.Sink,
-		res:       res,
+		clusters: []*clusterState{{
+			speed:     1,
+			machine:   platform.New(maxProcs),
+			queue:     make([]*job.Job, 0, 64),
+			policy:    cfg.Policy,
+			predictor: cfg.Predictor,
+		}},
+		sink: cfg.Sink,
+		res:  res,
 	}
 
 	// Scenario events enter the queue up front, exactly as on the
@@ -65,6 +69,8 @@ func RunStream(name string, maxProcs int64, src workload.Source, cfg Config) (*R
 			switch {
 			case ev.Time < 0:
 				return nil, fmt.Errorf("sim: scenario event at negative instant %d", ev.Time)
+			case ev.Cluster != "":
+				return nil, fmt.Errorf("sim: scenario targets cluster %q but the run is single-machine (use RunFederatedStream)", ev.Cluster)
 			case ev.Action == scenario.Drain && ev.Procs > 0:
 				e.q.Push(ev.Time, eventq.Drain, payload{procs: ev.Procs})
 			case ev.Action == scenario.Restore && ev.Procs > 0:
@@ -148,10 +154,10 @@ func RunStream(name string, maxProcs int64, src workload.Source, cfg Config) (*R
 		e.handle(ev)
 	}
 
-	if len(e.queue) != 0 {
-		return nil, fmt.Errorf("sim: %d jobs never started (first: %d) — did the scenario restore its drains?", len(e.queue), e.queue[0].ID)
+	if n, first := e.queuedJobs(); n != 0 {
+		return nil, fmt.Errorf("sim: %d jobs never started (first: %d) — did the scenario restore its drains?", n, first.ID)
 	}
-	if n := e.machine.RunningCount(); n != 0 {
+	if n := e.runningJobs(); n != 0 {
 		return nil, fmt.Errorf("sim: %d jobs still running after the event queue drained", n)
 	}
 	res.Perf.WallNanos = time.Since(wallStart).Nanoseconds()

@@ -31,6 +31,9 @@ func FuzzSpecYAML(f *testing.F) {
 		"triples:\n  - predictor: ml\n    over: sq\n    under: lin\n    weight: largearea\n",
 		"stream: true\njobs: 5\n",
 		"output:\n  tables: [1, 6]\n  figures: [3]\n",
+		"clusters:\n  - 100\n  - 64x1.5\n  - slow=32x0.5\nrouting: least-loaded\n",
+		"clusters:\n  - name: big\n    procs: 200\n    speed: 2.0\nrouting:\n  - round-robin\n  - spillover\n",
+		"clusters:\n  - 0x\nrouting: []\n",
 		"a:\n - b\n -   c: [1, \"two\", 3]\n",
 		"include: other.yaml\n",
 		"\t\n: :\n- -\n",

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/correct"
 	"repro/internal/ml"
+	"repro/internal/platform"
 	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -24,7 +25,8 @@ import (
 // decode fills the Spec from the merged tree.
 func (s *Spec) decode(tree *node) error {
 	if err := tree.checkKeys("kind", "seed", "repeats", "jobs", "parallelism",
-		"stream", "workloads", "triples", "scenarios", "output"); err != nil {
+		"stream", "workloads", "triples", "scenarios", "clusters", "routing",
+		"output"); err != nil {
 		return err
 	}
 
@@ -108,10 +110,119 @@ func (s *Spec) decode(tree *node) error {
 			return err
 		}
 	}
+	if n := tree.at("clusters"); n != nil {
+		if s.Kind != "campaign" {
+			return n.errf("clusters only apply to campaign grids (the robustness sweep is single-machine)")
+		}
+		if err := s.decodeClusters(n); err != nil {
+			return err
+		}
+	}
+	if n := tree.at("routing"); n != nil {
+		if tree.at("clusters") == nil {
+			return n.errf("routing needs clusters (a single-machine run has nothing to route)")
+		}
+		if err := s.decodeRouting(n); err != nil {
+			return err
+		}
+	}
 	if n := tree.at("output"); n != nil {
 		if err := s.decodeOutput(n); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// decodeClusters reads the federated platform: a list whose entries are
+// either flag-syntax scalars ("64", "64x0.5", "slow=32x0.5") or
+// mappings (name / procs / speed). Validation — positive sizes, unique
+// names — is platform.Normalize's, surfaced at the list's position.
+func (s *Spec) decodeClusters(n *node) error {
+	if n.kind != kindList {
+		return n.errf("clusters must be a list")
+	}
+	if len(n.items) == 0 {
+		return n.errf("clusters must not be empty (omit the key for single-machine runs)")
+	}
+	clusters := make([]platform.Cluster, 0, len(n.items))
+	for _, item := range n.items {
+		switch item.kind {
+		case kindScalar:
+			c, err := platform.ParseClusterEntry(item.scalar)
+			if err != nil {
+				return item.errf("%v", err)
+			}
+			clusters = append(clusters, c)
+		case kindMap:
+			if err := item.checkKeys("name", "procs", "speed"); err != nil {
+				return err
+			}
+			pn := item.at("procs")
+			if pn == nil {
+				return item.errf("cluster entry needs procs")
+			}
+			var c platform.Cluster
+			procs, err := pn.toInt64()
+			if err != nil {
+				return err
+			}
+			c.Procs = procs
+			if nn := item.at("name"); nn != nil {
+				if c.Name, err = nn.str(); err != nil {
+					return err
+				}
+			}
+			if sn := item.at("speed"); sn != nil {
+				if c.Speed, err = sn.toFloat(); err != nil {
+					return err
+				}
+				if c.Speed <= 0 {
+					return sn.errf("speed factor %v must be positive", c.Speed)
+				}
+			}
+			clusters = append(clusters, c)
+		default:
+			return item.errf("cluster entries must be PROCS[xSPEED] scalars or mappings")
+		}
+	}
+	norm, err := platform.Normalize(clusters)
+	if err != nil {
+		return n.errf("%v", err)
+	}
+	s.Clusters = norm
+	return nil
+}
+
+// decodeRouting reads the routing axis: a policy name or a list of
+// them, validated against the sched.NewRouter vocabulary.
+func (s *Spec) decodeRouting(n *node) error {
+	var items []*node
+	switch n.kind {
+	case kindScalar:
+		items = []*node{n}
+	case kindList:
+		if len(n.items) == 0 {
+			return n.errf("routing must not be empty (omit the key for round-robin)")
+		}
+		items = n.items
+	default:
+		return n.errf("routing must be a policy name or a list of them (have %s)", sched.RouterNames)
+	}
+	seen := map[string]bool{}
+	for _, item := range items {
+		name, err := item.str()
+		if err != nil {
+			return err
+		}
+		if _, err := sched.NewRouter(name); err != nil {
+			return item.errf("unknown routing policy %q (have %s)", name, sched.RouterNames)
+		}
+		if seen[name] {
+			return item.errf("duplicate routing policy %q", name)
+		}
+		seen[name] = true
+		s.Routings = append(s.Routings, name)
 	}
 	return nil
 }

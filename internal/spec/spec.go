@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/platform"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -56,6 +57,12 @@ type Spec struct {
 	Triples []core.Triple
 	// Scenarios are the robustness columns (nil = the default ladder).
 	Scenarios []campaign.Scenario
+	// Clusters describes a federated platform (campaign kind only;
+	// nil = classic single-machine runs on each workload's own machine).
+	Clusters []platform.Cluster
+	// Routings lists the routing policies to grid over when Clusters is
+	// set (nil = round-robin).
+	Routings []string
 	// Output carries journaling and report settings.
 	Output Output
 }
@@ -100,6 +107,10 @@ type Overrides struct {
 	Perf        *bool
 	Tables      []int
 	Figures     []int
+	// Clusters and Routings replace the spec's federation axis wholesale
+	// (non-nil slices override, matching the list-merge semantics).
+	Clusters []platform.Cluster
+	Routings []string
 }
 
 // Apply overlays the overrides onto the spec.
@@ -137,6 +148,12 @@ func (s *Spec) Apply(o Overrides) {
 	}
 	if len(o.Figures) > 0 {
 		s.Output.Figures = o.Figures
+	}
+	if len(o.Clusters) > 0 {
+		s.Clusters = o.Clusters
+	}
+	if len(o.Routings) > 0 {
+		s.Routings = o.Routings
 	}
 }
 
@@ -337,6 +354,42 @@ func (s *Spec) GenerateWorkloads() ([]*trace.Workload, error) {
 func (s *Spec) Campaign(ws []*trace.Workload) *campaign.Campaign {
 	return &campaign.Campaign{
 		Workloads:   ws,
+		Triples:     s.Triples,
+		Parallelism: s.Parallelism,
+		Seed:        s.Seed,
+		Stream:      s.Stream,
+	}
+}
+
+// Federated reports whether the spec describes a federated platform.
+func (s *Spec) Federated() bool {
+	return len(s.Clusters) > 0
+}
+
+// Federations expands the clusters/routing axes into the campaign's
+// federation axis: one federation per routing policy, all sharing the
+// spec's cluster topology. Nil when the spec is single-machine.
+func (s *Spec) Federations() []campaign.Federation {
+	if !s.Federated() {
+		return nil
+	}
+	routings := s.Routings
+	if len(routings) == 0 {
+		routings = []string{"round-robin"}
+	}
+	out := make([]campaign.Federation, len(routings))
+	for i, r := range routings {
+		out[i] = campaign.Federation{Clusters: s.Clusters, Routing: r}
+	}
+	return out
+}
+
+// FederatedCampaign builds the federated paper-table harness from the
+// spec. Callers guard on Federated().
+func (s *Spec) FederatedCampaign(ws []*trace.Workload) *campaign.FederatedCampaign {
+	return &campaign.FederatedCampaign{
+		Workloads:   ws,
+		Federations: s.Federations(),
 		Triples:     s.Triples,
 		Parallelism: s.Parallelism,
 		Seed:        s.Seed,

@@ -184,13 +184,25 @@ type protoStream struct {
 	prevUser *user
 }
 
+// The generator's child-stream labels (see rng.Stream). Both workload
+// generators — the preloading Generate and the bounded-memory GenSource —
+// must derive each draw sequence from the same (config seed, label)
+// stream: the user population and the arrival process are shared
+// structure, and an inline magic label drifting between the two paths
+// would silently decorrelate them.
+const (
+	streamUsers    = 1  // user population and per-user class draws
+	streamJobs     = 2  // per-job size/runtime/request draws
+	streamZipf     = 99 // user-activity Zipf sampler (child of the user stream)
+	streamArrivals = 3  // arrival-time scatter over the calibrated duration
+)
+
 // newProtoStream builds the user population and draw state from scratch.
 func newProtoStream(cfg Config) *protoStream {
-	src := rng.New(cfg.Seed)
-	userSrc := src.Split(1)
-	jobSrc := src.Split(2)
+	userSrc := rng.Stream(cfg.Seed, streamUsers)
+	jobSrc := rng.Stream(cfg.Seed, streamJobs)
 	users := buildUsers(cfg, userSrc)
-	zipf := rng.NewZipf(userSrc.Split(99), len(users), cfg.UserZipfExponent)
+	zipf := rng.NewZipf(userSrc.Split(streamZipf), len(users), cfg.UserZipfExponent)
 	return &protoStream{cfg: cfg, users: users, zipf: zipf, jobSrc: jobSrc}
 }
 
@@ -255,7 +267,7 @@ func Generate(cfg Config) (*trace.Workload, error) {
 		return nil, err
 	}
 	ps := newProtoStream(cfg)
-	arrivalSrc := rng.New(cfg.Seed).Split(3)
+	arrivalSrc := rng.Stream(cfg.Seed, streamArrivals)
 
 	protos := make([]protoJob, cfg.Jobs)
 	var totalWork float64
