@@ -82,7 +82,17 @@ import (
 	"repro/internal/workload"
 )
 
+// exitCode is the process's eventual exit status: cleanup hooks (the
+// trace flush) can fail the run after the tables already printed.
+var exitCode int
+
 func main() {
+	run()
+	runAtExit()
+	os.Exit(exitCode)
+}
+
+func run() {
 	jobs := flag.Int("jobs", 3000, "jobs per preset workload (0 = full Table-4 sizes; slow)")
 	table := flag.Int("table", 0, "print only this table (1, 6, 7 or 8; 0 = all)")
 	figure := flag.Int("figure", 0, "print only this figure (3, 4 or 5; 0 = all)")
@@ -98,6 +108,10 @@ func main() {
 	validate := flag.Bool("validate", false, "with -spec: parse and resolve the spec, print its shape, and exit without simulating")
 	clustersFlag := flag.String("clusters", "", "federated platform: comma-separated NAME=PROCS[xSPEED] entries (e.g. \"100,64x1.5,slow=32x0.5\"); the campaign grids over -routing policies and renders the federated table")
 	routingFlag := flag.String("routing", "", "comma-separated routing policies in front of -clusters: "+sched.RouterNames+" (default round-robin)")
+	traceFile := flag.String("trace", "", "append the structured decision trace (JSONL; summarize with tracestat) to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the grid runs")
 	flag.Parse()
 
 	// Negative values used to be silently mapped to the defaults; they
@@ -146,6 +160,7 @@ func main() {
 		// hold O(trace) per in-flight cell.
 		debug.SetMemoryLimit(int64(*memLimit) << 20)
 	}
+	startProfiling(*cpuProfile, *memProfile, *pprofAddr)
 
 	// Ctrl-C (or SIGTERM) cancels the grid gracefully: in-flight cells
 	// finish and are journaled, then the run reports how to resume.
@@ -194,6 +209,8 @@ func main() {
 				ov.Clusters = clusters
 			case "routing":
 				ov.Routings = routings
+			case "trace":
+				ov.Trace = traceFile
 			case "robustness":
 				usageError("-robustness conflicts with -spec (the spec's kind decides the grid)")
 			}
@@ -202,8 +219,13 @@ func main() {
 		return
 	}
 
+	// -perf implies stage profiling: the summary it prints is where the
+	// per-stage latency histograms render.
+	tracer := openTrace(*traceFile)
+
 	if *robustness {
-		r := &campaign.Robustness{Seed: *seed, Parallelism: *par, Stream: *stream}
+		r := &campaign.Robustness{Seed: *seed, Parallelism: *par, Stream: *stream,
+			Tracer: tracer, Profile: *perf}
 		runRobustnessGrids(ctx, []*campaign.Robustness{r}, *jobs, nil, *out, *resume, *perf)
 		return
 	}
@@ -216,7 +238,8 @@ func main() {
 		for i, r := range routings {
 			feds[i] = campaign.Federation{Clusters: clusters, Routing: r}
 		}
-		fc := &campaign.FederatedCampaign{Federations: feds, Seed: *seed, Parallelism: *par, Stream: *stream}
+		fc := &campaign.FederatedCampaign{Federations: feds, Seed: *seed, Parallelism: *par, Stream: *stream,
+			Tracer: tracer, Profile: *perf}
 		runFederatedGrid(ctx, fc, nil, *jobs, *out, *resume, *perf)
 		return
 	}
@@ -231,7 +254,8 @@ func main() {
 	if *table == 0 && *figure == 0 {
 		tables, figures = allTables, allFigures
 	}
-	c := &campaign.Campaign{Seed: *seed, Parallelism: *par, Stream: *stream}
+	c := &campaign.Campaign{Seed: *seed, Parallelism: *par, Stream: *stream,
+		Tracer: tracer, Profile: *perf}
 	runCampaignGrid(ctx, c, nil, *jobs, tables, figures, *out, *resume, *perf)
 }
 
@@ -274,11 +298,15 @@ func runSpec(ctx context.Context, path string, validateOnly bool, ov spec.Overri
 		fatal(err)
 	}
 	o := s.Output
+	tracer := openTrace(s.Trace.File)
+	profile := o.Perf || s.Trace.Profile
 	switch s.Kind {
 	case "robustness":
 		grids := make([]*campaign.Robustness, s.Repeats)
 		for r := range grids {
 			grids[r] = s.Robustness(ws, r)
+			grids[r].Tracer = tracer
+			grids[r].Profile = profile
 		}
 		runRobustnessGrids(ctx, grids, -1, ws, o.Journal, o.Resume, o.Perf)
 	default:
@@ -286,7 +314,10 @@ func runSpec(ctx context.Context, path string, validateOnly bool, ov spec.Overri
 			if len(o.Tables) > 0 || len(o.Figures) > 0 {
 				usageError("tables/figures do not apply to a federated campaign (it renders the federated table)")
 			}
-			runFederatedGrid(ctx, s.FederatedCampaign(ws), ws, s.Jobs, o.Journal, o.Resume, o.Perf)
+			fc := s.FederatedCampaign(ws)
+			fc.Tracer = tracer
+			fc.Profile = profile
+			runFederatedGrid(ctx, fc, ws, s.Jobs, o.Journal, o.Resume, o.Perf)
 			return
 		}
 		tables, figures := o.Tables, o.Figures
@@ -294,6 +325,8 @@ func runSpec(ctx context.Context, path string, validateOnly bool, ov spec.Overri
 			tables, figures = allTables, allFigures
 		}
 		c := s.Campaign(ws)
+		c.Tracer = tracer
+		c.Profile = profile
 		runCampaignGrid(ctx, c, ws, s.Jobs, tables, figures, o.Journal, o.Resume, o.Perf)
 	}
 }
@@ -343,6 +376,13 @@ func printSpecShape(s *spec.Spec) {
 			mode = " (resume)"
 		}
 		fmt.Printf("  journal     %s%s\n", s.Output.Journal, mode)
+	}
+	if s.Trace.File != "" {
+		mode := ""
+		if s.Trace.Profile {
+			mode = " (profiled)"
+		}
+		fmt.Printf("  trace       %s%s\n", s.Trace.File, mode)
 	}
 }
 
@@ -470,11 +510,7 @@ func runFederatedGrid(ctx context.Context, fc *campaign.FederatedCampaign, ws []
 		gridFailed(err, len(results), out)
 	}
 	if perf {
-		flat := make([]campaign.RunResult, len(results))
-		for i, r := range results {
-			flat[i] = r.RunResult
-		}
-		fmt.Fprintln(os.Stderr, report.PerfSummary(flat))
+		fmt.Fprintln(os.Stderr, report.FederatedPerfSummary(results))
 	}
 	fmt.Println(report.FederatedTable(results))
 }
@@ -598,12 +634,14 @@ func gridFailed(err error, completed int, out string) {
 	if out != "" {
 		fmt.Fprintf(os.Stderr, "campaign: completed cells are journaled in %s; rerun with -resume to continue\n", out)
 	}
+	runAtExit()
 	os.Exit(1)
 }
 
 func usageError(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
 	flag.Usage()
+	runAtExit()
 	os.Exit(2)
 }
 
@@ -635,5 +673,6 @@ func progressReporter(label string) func(done, total int) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "campaign:", err)
+	runAtExit()
 	os.Exit(1)
 }

@@ -1,0 +1,106 @@
+package main
+
+// This file wires the observability flags: -trace (the structured
+// decision-trace JSONL described in the README's Observability section
+// and summarized by cmd/tracestat), -cpuprofile/-memprofile (pprof
+// files), and -pprof (a live net/http/pprof endpoint while the grid
+// runs). Every exit path — including fatal()'s os.Exit, which skips
+// defers — must stop the CPU profile, dump the heap and flush the
+// trace, so cleanup registers in an explicit atExit stack.
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"repro/internal/obs"
+)
+
+var atExitFns []func()
+
+// atExit schedules fn to run on every exit path, LIFO like defer.
+func atExit(fn func()) { atExitFns = append(atExitFns, fn) }
+
+// runAtExit drains the atExit stack. Called by main on the normal
+// return path (via defer) and by fatal/gridFailed/usageError before
+// os.Exit.
+func runAtExit() {
+	for i := len(atExitFns) - 1; i >= 0; i-- {
+		atExitFns[i]()
+	}
+	atExitFns = nil
+}
+
+// startProfiling starts the requested profilers: the CPU profile runs
+// until exit, the heap profile is written at exit (after a GC, so it
+// reflects live memory, not garbage), and the pprof endpoint serves in
+// the background for the lifetime of the process.
+func startProfiling(cpuProfile, memProfile, pprofAddr string) {
+	if pprofAddr != "" {
+		go func() {
+			// The blank net/http/pprof import registers its handlers on
+			// the default mux.
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "campaign: pprof listening on http://%s/debug/pprof/\n", pprofAddr)
+	}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		atExit(func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: cpuprofile:", err)
+			}
+		})
+	}
+	if memProfile != "" {
+		atExit(func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: memprofile:", err)
+			}
+		})
+	}
+}
+
+// openTrace opens the flight-recorder JSONL (nil when path is empty)
+// and registers its flush. A trace that hit a write error mid-grid
+// would be silently truncated, so the flush surfaces the sticky error
+// and fails the run's exit status.
+func openTrace(path string) obs.Tracer {
+	if path == "" {
+		return nil
+	}
+	t, err := obs.OpenJSONL(path)
+	if err != nil {
+		fatal(err)
+	}
+	atExit(func() {
+		if err := t.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign: trace:", err)
+			exitCode = 1
+		}
+	})
+	fmt.Fprintf(os.Stderr, "campaign: tracing decisions to %s\n", path)
+	return t
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/correct"
 	"repro/internal/metrics"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/rng"
 	"repro/internal/scenario"
@@ -74,6 +75,12 @@ type options struct {
 	stream      bool
 	clusters    []platform.Cluster
 	routing     string
+	traceFile   string
+	cpuProfile  string
+	memProfile  string
+	pprofAddr   string
+	// tracer is the opened flight recorder (nil = tracing off).
+	tracer obs.Tracer
 }
 
 // run is the testable entry point: parse, validate the flag surface,
@@ -97,6 +104,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&o.stream, "stream", false, "bounded-memory run: pull the workload lazily (SWF from disk, or the streaming generator for presets) and compute metrics one-pass; peak memory is O(live jobs), so million-job traces fit")
 	clustersFlag := fs.String("clusters", "", "federated platform: comma-separated NAME=PROCS[xSPEED] entries (e.g. \"100,64x1.5,slow=32x0.5\"); empty = classic single machine")
 	fs.StringVar(&o.routing, "routing", "", "routing policy in front of -clusters: "+sched.RouterNames+" (default round-robin)")
+	fs.StringVar(&o.traceFile, "trace", "", "append the structured decision trace (JSONL; summarize with tracestat) to this file")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while the run executes")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -158,7 +169,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	var err error
+	ob, err := startObserve(o, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "simsched:", err)
+		return 1
+	}
+	o.tracer = ob.tracer()
+
 	switch {
 	case o.stream && len(o.clusters) > 0:
 		err = runFederatedStreaming(o, stdout)
@@ -168,6 +185,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = runFederated(o, stdout)
 	default:
 		err = runOnce(o, stdout)
+	}
+	if cerr := ob.close(); cerr != nil && err == nil {
+		err = cerr
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "simsched:", err)
@@ -194,6 +214,7 @@ func runOnce(o options, stdout io.Writer) error {
 		script = scenario.Merge(fmt.Sprintf("%s+%s", o.disrupt, o.status), script, scenario.Generate(w, in, o.disruptSeed))
 	}
 	cfg.Script = script
+	cfg.Tracer = o.tracer
 
 	res, err := sim.Run(w, cfg)
 	if err != nil {
@@ -306,6 +327,7 @@ func buildFederatedConfig(o options) (sim.FederatedConfig, error) {
 	return sim.FederatedConfig{
 		Clusters: o.clusters,
 		Router:   router,
+		Tracer:   o.tracer,
 		Session: func() sim.Config {
 			cfg, _ := buildConfig(o.triple, o.policy, o.predictor, o.lossName, o.corrector)
 			return cfg
@@ -361,6 +383,7 @@ func runStreaming(o options, stdout io.Writer) error {
 	}
 	col := metrics.NewCollector()
 	cfg.Sink = col
+	cfg.Tracer = o.tracer
 
 	name, mp, src, err := buildStreamSource(o.preset, o.jobs, o.swfPath, o.maxProcs, o.status)
 	if err != nil {

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestUsageErrors pins the flag-combination validation: every
@@ -85,6 +89,66 @@ func TestRunFederatedDisrupted(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "scenario      light+keep/federated") {
 		t.Errorf("scenario line missing:\n%s", stdout.String())
+	}
+}
+
+// TestRunTraced pins the -trace flag end to end: the traced run's
+// stdout is byte-identical to the untraced run's, and every line of the
+// trace file passes the schema validator.
+func TestRunTraced(t *testing.T) {
+	args := []string{"-jobs", "150", "-triple", "easy++"}
+	var bare, bareErr bytes.Buffer
+	if code := run(args, &bare, &bareErr); code != 0 {
+		t.Fatalf("untraced exit %d, stderr: %s", code, bareErr.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var traced, tracedErr bytes.Buffer
+	if code := run(append(args, "-trace", path), &traced, &tracedErr); code != 0 {
+		t.Fatalf("traced exit %d, stderr: %s", code, tracedErr.String())
+	}
+	if bare.String() != traced.String() {
+		t.Fatalf("tracing perturbed the run:\n%s\nvs\n%s", bare.String(), traced.String())
+	}
+
+	lines, picks := 0, 0
+	err := obs.ReadFile(path, func(line int, ev obs.Event) error {
+		lines++
+		if err := obs.ValidateEvent(&ev); err != nil {
+			return err
+		}
+		if ev.Kind == obs.KindPick {
+			picks++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 || picks == 0 {
+		t.Fatalf("trace too thin: %d lines, %d picks", lines, picks)
+	}
+}
+
+// TestRunProfiles pins -cpuprofile/-memprofile: both files exist and
+// are non-empty after the run.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-jobs", "150", "-triple", "easy",
+		"-cpuprofile", cpu, "-memprofile", mem}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
 	}
 }
 

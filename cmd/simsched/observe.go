@@ -1,0 +1,113 @@
+package main
+
+// This file wires simsched's observability flags: -trace (the
+// structured decision-trace JSONL, summarized by tracestat),
+// -cpuprofile/-memprofile (pprof files) and -pprof (a live
+// net/http/pprof endpoint). run() owns the observer's lifetime, so
+// cleanup is ordinary deferred code — no exit hooks needed.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"repro/internal/obs"
+)
+
+// observer holds the live observability state of one run.
+type observer struct {
+	cpuFile *os.File
+	memPath string
+	trace   *obs.JSONL
+}
+
+// startObserve starts the requested profilers and opens the trace.
+// The pprof endpoint serves in the background for the process lifetime.
+func startObserve(o options, stderr io.Writer) (*observer, error) {
+	ob := &observer{memPath: o.memProfile}
+	if o.pprofAddr != "" {
+		go func() {
+			// The blank net/http/pprof import registers its handlers on
+			// the default mux.
+			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+				fmt.Fprintln(stderr, "simsched: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(stderr, "simsched: pprof listening on http://%s/debug/pprof/\n", o.pprofAddr)
+	}
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		ob.cpuFile = f
+	}
+	if o.traceFile != "" {
+		t, err := obs.OpenJSONL(o.traceFile)
+		if err != nil {
+			ob.close()
+			return nil, err
+		}
+		ob.trace = t
+	}
+	return ob, nil
+}
+
+// tracer returns the run's Tracer (nil when -trace is off — the
+// engine's zero-cost path).
+func (ob *observer) tracer() obs.Tracer {
+	if ob.trace == nil {
+		return nil
+	}
+	return ob.trace
+}
+
+// close stops the CPU profile, writes the heap profile and flushes the
+// trace. A trace write error surfaces here (it is sticky), failing the
+// run rather than leaving a silently truncated file.
+func (ob *observer) close() error {
+	var firstErr error
+	if ob.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := ob.cpuFile.Close(); err != nil {
+			firstErr = err
+		}
+		ob.cpuFile = nil
+	}
+	if ob.memPath != "" {
+		if err := writeHeapProfile(ob.memPath); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		ob.memPath = ""
+	}
+	if ob.trace != nil {
+		if err := ob.trace.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		ob.trace = nil
+	}
+	return firstErr
+}
+
+// writeHeapProfile dumps live-heap allocations (after a GC, so the
+// profile reflects retained memory, not garbage).
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,300 @@
+// Command tracestat summarizes a flight-recorder trace — the
+// structured decision JSONL that campaign/simsched -trace append (see
+// the README's Observability section). One pass over the file yields:
+//
+//   - the event census (lines per kind),
+//   - per-policy Pick behavior: call counts, decline rate (passes that
+//     started nothing) and decision-latency quantiles from the traced
+//     nanosecond timings,
+//   - prediction quality: per-job error quantiles at finish, and the
+//     mean absolute error's drift across -windows equal slices of the
+//     simulated timeline (is the predictor converging?),
+//   - the per-cluster routing breakdown of federated runs.
+//
+// With -check it instead validates every line against the trace schema
+// (strict field set, kind vocabulary, per-kind required fields) and
+// exits nonzero on the first bad line — the mode CI runs on its smoke
+// trace.
+//
+// Usage:
+//
+//	campaign -jobs 200 -table 1 -trace run.jsonl
+//	tracestat run.jsonl
+//	tracestat -windows 12 run.jsonl
+//	tracestat -check run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracestat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	check := fs.Bool("check", false, "validate every line against the trace schema and exit (nonzero on the first bad line)")
+	windows := fs.Int("windows", 8, "time windows for the prediction-error drift table")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: tracestat [-check] [-windows N] TRACE.jsonl")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	if *windows < 1 {
+		fmt.Fprintln(stderr, "tracestat: -windows must be >= 1")
+		return 2
+	}
+	path := fs.Arg(0)
+
+	if *check {
+		n, err := checkTrace(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracestat:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s: %d events OK\n", path, n)
+		return 0
+	}
+
+	sum, err := summarize(path, *windows)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracestat:", err)
+		return 1
+	}
+	sum.render(stdout)
+	return 0
+}
+
+// checkTrace is the -check mode: every line must decode strictly and
+// satisfy the schema validator. The first offense is reported with its
+// line number.
+func checkTrace(path string) (int, error) {
+	n := 0
+	err := obs.ReadFile(path, func(line int, ev obs.Event) error {
+		if err := obs.ValidateEvent(&ev); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// policyStats accumulates the Pick telemetry of one scheduling policy.
+type policyStats struct {
+	calls    int64
+	declined int64
+	latency  *stats.Sketch
+}
+
+// clusterStats accumulates the routing telemetry of one cluster.
+type clusterStats struct {
+	routed int64
+	procs  int64
+}
+
+// finishSample is one job's prediction outcome, buffered for the drift
+// table (windowing needs the timeline bounds, so it is a second pass
+// over this in-memory slice — not over the file).
+type finishSample struct {
+	t       int64
+	predErr float64
+}
+
+// summary is everything one pass over the trace accumulates.
+type summary struct {
+	path     string
+	windows  int
+	total    int
+	kinds    map[string]int
+	policies map[string]*policyStats
+	clusters map[string]*clusterStats
+	predErr  *stats.Sketch
+	bsld     *stats.Sketch
+	finishes []finishSample
+	minT     int64
+	maxT     int64
+}
+
+func summarize(path string, windows int) (*summary, error) {
+	s := &summary{
+		path: path, windows: windows,
+		kinds:    map[string]int{},
+		policies: map[string]*policyStats{},
+		clusters: map[string]*clusterStats{},
+		predErr:  stats.NewSketch(),
+		bsld:     stats.NewSketch(),
+		minT:     1<<63 - 1, maxT: -(1 << 62),
+	}
+	err := obs.ReadFile(path, func(line int, ev obs.Event) error {
+		if err := obs.ValidateEvent(&ev); err != nil {
+			return fmt.Errorf("line %d: %w (rerun with -check)", line, err)
+		}
+		s.total++
+		s.kinds[ev.Kind]++
+		if ev.T < s.minT {
+			s.minT = ev.T
+		}
+		if ev.T > s.maxT {
+			s.maxT = ev.T
+		}
+		switch ev.Kind {
+		case obs.KindPick:
+			p := s.policies[ev.Policy]
+			if p == nil {
+				p = &policyStats{latency: stats.NewSketch()}
+				s.policies[ev.Policy] = p
+			}
+			p.calls++
+			if ev.Picked == 0 {
+				p.declined++
+			}
+			if ev.Nanos > 0 {
+				p.latency.Add(float64(ev.Nanos))
+			}
+		case obs.KindRoute:
+			c := s.clusters[ev.Cluster]
+			if c == nil {
+				c = &clusterStats{}
+				s.clusters[ev.Cluster] = c
+			}
+			c.routed++
+			c.procs += ev.Procs
+		case obs.KindFinish:
+			s.predErr.Add(float64(ev.PredErr))
+			s.bsld.Add(ev.Bsld)
+			s.finishes = append(s.finishes, finishSample{t: ev.T, predErr: float64(ev.PredErr)})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.total == 0 {
+		return nil, fmt.Errorf("%s: empty trace", path)
+	}
+	return s, nil
+}
+
+func (s *summary) render(w io.Writer) {
+	fmt.Fprintf(w, "%s: %d events over [%d, %d]\n\n", s.path, s.total, s.minT, s.maxT)
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Kind\tevents\t")
+	for _, k := range []string{obs.KindSubmit, obs.KindRoute, obs.KindPick, obs.KindStart,
+		obs.KindFinish, obs.KindCancel, obs.KindCapacity, obs.KindCorrect} {
+		if n := s.kinds[k]; n > 0 {
+			fmt.Fprintf(tw, "%s\t%d\t\n", k, n)
+		}
+	}
+	tw.Flush()
+
+	if len(s.policies) > 0 {
+		fmt.Fprintln(w, "\nPick decisions (per policy):")
+		tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(tw, "Policy\tcalls\tdeclined\tp50 ns\tp90 ns\tp99 ns\tmax ns\t")
+		for _, name := range sortedKeys(s.policies) {
+			p := s.policies[name]
+			fmt.Fprintf(tw, "%s\t%d\t%.1f%%\t%.0f\t%.0f\t%.0f\t%.0f\t\n",
+				name, p.calls, 100*float64(p.declined)/float64(p.calls),
+				p.latency.Quantile(0.50), p.latency.Quantile(0.90),
+				p.latency.Quantile(0.99), p.latency.Max())
+		}
+		tw.Flush()
+	}
+
+	if s.predErr.Count() > 0 {
+		fmt.Fprintln(w, "\nPrediction error at finish (predicted - actual, seconds):")
+		tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(tw, "jobs\tp10\tp50\tp90\tmean bsld\t")
+		fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.0f\t%.2f\t\n",
+			s.predErr.Count(), s.predErr.Quantile(0.10), s.predErr.Quantile(0.50),
+			s.predErr.Quantile(0.90), s.bsld.Quantile(0.50))
+		tw.Flush()
+		s.renderDrift(w)
+	}
+
+	if len(s.clusters) > 0 {
+		fmt.Fprintln(w, "\nRouting (per cluster):")
+		tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(tw, "Cluster\trouted\tshare\tprocs requested\t")
+		routes := int64(0)
+		for _, c := range s.clusters {
+			routes += c.routed
+		}
+		for _, name := range sortedKeys(s.clusters) {
+			c := s.clusters[name]
+			fmt.Fprintf(tw, "%s\t%d\t%.1f%%\t%d\t\n",
+				name, c.routed, 100*float64(c.routed)/float64(routes), c.procs)
+		}
+		tw.Flush()
+	}
+}
+
+// renderDrift splits the simulated timeline into equal windows and
+// reports the mean absolute prediction error per window — a drifting
+// column means the predictor is still learning (or being disrupted).
+func (s *summary) renderDrift(w io.Writer) {
+	if len(s.finishes) == 0 {
+		return
+	}
+	lo, hi := s.finishes[0].t, s.finishes[0].t
+	for _, f := range s.finishes {
+		if f.t < lo {
+			lo = f.t
+		}
+		if f.t > hi {
+			hi = f.t
+		}
+	}
+	span := hi - lo + 1
+	counts := make([]int64, s.windows)
+	sums := make([]float64, s.windows)
+	for _, f := range s.finishes {
+		i := int(int64(s.windows) * (f.t - lo) / span)
+		counts[i]++
+		if f.predErr < 0 {
+			sums[i] -= f.predErr
+		} else {
+			sums[i] += f.predErr
+		}
+	}
+	fmt.Fprintf(w, "\nPrediction-error drift (%d windows over [%d, %d], mean |err| s):\n", s.windows, lo, hi)
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "window\tfinishes\tmean |err|\t")
+	for i := 0; i < s.windows; i++ {
+		if counts[i] == 0 {
+			fmt.Fprintf(tw, "%d\t0\t-\t\n", i+1)
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%.0f\t\n", i+1, counts[i], sums[i]/float64(counts[i]))
+	}
+	tw.Flush()
+}
+
+// sortedKeys returns the map's keys in lexical order so the tables are
+// deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

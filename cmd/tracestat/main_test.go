@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// writeTrace runs a small federated simulation with the flight
+// recorder on and returns the trace path — tracestat's input is
+// whatever the engine actually emits, not hand-built lines.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	cfg, err := workload.Scaled("KTH-SP2", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tr, err := obs.OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := core.EASYPlusPlus().Config()
+	cfg2.Tracer = tr
+	res, err := sim.Run(w, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished == 0 {
+		t.Fatal("nothing finished")
+	}
+	return path
+}
+
+func TestSummary(t *testing.T) {
+	path := writeTrace(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"events over", "submit", "pick", "finish",
+		"Pick decisions (per policy)", "EASY-SJBF", "declined",
+		"Prediction error at finish", "Prediction-error drift (8 windows",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Single-machine run: no routing table.
+	if strings.Contains(out, "Routing (per cluster)") {
+		t.Errorf("single-machine summary grew a routing table:\n%s", out)
+	}
+}
+
+func TestSummaryWindows(t *testing.T) {
+	path := writeTrace(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-windows", "3", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "drift (3 windows") {
+		t.Errorf("-windows ignored:\n%s", stdout.String())
+	}
+}
+
+func TestCheckOK(t *testing.T) {
+	path := writeTrace(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-check", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "events OK") {
+		t.Errorf("check output: %s", stdout.String())
+	}
+}
+
+// TestCheckRejects pins the failure mode CI relies on: a corrupt line
+// fails with its line number and a nonzero exit.
+func TestCheckRejects(t *testing.T) {
+	cases := []struct {
+		name, line, want string
+	}{
+		{"unknown-kind", `{"t":1,"kind":"teleport"}`, "unknown event kind"},
+		{"unknown-field", `{"t":1,"kind":"submit","job":1,"procs":2,"banana":true}`, "banana"},
+		{"missing-job", `{"t":1,"kind":"start"}`, "without a job id"},
+		{"negative-instant", `{"t":-5,"kind":"pick","policy":"EASY"}`, "negative instant"},
+		{"not-json", `this is not json`, "invalid"},
+	}
+	valid := `{"t":1,"kind":"submit","job":1,"procs":2}`
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "bad.jsonl")
+			if err := os.WriteFile(path, []byte(valid+"\n"+tc.line+"\n"+valid+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var stdout, stderr bytes.Buffer
+			if code := run([]string{"-check", path}, &stdout, &stderr); code != 1 {
+				t.Fatalf("exit %d, want 1 (stdout: %s)", code, stdout.String())
+			}
+			if !strings.Contains(stderr.String(), "2") {
+				t.Errorf("stderr %q does not name line 2", stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.want)
+			}
+		})
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                     // no file
+		{"a.jsonl", "b.jsonl"}, // two files
+		{"-windows", "0", "x"}, // bad windows
+		{"-frobnicate", "x"},   // unknown flag
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestMissingAndEmptyFiles(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{filepath.Join(t.TempDir(), "absent.jsonl")}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing file: exit %d, want 1", code)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{empty}, &stdout, &stderr); code != 1 {
+		t.Fatalf("empty file: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "empty trace") {
+		t.Errorf("stderr %q does not mention the empty trace", stderr.String())
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -82,6 +83,15 @@ type Campaign struct {
 	// CellRecord.Key (see LoadJournal). Matching cells are not re-run
 	// (or re-journaled); their recorded results are returned in place.
 	Resume map[string]CellRecord
+	// Tracer, when non-nil, receives the flight-recorder event stream of
+	// every simulated cell, each event tagged with the cell's workload
+	// and triple (obs.Tagged). Cells run concurrently, so the tracer
+	// must be safe for concurrent use — obs.JSONL is. Resumed cells are
+	// not re-traced (they are not re-run).
+	Tracer obs.Tracer
+	// Profile collects per-stage latency histograms into each cell's
+	// Perf (rendered by report.PerfSummary).
+	Profile bool
 }
 
 // DefaultWorkloads generates the six paper presets scaled to jobsPerLog
@@ -142,7 +152,7 @@ func (c *Campaign) Run(ctx context.Context) ([]RunResult, error) {
 	}
 	err := g.run(ctx, func(i int, seed uint64) error {
 		wi, ti := i/len(triples), i%len(triples)
-		rr, err := runOne(c.Workloads[wi], triples[ti], nil, c.Stream)
+		rr, err := runOne(c.Workloads[wi], triples[ti], nil, c.Stream, c.Tracer, c.Profile)
 		if err != nil {
 			return err
 		}
@@ -179,9 +189,13 @@ func compact[T any](results []T, completed []bool) []T {
 // schedule; the streaming path computes its metrics one-pass without
 // ever retaining the schedule (equivalence to the validated path is the
 // differential layer's burden).
-func runOne(w *trace.Workload, tr core.Triple, script *scenario.Script, stream bool) (RunResult, error) {
+func runOne(w *trace.Workload, tr core.Triple, script *scenario.Script, stream bool, tracer obs.Tracer, profile bool) (RunResult, error) {
 	cfg := tr.Config()
 	cfg.Script = script
+	if tracer != nil {
+		cfg.Tracer = obs.Tagged{Tracer: tracer, Workload: w.Name, Triple: tr.Name()}
+	}
+	cfg.Profile = profile
 	if stream {
 		col := metrics.NewCollector()
 		cfg.Sink = col

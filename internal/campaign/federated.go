@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -53,6 +54,12 @@ type ClusterMetrics struct {
 	AVEbsld     float64 `json:"avebsld"`
 	MeanWait    float64 `json:"mean_wait"`
 	Utilization float64 `json:"utilization"`
+	// Events and PickCalls are the cluster's slice of the run's perf
+	// counters (sim.ClusterResult), rolled into report.PerfSummary so
+	// -perf covers federated grids cluster by cluster. omitempty keeps
+	// journals from pre-counter runs loading (and writing) unchanged.
+	Events    int64 `json:"events,omitempty"`
+	PickCalls int64 `json:"pick_calls,omitempty"`
 }
 
 // FederatedResult is the outcome of one (workload, federation, triple)
@@ -93,6 +100,10 @@ type FederatedCampaign struct {
 	Progress func(done, total int)
 	Journal  *Journal
 	Resume   map[string]CellRecord
+	// Tracer and Profile enable the flight recorder and stage
+	// histograms per cell; see Campaign.Tracer and Campaign.Profile.
+	Tracer  obs.Tracer
+	Profile bool
 }
 
 // Run executes the grid on the shared cancellable executor. Results are
@@ -152,7 +163,7 @@ func (c *FederatedCampaign) Run(ctx context.Context) ([]FederatedResult, error) 
 	err := g.run(ctx, func(i int, seed uint64) error {
 		wi, fi, ti := i/(nf*nt), (i/nt)%nf, i%nt
 		fed := c.Federations[fi]
-		fr, err := runOneFederated(c.Workloads[wi], fed, topologies[fi], triples[ti], c.Stream)
+		fr, err := runOneFederated(c.Workloads[wi], fed, topologies[fi], triples[ti], c.Stream, c.Tracer, c.Profile)
 		if err != nil {
 			return err
 		}
@@ -190,7 +201,7 @@ func (r CellRecord) federatedResult(tr core.Triple, routing string) FederatedRes
 // The preloading path validates the realized schedule cluster by
 // cluster; the streaming path trusts the differential layer, as the
 // single-machine harness does.
-func runOneFederated(w *trace.Workload, fed Federation, topology string, tr core.Triple, stream bool) (FederatedResult, error) {
+func runOneFederated(w *trace.Workload, fed Federation, topology string, tr core.Triple, stream bool, tracer obs.Tracer, profile bool) (FederatedResult, error) {
 	clusters, err := platform.Normalize(fed.Clusters)
 	if err != nil {
 		return FederatedResult{}, fmt.Errorf("campaign: federation %s: %w", fed.label(), err)
@@ -205,6 +216,10 @@ func runOneFederated(w *trace.Workload, fed Federation, topology string, tr core
 		Router:   router,
 		Session:  tr.Config,
 		Sink:     col,
+		Profile:  profile,
+	}
+	if tracer != nil {
+		cfg.Tracer = obs.Tagged{Tracer: tracer, Workload: w.Name, Triple: tr.Name()}
 	}
 	var res *sim.Result
 	if stream {
@@ -234,6 +249,8 @@ func runOneFederated(w *trace.Workload, fed Federation, topology string, tr core
 			AVEbsld:     cc.AVEbsld(),
 			MeanWait:    cc.MeanWait(),
 			Utilization: cc.Utilization(cr.Makespan, cr.MaxProcs),
+			Events:      cr.Events,
+			PickCalls:   cr.PickCalls,
 		}
 	}
 	return FederatedResult{

@@ -4,10 +4,12 @@ import (
 	"context"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/report"
 )
@@ -130,6 +132,102 @@ func TestFederatedCellKeysDisjoint(t *testing.T) {
 	}
 	if !strings.HasPrefix(fedA.Key(), base.Key()) {
 		t.Fatalf("federated key %q does not extend the legacy key %q", fedA.Key(), base.Key())
+	}
+}
+
+// TestFederatedPerfCounters pins the per-cluster performance split of a
+// federated grid: every cell's ClusterMetrics carries the cluster's
+// event and Pick-call counters, the Pick calls sum to the cell's global
+// counter, and the rendered -perf summary includes the per-cluster
+// table. Progress must fire for every federated cell with the right
+// total — the regression test for the grid's stderr progress lines.
+func TestFederatedPerfCounters(t *testing.T) {
+	var mu sync.Mutex
+	var lastDone, sawTotal, calls int
+	c := &campaign.FederatedCampaign{
+		Workloads:   testWorkloads(t, 200, "KTH-SP2"),
+		Federations: testFederations(),
+		Triples:     []core.Triple{core.EASY(), core.EASYPlusPlus()},
+		Seed:        3,
+		Profile:     true,
+		Progress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			sawTotal = total
+			if done > lastDone {
+				lastDone = done
+			}
+		},
+	}
+	results, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(results); calls != want || lastDone != want || sawTotal != want {
+		t.Fatalf("progress saw calls=%d done=%d total=%d, want all %d", calls, lastDone, sawTotal, want)
+	}
+	for i, r := range results {
+		var events, picks int64
+		for _, cm := range r.Clusters {
+			if cm.Events <= 0 || cm.PickCalls <= 0 {
+				t.Fatalf("result %d cluster %s: counters not populated: %+v", i, cm.Name, cm)
+			}
+			events += cm.Events
+			picks += cm.PickCalls
+		}
+		// Every Pick call and almost every event binds to a cluster (the
+		// few that do not are unbound streaming cancels, absent here).
+		if picks != r.Perf.PickCalls {
+			t.Fatalf("result %d: cluster Pick calls sum %d != global %d", i, picks, r.Perf.PickCalls)
+		}
+		if events > r.Perf.Events {
+			t.Fatalf("result %d: cluster events sum %d exceeds global %d", i, events, r.Perf.Events)
+		}
+		if len(r.Perf.Stages) == 0 {
+			t.Fatalf("result %d: Profile did not populate Perf.Stages", i)
+		}
+	}
+	out := report.FederatedPerfSummary(results)
+	for _, want := range []string{"per federation cluster", "round-robin", "least-loaded", "big", "slow", "Stage latency histograms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("federated perf summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFederatedCampaignTracer pins the flight-recorder threading of the
+// federated grid: every cell's events arrive stamped with the cell's
+// workload and triple, and route events name the cell's routing policy.
+func TestFederatedCampaignTracer(t *testing.T) {
+	col := &obs.Collector{}
+	c := &campaign.FederatedCampaign{
+		Workloads:   testWorkloads(t, 150, "KTH-SP2"),
+		Federations: testFederations()[:1],
+		Triples:     []core.Triple{core.EASY(), core.EASYPlusPlus()},
+		Seed:        7,
+		Tracer:      col,
+	}
+	results, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perTriple := map[string]int{}
+	for _, ev := range col.Events() {
+		if err := obs.ValidateEvent(&ev); err != nil {
+			t.Fatalf("invalid traced event %+v: %v", ev, err)
+		}
+		if ev.Workload != "KTH-SP2" || ev.Triple == "" {
+			t.Fatalf("event not stamped with its cell: %+v", ev)
+		}
+		if ev.Kind == obs.KindPick {
+			perTriple[ev.Triple]++
+		}
+	}
+	for _, r := range results {
+		if got := perTriple[r.Triple.Name()]; int64(got) != r.Perf.PickCalls {
+			t.Fatalf("triple %s: %d pick events, want %d", r.Triple.Name(), got, r.Perf.PickCalls)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 )
@@ -75,6 +76,10 @@ type Robustness struct {
 	// Resume holds journaled cells from a previous run, keyed by
 	// CellRecord.Key (see LoadJournal).
 	Resume map[string]CellRecord
+	// Tracer and Profile enable the flight recorder and stage
+	// histograms per cell; see Campaign.Tracer and Campaign.Profile.
+	Tracer  obs.Tracer
+	Profile bool
 }
 
 // DefaultRobustnessTriples is the compact comparison set of the
@@ -167,7 +172,7 @@ func (r *Robustness) Run(ctx context.Context) ([]RobustnessResult, error) {
 	err := g.run(ctx, func(i int, seed uint64) error {
 		wi, ii, ti := split(i)
 		script := scripts[wi*len(scenarios)+ii]
-		run, err := runOne(r.Workloads[wi], triples[ti], script, r.Stream)
+		run, err := runOne(r.Workloads[wi], triples[ti], script, r.Stream, r.Tracer, r.Profile)
 		if err != nil {
 			return err
 		}

@@ -147,3 +147,99 @@ func BenchmarkPushPop(b *testing.B) {
 		}
 	}
 }
+
+// TestAllKindsOrderingAtSameInstant pins the complete same-instant kind
+// order — Finish < Cancel < Drain < Restore < Expiry < Submit — from
+// every insertion order, not just one lucky permutation. This is the
+// contract the engine's decision ordering (and the flight-recorder
+// traces built on it) depends on: freed resources, disruptions and
+// corrected predictions are all visible before same-instant arrivals.
+func TestAllKindsOrderingAtSameInstant(t *testing.T) {
+	kinds := []Kind{Finish, Cancel, Drain, Restore, Expiry, Submit}
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		perm := r.Perm(len(kinds))
+		var q Queue[Kind]
+		for _, i := range perm {
+			q.Push(1000, kinds[i], kinds[i])
+		}
+		for _, want := range kinds {
+			e, ok := q.Pop()
+			if !ok {
+				t.Fatalf("trial %d (perm %v): queue ran dry before %v", trial, perm, want)
+			}
+			if e.Kind != want || e.Payload != want {
+				t.Fatalf("trial %d (perm %v): popped %v, want %v", trial, perm, e.Kind, want)
+			}
+		}
+	}
+}
+
+// TestFIFOWithinEveryKind extends the FIFO guarantee beyond Submit: at
+// one instant, ties inside each kind break by insertion sequence even
+// when the kinds are interleaved on the way in.
+func TestFIFOWithinEveryKind(t *testing.T) {
+	kinds := []Kind{Finish, Cancel, Drain, Restore, Expiry, Submit}
+	var q Queue[int]
+	// Interleave: kind k gets payloads k*100+0..4, pushed round-robin.
+	for rep := 0; rep < 5; rep++ {
+		for _, k := range kinds {
+			q.Push(42, k, int(k)*100+rep)
+		}
+	}
+	for _, k := range kinds {
+		for rep := 0; rep < 5; rep++ {
+			e, ok := q.Pop()
+			if !ok {
+				t.Fatalf("queue ran dry at kind %v rep %d", k, rep)
+			}
+			if e.Kind != k || e.Payload != int(k)*100+rep {
+				t.Fatalf("got kind %v payload %d, want kind %v payload %d",
+					e.Kind, e.Payload, k, int(k)*100+rep)
+			}
+		}
+	}
+}
+
+// TestRandomizedVsStableSort drains a queue of random (time, kind)
+// events — times drawn from a tiny range so collisions are the norm —
+// and compares against the reference model: a stable sort by (time,
+// kind), which preserves insertion order exactly where the queue's seq
+// tiebreak must.
+func TestRandomizedVsStableSort(t *testing.T) {
+	type ref struct {
+		time int64
+		kind Kind
+		id   int
+	}
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 200 + r.Intn(300)
+		events := make([]ref, n)
+		var q Queue[int]
+		for i := range events {
+			events[i] = ref{time: r.Int63n(10), kind: Kind(r.Intn(6)), id: i}
+			q.Push(events[i].time, events[i].kind, i)
+		}
+		want := append([]ref(nil), events...)
+		sort.SliceStable(want, func(a, b int) bool {
+			if want[a].time != want[b].time {
+				return want[a].time < want[b].time
+			}
+			return want[a].kind < want[b].kind
+		})
+		for i, w := range want {
+			e, ok := q.Pop()
+			if !ok {
+				t.Fatalf("trial %d: queue ran dry at %d/%d", trial, i, n)
+			}
+			if e.Time != w.time || e.Kind != w.kind || e.Payload != w.id {
+				t.Fatalf("trial %d pos %d: popped (t=%d k=%v id=%d), want (t=%d k=%v id=%d)",
+					trial, i, e.Time, e.Kind, e.Payload, w.time, w.kind, w.id)
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("trial %d: %d events left over", trial, q.Len())
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/job"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -36,6 +37,23 @@ func TestBsldNeverBelowOne(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBsldMatchesObs pins the duplicated formula: obs.Bsld (which the
+// flight recorder stamps on finish events — it cannot import this
+// package without a cycle) must agree with Bsld everywhere.
+func TestBsldMatchesObs(t *testing.T) {
+	f := func(wait, runtime uint32) bool {
+		return Bsld(int64(wait), int64(runtime)) == obs.Bsld(int64(wait), int64(runtime))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][2]int64{{0, 0}, {0, 5}, {100, 0}, {100, 10}, {7, 3}} {
+		if got, want := obs.Bsld(c[0], c[1]), Bsld(c[0], c[1]); got != want {
+			t.Fatalf("obs.Bsld(%d,%d)=%v, metrics.Bsld=%v", c[0], c[1], got, want)
+		}
 	}
 }
 

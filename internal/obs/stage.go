@@ -1,0 +1,146 @@
+package obs
+
+import "repro/internal/stats"
+
+// Stage identifies one instrumented section of the engine's event loop.
+type Stage uint8
+
+const (
+	// StagePop is one event-queue pop (the loop's heartbeat).
+	StagePop Stage = iota
+	// StagePick is one policy Pick call (the scheduler hot path).
+	StagePick
+	// StageProfileUpdate is one predictor observation at job finish
+	// (the learning hot path).
+	StageProfileUpdate
+
+	numStages
+)
+
+// String names the stage as it appears in reports and JSON.
+func (s Stage) String() string {
+	switch s {
+	case StagePop:
+		return "eventq-pop"
+	case StagePick:
+		return "pick"
+	case StageProfileUpdate:
+		return "profile-update"
+	}
+	return "unknown"
+}
+
+// StageProfile accumulates per-stage latency samples into bounded
+// quantile sketches (stats.Sketch), so a million-event run profiles in
+// a few kilobytes per stage. It is single-goroutine like the engine
+// that feeds it; each run gets its own profile.
+type StageProfile struct {
+	sketches [numStages]*stats.Sketch
+	counts   [numStages]int64
+	totals   [numStages]int64
+	maxs     [numStages]int64
+}
+
+// NewStageProfile returns an empty profile.
+func NewStageProfile() *StageProfile { return &StageProfile{} }
+
+// Observe records one latency sample, in nanoseconds, for a stage.
+func (p *StageProfile) Observe(s Stage, nanos int64) {
+	if s >= numStages {
+		return
+	}
+	if p.sketches[s] == nil {
+		p.sketches[s] = stats.NewSketch()
+	}
+	p.sketches[s].Add(float64(nanos))
+	p.counts[s]++
+	p.totals[s] += nanos
+	if nanos > p.maxs[s] {
+		p.maxs[s] = nanos
+	}
+}
+
+// StagePerf is the bounded summary of one stage's latency distribution,
+// the form carried on sim.Perf and through result journals.
+type StagePerf struct {
+	// Stage names the instrumented section (Stage.String).
+	Stage string `json:"stage"`
+	// Count is the number of samples.
+	Count int64 `json:"count"`
+	// TotalNanos is the summed latency, for mean and share-of-run math.
+	TotalNanos int64 `json:"total_ns"`
+	// P50/P90/P99 are approximate latency quantiles in nanoseconds
+	// (sketch-accurate, see stats.Sketch).
+	P50 float64 `json:"p50_ns"`
+	P90 float64 `json:"p90_ns"`
+	P99 float64 `json:"p99_ns"`
+	// MaxNanos is the exact worst sample.
+	MaxNanos int64 `json:"max_ns"`
+}
+
+// Summaries renders every stage with at least one sample, in stage
+// order.
+func (p *StageProfile) Summaries() []StagePerf {
+	var out []StagePerf
+	for s := Stage(0); s < numStages; s++ {
+		if p.counts[s] == 0 {
+			continue
+		}
+		sk := p.sketches[s]
+		out = append(out, StagePerf{
+			Stage:      s.String(),
+			Count:      p.counts[s],
+			TotalNanos: p.totals[s],
+			P50:        sk.Quantile(0.50),
+			P90:        sk.Quantile(0.90),
+			P99:        sk.Quantile(0.99),
+			MaxNanos:   p.maxs[s],
+		})
+	}
+	return out
+}
+
+// MergeStages folds per-run stage summaries (e.g. one per campaign
+// cell) into one row per stage: counts and totals sum, the max is the
+// max, and the quantiles are count-weighted averages of the per-run
+// quantiles — an aggregate view, not a true pooled quantile, which is
+// the honest best available once the raw samples are gone. Rows come
+// back in first-seen order.
+func MergeStages(lists ...[]StagePerf) []StagePerf {
+	type acc struct {
+		StagePerf
+		wp50, wp90, wp99 float64
+	}
+	var order []string
+	byStage := make(map[string]*acc)
+	for _, list := range lists {
+		for _, sp := range list {
+			a := byStage[sp.Stage]
+			if a == nil {
+				a = &acc{StagePerf: StagePerf{Stage: sp.Stage}}
+				byStage[sp.Stage] = a
+				order = append(order, sp.Stage)
+			}
+			a.Count += sp.Count
+			a.TotalNanos += sp.TotalNanos
+			if sp.MaxNanos > a.MaxNanos {
+				a.MaxNanos = sp.MaxNanos
+			}
+			w := float64(sp.Count)
+			a.wp50 += w * sp.P50
+			a.wp90 += w * sp.P90
+			a.wp99 += w * sp.P99
+		}
+	}
+	out := make([]StagePerf, 0, len(order))
+	for _, name := range order {
+		a := byStage[name]
+		if a.Count > 0 {
+			a.P50 = a.wp50 / float64(a.Count)
+			a.P90 = a.wp90 / float64(a.Count)
+			a.P99 = a.wp99 / float64(a.Count)
+		}
+		out = append(out, a.StagePerf)
+	}
+	return out
+}

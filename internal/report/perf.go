@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -50,5 +51,89 @@ func PerfSummary(results []campaign.RunResult) string {
 	}
 	row("total", totalSims, total)
 	tw.Flush()
-	return "Performance counters (per workload):\n" + b.String()
+	out := "Performance counters (per workload):\n" + b.String()
+	if stages := stageSummary(results); stages != "" {
+		out += "\n" + stages
+	}
+	return out
+}
+
+// stageSummary renders the per-stage latency histograms of a profiled
+// campaign (campaign -perf on a profiling run), merged across every
+// cell (obs.MergeStages). Unprofiled results render nothing, keeping
+// historical -perf output byte-identical.
+func stageSummary(results []campaign.RunResult) string {
+	lists := make([][]obs.StagePerf, 0, len(results))
+	for i := range results {
+		if len(results[i].Perf.Stages) > 0 {
+			lists = append(lists, results[i].Perf.Stages)
+		}
+	}
+	if len(lists) == 0 {
+		return ""
+	}
+	merged := obs.MergeStages(lists...)
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Stage\tcalls\tmean ns\tp50 ns\tp90 ns\tp99 ns\tmax ns\t")
+	for _, sp := range merged {
+		mean := 0.0
+		if sp.Count > 0 {
+			mean = float64(sp.TotalNanos) / float64(sp.Count)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%d\t\n",
+			sp.Stage, sp.Count, mean, sp.P50, sp.P90, sp.P99, sp.MaxNanos)
+	}
+	tw.Flush()
+	return "Stage latency histograms (across cells; quantiles count-weighted):\n" + b.String()
+}
+
+// FederatedPerfSummary renders the performance counters of a federated
+// grid: the per-workload table over the flattened cells (including
+// stage histograms when profiled), then the per-cluster split of events
+// and Pick calls aggregated across cells — so -perf tells both how hard
+// the engine worked and where the routers sent that work.
+func FederatedPerfSummary(results []campaign.FederatedResult) string {
+	flat := make([]campaign.RunResult, len(results))
+	for i := range results {
+		flat[i] = results[i].RunResult
+	}
+	out := PerfSummary(flat)
+
+	type key struct{ federation, cluster string }
+	type agg struct {
+		key
+		routed, finished  int
+		events, pickCalls int64
+	}
+	var order []key
+	byKey := make(map[key]*agg)
+	for i := range results {
+		for _, cm := range results[i].Clusters {
+			k := key{results[i].Federation, cm.Name}
+			a := byKey[k]
+			if a == nil {
+				a = &agg{key: k}
+				byKey[k] = a
+				order = append(order, k)
+			}
+			a.routed += cm.Routed
+			a.finished += cm.Finished
+			a.events += cm.Events
+			a.pickCalls += cm.PickCalls
+		}
+	}
+	if len(order) == 0 {
+		return out
+	}
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Federation\tcluster\trouted\tfinished\tevents\tPick calls\t")
+	for _, k := range order {
+		a := byKey[k]
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t\n",
+			k.federation, k.cluster, a.routed, a.finished, a.events, a.pickCalls)
+	}
+	tw.Flush()
+	return out + "\nPerformance counters (per federation cluster, across cells):\n" + b.String()
 }

@@ -67,6 +67,15 @@ func NewRouter(name string) (Router, error) {
 	return nil, fmt.Errorf("sched: unknown router %q (have %s)", name, RouterNames)
 }
 
+// Eligible appends to dst the indices of the clusters the job may be
+// routed to — the candidate set every built-in router chooses from. It
+// is exported for the flight recorder, which stamps route events with
+// the same candidate set the router saw; policy implementations should
+// keep using it through the Route entry points.
+func Eligible(dst []int, j *job.Job, clusters []ClusterState) []int {
+	return eligible(dst, j, clusters)
+}
+
 // eligible appends to dst the indices of the clusters the job may be
 // routed to: those whose eventual capacity fits it, or — when drains
 // have taken every fitting cluster below the job's width — those whose

@@ -3,10 +3,12 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/correct"
 	"repro/internal/eventq"
 	"repro/internal/job"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/predict"
 	"repro/internal/sched"
@@ -81,6 +83,15 @@ type engine struct {
 	// targets is non-nil only on streaming runs with a cancellation
 	// script; see cancelTarget.
 	targets map[int64]*cancelTarget
+
+	// Flight-recorder state (trace.go). tracer and prof are nil on
+	// unobserved runs; timed caches whether either is live so the hot
+	// loop pays one branch, no clock reads and no allocations when off.
+	tracer  obs.Tracer
+	prof    *obs.StageProfile
+	timed   bool
+	eligIdx []int
+	elig    []string
 }
 
 // scaleTime converts a reference-speed duration to a cluster running at
@@ -136,6 +147,9 @@ func (e *engine) route(j *job.Job, now int64) *clusterState {
 	if c.sub != nil {
 		c.sub.Routed++
 	}
+	if e.tracer != nil {
+		e.traceRoute(c, j, now)
+	}
 	if c.speed != 1 {
 		j.Runtime = scaleTime(j.Runtime, c.speed)
 		j.Request = scaleTime(j.Request, c.speed)
@@ -149,6 +163,9 @@ func (e *engine) startJob(c *clusterState, j *job.Job, now int64) {
 	c.machine.Start(j)
 	c.predictor.OnStart(j, now)
 	c.policy.OnStart(j, now)
+	if e.tracer != nil {
+		e.traceStart(c, j, now)
+	}
 	e.q.Push(now+j.Runtime, eventq.Finish, payload{j: j})
 	if j.Prediction < j.Runtime {
 		e.q.Push(now+j.Prediction, eventq.Expiry, payload{j: j})
@@ -158,7 +175,23 @@ func (e *engine) startJob(c *clusterState, j *job.Job, now int64) {
 func (e *engine) schedulePass(c *clusterState, now int64) {
 	for {
 		e.res.Perf.PickCalls++
-		next := c.policy.Pick(now, c.machine, c.queue)
+		if c.sub != nil {
+			c.sub.PickCalls++
+		}
+		var next *job.Job
+		if !e.timed {
+			next = c.policy.Pick(now, c.machine, c.queue)
+		} else {
+			t0 := time.Now()
+			next = c.policy.Pick(now, c.machine, c.queue)
+			ns := time.Since(t0).Nanoseconds()
+			if e.prof != nil {
+				e.prof.Observe(obs.StagePick, ns)
+			}
+			if e.tracer != nil {
+				e.tracePick(c, now, next, len(c.queue), ns)
+			}
+		}
 		if next == nil {
 			return
 		}
@@ -241,6 +274,9 @@ func (e *engine) handle(ev eventq.Event[payload]) {
 		c.predictor.OnSubmit(j, now)
 		c.queue = append(c.queue, j)
 		c.policy.OnSubmit(j, now)
+		if e.tracer != nil {
+			e.traceSubmit(c, j, now)
+		}
 	case eventq.Finish:
 		j := ev.Payload.j
 		if j.Finished {
@@ -251,10 +287,16 @@ func (e *engine) handle(ev eventq.Event[payload]) {
 		j.Finished = true
 		j.End = now
 		e.noteEnd(c, j.End)
-		c.predictor.OnFinish(j, now)
+		e.observeFinish(c, j, now)
 		c.policy.OnFinish(j, now)
+		if e.tracer != nil {
+			e.traceFinish(c, j, now)
+		}
 		if changed {
 			e.recordCapacity(c, now)
+			if e.tracer != nil {
+				e.traceCapacity(c, now, 0)
+			}
 			c.policy.OnCapacityChange(now, c.machine)
 		}
 		e.retire(c, j)
@@ -271,6 +313,11 @@ func (e *engine) handle(ev eventq.Event[payload]) {
 		if c.machine.Capacity() != before {
 			e.recordCapacity(c, now)
 		}
+		if e.tracer != nil {
+			// Traced even when fully pending: the eventual capacity
+			// changed, which is what planning views react to.
+			e.traceCapacity(c, now, -ev.Payload.procs)
+		}
 		// Even a fully pending drain changes the eventual capacity
 		// every availability view plans against.
 		c.policy.OnCapacityChange(now, c.machine)
@@ -280,6 +327,9 @@ func (e *engine) handle(ev eventq.Event[payload]) {
 		c.machine.Restore(ev.Payload.procs)
 		if c.machine.Capacity() != before {
 			e.recordCapacity(c, now)
+		}
+		if e.tracer != nil {
+			e.traceCapacity(c, now, ev.Payload.procs)
 		}
 		c.policy.OnCapacityChange(now, c.machine)
 	case eventq.Expiry:
@@ -309,9 +359,15 @@ func (e *engine) handle(ev eventq.Event[payload]) {
 			c.sub.Corrections++
 		}
 		c.policy.OnExpiry(j, now)
+		if e.tracer != nil {
+			e.traceCorrect(c, j, now)
+		}
 		if j.PredictedEnd() < j.Start+j.Runtime {
 			e.q.Push(j.PredictedEnd(), eventq.Expiry, payload{j: j})
 		}
+	}
+	if c.sub != nil {
+		c.sub.Events++
 	}
 	e.schedulePass(c, now)
 }
@@ -348,6 +404,9 @@ func (e *engine) handleCancel(p payload, now int64) (c *clusterState, runPass bo
 		tgt.canceled = true
 	}
 	c = e.clusters[j.Cluster]
+	if e.tracer != nil && j.Started {
+		e.traceCancel(c, j, now)
+	}
 	if j.Started {
 		// Kill the running job: it occupied the machine for exactly
 		// now-Start seconds, which becomes its realized runtime.
@@ -359,10 +418,18 @@ func (e *engine) handleCancel(p payload, now int64) (c *clusterState, runPass bo
 		j.End = now
 		j.Runtime = now - j.Start
 		e.noteEnd(c, j.End)
-		c.predictor.OnFinish(j, now)
+		e.observeFinish(c, j, now)
 		c.policy.OnCancel(j, now)
+		if e.tracer != nil {
+			// A killed job still retires with a realized schedule; the
+			// finish event carries it, like the sink observation does.
+			e.traceFinish(c, j, now)
+		}
 		if changed {
 			e.recordCapacity(c, now)
+			if e.tracer != nil {
+				e.traceCapacity(c, now, 0)
+			}
 			c.policy.OnCapacityChange(now, c.machine)
 		}
 		e.retire(c, j)
@@ -372,6 +439,7 @@ func (e *engine) handleCancel(p payload, now int64) (c *clusterState, runPass bo
 	// the Submit event will observe Canceled). A queued job was routed,
 	// so its cluster index is authoritative; an unrouted one leaves no
 	// per-cluster trace.
+	removed := false
 	for i, qj := range c.queue {
 		if qj == j {
 			c.queue = append(c.queue[:i], c.queue[i+1:]...)
@@ -379,7 +447,17 @@ func (e *engine) handleCancel(p payload, now int64) (c *clusterState, runPass bo
 			if c.sub != nil {
 				c.sub.Canceled++
 			}
+			removed = true
 			break
+		}
+	}
+	if e.tracer != nil {
+		// A queued job's cluster is authoritative; an unsubmitted one
+		// belongs to none yet.
+		if removed {
+			e.traceCancel(c, j, now)
+		} else {
+			e.traceCancel(nil, j, now)
 		}
 	}
 	if tgt := e.target(j.ID); tgt != nil {

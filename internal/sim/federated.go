@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/eventq"
 	"repro/internal/job"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/scenario"
 	"repro/internal/sched"
@@ -43,6 +44,12 @@ type FederatedConfig struct {
 	// event order (see Config.Sink). Jobs carry their destination in
 	// Job.Cluster, which is how metrics.Federated splits them.
 	Sink JobSink
+	// Tracer and Profile enable the flight recorder and the per-stage
+	// latency histograms for the whole run (see Config.Tracer and
+	// Config.Profile). Like Script and Sink, they are run-wide: the
+	// per-cluster session Configs must leave them unset.
+	Tracer  obs.Tracer
+	Profile bool
 }
 
 // setup validates the config and builds the N-cluster engine. maxTotal
@@ -70,14 +77,15 @@ func (fed FederatedConfig) setup() (e *engine, res *Result, maxTotal int64, err 
 		sink:   fed.Sink,
 		res:    res,
 	}
+	e.instrument(fed.Tracer, fed.Profile)
 	for i, c := range clusters {
 		cfg := fed.Session()
 		corrector, err := checkConfig(cfg)
 		if err != nil {
 			return nil, nil, 0, fmt.Errorf("sim: cluster %s session: %w", c.Name, err)
 		}
-		if cfg.Script != nil || cfg.Sink != nil {
-			return nil, nil, 0, fmt.Errorf("sim: cluster %s session: Script and Sink belong on FederatedConfig, not the per-cluster Config", c.Name)
+		if cfg.Script != nil || cfg.Sink != nil || cfg.Tracer != nil || cfg.Profile {
+			return nil, nil, 0, fmt.Errorf("sim: cluster %s session: Script, Sink, Tracer and Profile belong on FederatedConfig, not the per-cluster Config", c.Name)
 		}
 		if i == 0 {
 			res.Triple = cfg.Name()
@@ -164,10 +172,12 @@ func (e *engine) pushScript(script *scenario.Script, byID map[int64]*job.Job) er
 // finishFederated runs the shared post-loop bookkeeping: a
 // single-cluster federation surfaces its sole capacity timeline at the
 // Result level, exactly where a single-machine run records it.
-func finishFederated(res *Result, wallStart time.Time) {
+func (e *engine) finishFederated(wallStart time.Time) {
+	res := e.res
 	if len(res.Clusters) == 1 && len(res.Clusters[0].CapacitySteps) > 0 {
 		res.CapacitySteps = append([]CapacityStep(nil), res.Clusters[0].CapacitySteps...)
 	}
+	e.finishProfile()
 	res.Perf.WallNanos = time.Since(wallStart).Nanoseconds()
 }
 
@@ -202,7 +212,7 @@ func RunFederated(w *trace.Workload, fed FederatedConfig) (*Result, error) {
 	}
 
 	for {
-		ev, ok := e.q.Pop()
+		ev, ok := e.pop()
 		if !ok {
 			break
 		}
@@ -218,7 +228,7 @@ func RunFederated(w *trace.Workload, fed FederatedConfig) (*Result, error) {
 			return nil, fmt.Errorf("sim: job %d never finished", j.ID)
 		}
 	}
-	finishFederated(res, wallStart)
+	e.finishFederated(wallStart)
 	return res, nil
 }
 
@@ -294,7 +304,7 @@ func RunFederatedStream(name string, src workload.Source, fed FederatedConfig) (
 			havePending = false
 		}
 
-		ev, ok := e.q.Pop()
+		ev, ok := e.pop()
 		if !ok {
 			break
 		}
@@ -308,6 +318,6 @@ func RunFederatedStream(name string, src workload.Source, fed FederatedConfig) (
 	if n := e.runningJobs(); n != 0 {
 		return nil, fmt.Errorf("sim: %d jobs still running after the event queue drained", n)
 	}
-	finishFederated(res, wallStart)
+	e.finishFederated(wallStart)
 	return res, nil
 }

@@ -40,6 +40,7 @@ import (
 	"repro/internal/correct"
 	"repro/internal/eventq"
 	"repro/internal/job"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/predict"
 	"repro/internal/scenario"
@@ -66,6 +67,16 @@ type Config struct {
 	// metrics without retaining jobs; the preloading driver honors it
 	// too, so the two paths feed identical observation sequences.
 	Sink JobSink
+	// Tracer, when non-nil, receives a structured flight-recorder event
+	// for every scheduling decision (see internal/obs). Tracing is pure
+	// observation: a traced run makes byte-identical decisions to an
+	// untraced one (trace_diff_test.go), and a nil Tracer costs nothing
+	// on the hot path.
+	Tracer obs.Tracer
+	// Profile, when true, collects per-stage latency histograms (event
+	// pop, policy Pick, predictor profile update) into
+	// Result.Perf.Stages using bounded quantile sketches.
+	Profile bool
 }
 
 // JobSink receives finished jobs as the simulation retires them. Jobs a
@@ -107,6 +118,10 @@ type Perf struct {
 	// WallNanos is the wall-clock duration of the simulation in
 	// nanoseconds.
 	WallNanos int64 `json:"wall_nanos"`
+	// Stages holds per-stage latency summaries when profiling was
+	// enabled (Config.Profile), nil otherwise — so journals from
+	// unprofiled runs are byte-for-byte what they always were.
+	Stages []obs.StagePerf `json:"stages,omitempty"`
 }
 
 // Wall returns the simulation wall time as a Duration.
@@ -178,6 +193,12 @@ type ClusterResult struct {
 	// Corrections is the number of prediction-expiry corrections on
 	// this cluster.
 	Corrections int
+	// Events counts the handled events that ran this cluster's
+	// scheduling pass (deterministic, like Perf.Events).
+	Events int64
+	// PickCalls counts policy Pick invocations on this cluster — the
+	// per-cluster slice of Perf.PickCalls.
+	PickCalls int64
 	// CapacitySteps is the cluster's realized capacity step function.
 	CapacitySteps []CapacityStep
 	// Makespan is the completion time of the cluster's last job.
@@ -211,6 +232,7 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 		sink: cfg.Sink,
 		res:  res,
 	}
+	e.instrument(cfg.Tracer, cfg.Profile)
 	for i := range w.Jobs {
 		r := &w.Jobs[i]
 		if r.Procs() > w.MaxProcs {
@@ -247,7 +269,7 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 	}
 
 	for {
-		ev, ok := e.q.Pop()
+		ev, ok := e.pop()
 		if !ok {
 			break
 		}
@@ -263,6 +285,7 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("sim: job %d never finished", j.ID)
 		}
 	}
+	e.finishProfile()
 	res.Perf.WallNanos = time.Since(wallStart).Nanoseconds()
 	return res, nil
 }

@@ -57,6 +57,7 @@ func RunStream(name string, maxProcs int64, src workload.Source, cfg Config) (*R
 		sink: cfg.Sink,
 		res:  res,
 	}
+	e.instrument(cfg.Tracer, cfg.Profile)
 
 	// Scenario events enter the queue up front, exactly as on the
 	// preloading path — same-instant ordering between same-kind events
@@ -146,7 +147,7 @@ func RunStream(name string, maxProcs int64, src workload.Source, cfg Config) (*R
 			havePending = false
 		}
 
-		ev, ok := e.q.Pop()
+		ev, ok := e.pop()
 		if !ok {
 			break
 		}
@@ -160,6 +161,7 @@ func RunStream(name string, maxProcs int64, src workload.Source, cfg Config) (*R
 	if n := e.runningJobs(); n != 0 {
 		return nil, fmt.Errorf("sim: %d jobs still running after the event queue drained", n)
 	}
+	e.finishProfile()
 	res.Perf.WallNanos = time.Since(wallStart).Nanoseconds()
 	return res, nil
 }

@@ -1,0 +1,369 @@
+package sim_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The flight recorder's differential layer: a traced, profiled run must
+// be pure observation. Every preset, policy triple and disruption
+// intensity is replayed twice — once bare, once with a Tracer and stage
+// profiling — and the two runs must agree on every deterministic
+// observable: the retirement sequence, all Result counters, per-cluster
+// counters, and the capacity timelines. On top of identity, the emitted
+// event stream itself is checked against the schema and the run's own
+// counters (one pick event per Pick call, one finish per retirement).
+
+// assertUnperturbed compares a bare and a traced run of the same driver
+// on every deterministic observable. Perf.Stages and WallNanos are the
+// only allowed differences.
+func assertUnperturbed(t *testing.T, label string, bare, traced *sim.Result, bareSink, tracedSink *recordingSink) {
+	t.Helper()
+	if len(bareSink.seq) != len(tracedSink.seq) {
+		t.Fatalf("%s: retirement counts differ: %d vs %d", label, len(bareSink.seq), len(tracedSink.seq))
+	}
+	for i := range bareSink.seq {
+		if bareSink.seq[i] != tracedSink.seq[i] {
+			t.Fatalf("%s: retirement %d differs:\n bare:   %+v\n traced: %+v", label, i, bareSink.seq[i], tracedSink.seq[i])
+		}
+	}
+	if bare.Makespan != traced.Makespan || bare.Corrections != traced.Corrections ||
+		bare.Canceled != traced.Canceled || bare.Finished != traced.Finished {
+		t.Fatalf("%s: counters differ: makespan %d/%d corrections %d/%d canceled %d/%d finished %d/%d",
+			label, bare.Makespan, traced.Makespan, bare.Corrections, traced.Corrections,
+			bare.Canceled, traced.Canceled, bare.Finished, traced.Finished)
+	}
+	if bare.Perf.Events != traced.Perf.Events || bare.Perf.PickCalls != traced.Perf.PickCalls {
+		t.Fatalf("%s: perf counters differ: events %d/%d picks %d/%d",
+			label, bare.Perf.Events, traced.Perf.Events, bare.Perf.PickCalls, traced.Perf.PickCalls)
+	}
+	if len(bare.CapacitySteps) != len(traced.CapacitySteps) {
+		t.Fatalf("%s: capacity timelines differ in length: %d vs %d", label, len(bare.CapacitySteps), len(traced.CapacitySteps))
+	}
+	for i := range bare.CapacitySteps {
+		if bare.CapacitySteps[i] != traced.CapacitySteps[i] {
+			t.Fatalf("%s: capacity step %d differs: %+v vs %+v", label, i, bare.CapacitySteps[i], traced.CapacitySteps[i])
+		}
+	}
+	if len(bare.Clusters) != len(traced.Clusters) {
+		t.Fatalf("%s: cluster counts differ: %d vs %d", label, len(bare.Clusters), len(traced.Clusters))
+	}
+	for i := range bare.Clusters {
+		b, tr := bare.Clusters[i], traced.Clusters[i]
+		if b.Routed != tr.Routed || b.Finished != tr.Finished || b.Canceled != tr.Canceled ||
+			b.Corrections != tr.Corrections || b.Makespan != tr.Makespan ||
+			b.Events != tr.Events || b.PickCalls != tr.PickCalls {
+			t.Fatalf("%s: cluster %s counters differ:\n bare:   %+v\n traced: %+v", label, b.Name, b, tr)
+		}
+		if len(b.CapacitySteps) != len(tr.CapacitySteps) {
+			t.Fatalf("%s: cluster %s capacity timelines differ in length", label, b.Name)
+		}
+		for k := range b.CapacitySteps {
+			if b.CapacitySteps[k] != tr.CapacitySteps[k] {
+				t.Fatalf("%s: cluster %s capacity step %d differs", label, b.Name, k)
+			}
+		}
+	}
+	mc, sc := bareSink.col, tracedSink.col
+	if mc.AVEbsld() != sc.AVEbsld() || mc.MaxBsld() != sc.MaxBsld() ||
+		mc.MeanWait() != sc.MeanWait() || mc.MAE() != sc.MAE() || mc.MeanELoss() != sc.MeanELoss() {
+		t.Fatalf("%s: metric collectors diverged under tracing", label)
+	}
+	if bare.Perf.Stages != nil {
+		t.Fatalf("%s: unprofiled run grew stage histograms", label)
+	}
+}
+
+// checkTraceInvariants validates every emitted event against the schema
+// and ties the stream to the run's own counters.
+func checkTraceInvariants(t *testing.T, label string, events []obs.Event, res *sim.Result) {
+	t.Helper()
+	var picks, finishes, submits, routes int64
+	for i := range events {
+		ev := &events[i]
+		if err := obs.ValidateEvent(ev); err != nil {
+			t.Fatalf("%s: event %d invalid: %v (%+v)", label, i, err, *ev)
+		}
+		switch ev.Kind {
+		case obs.KindPick:
+			picks++
+		case obs.KindFinish:
+			finishes++
+		case obs.KindSubmit:
+			submits++
+		case obs.KindRoute:
+			routes++
+		}
+	}
+	if picks != res.Perf.PickCalls {
+		t.Fatalf("%s: %d pick events for %d Pick calls", label, picks, res.Perf.PickCalls)
+	}
+	if finishes != int64(res.Finished) {
+		t.Fatalf("%s: %d finish events for %d finished jobs", label, finishes, res.Finished)
+	}
+	if res.Routing != "" && routes != submits {
+		t.Fatalf("%s: %d route events for %d submissions", label, routes, submits)
+	}
+	// Stage histograms must account for exactly the loop's work.
+	var stages = map[string]int64{}
+	for _, sp := range res.Perf.Stages {
+		stages[sp.Stage] = sp.Count
+	}
+	if stages["eventq-pop"] != res.Perf.Events {
+		t.Fatalf("%s: pop histogram holds %d samples for %d events", label, stages["eventq-pop"], res.Perf.Events)
+	}
+	if stages["pick"] != res.Perf.PickCalls {
+		t.Fatalf("%s: pick histogram holds %d samples for %d Pick calls", label, stages["pick"], res.Perf.PickCalls)
+	}
+	if stages["profile-update"] != int64(res.Finished) {
+		t.Fatalf("%s: profile-update histogram holds %d samples for %d finishes", label, stages["profile-update"], res.Finished)
+	}
+}
+
+// runTracedPair runs one preloading config bare and traced+profiled.
+func runTracedPair(t *testing.T, w *trace.Workload, tr core.Triple, script *scenario.Script) (bare, traced *sim.Result, bareSink, tracedSink *recordingSink, events []obs.Event) {
+	t.Helper()
+	bareSink = newRecordingSink()
+	cfg := tr.Config()
+	cfg.Script = script
+	cfg.Sink = bareSink
+	bare, err := sim.Run(w, cfg)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", tr.Name(), err)
+	}
+
+	col := &obs.Collector{}
+	tracedSink = newRecordingSink()
+	cfg = tr.Config()
+	cfg.Script = script
+	cfg.Sink = tracedSink
+	cfg.Tracer = col
+	cfg.Profile = true
+	traced, err = sim.Run(w, cfg)
+	if err != nil {
+		t.Fatalf("traced Run(%s): %v", tr.Name(), err)
+	}
+	return bare, traced, bareSink, tracedSink, col.Events()
+}
+
+// TestTracedIdenticalAcrossPresets sweeps every preset across the full
+// differential triple grid: tracing and profiling must not move a
+// single decision, and the event stream must satisfy its invariants.
+func TestTracedIdenticalAcrossPresets(t *testing.T) {
+	triples := diffConfigs()
+	for _, preset := range workload.PresetNames() {
+		cfg, err := workload.Scaled(preset, 220)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range triples {
+			label := fmt.Sprintf("%s/%s", preset, tr.Name())
+			bare, traced, bs, ts, events := runTracedPair(t, w, tr, nil)
+			assertUnperturbed(t, label, bare, traced, bs, ts)
+			checkTraceInvariants(t, label, events, traced)
+		}
+	}
+}
+
+// TestTracedIdenticalUnderDisruption replays generated disruption
+// scripts at every intensity through bare and traced runs, on both the
+// preloading and the streaming driver.
+func TestTracedIdenticalUnderDisruption(t *testing.T) {
+	cfg, err := workload.Scaled("SDSC-SP2", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triples := []core.Triple{core.EASYPlusPlus(), core.ConservativeBF()}
+	src := rng.New(0x0b5)
+	for _, in := range scenario.Intensities {
+		seed := src.Uint64()
+		script := scenario.Generate(w, in, seed)
+		for _, tr := range triples {
+			label := fmt.Sprintf("%s/%s", in.Name, tr.Name())
+			bare, traced, bs, ts, events := runTracedPair(t, w, tr, script)
+			assertUnperturbed(t, label, bare, traced, bs, ts)
+			checkTraceInvariants(t, label, events, traced)
+
+			// Streaming driver: same comparison, fresh sessions.
+			sBare := newRecordingSink()
+			c := tr.Config()
+			c.Script = script
+			c.Sink = sBare
+			strBare, err := sim.RunStream(w.Name, w.MaxProcs, workload.FromWorkload(w), c)
+			if err != nil {
+				t.Fatalf("RunStream(%s): %v", label, err)
+			}
+			col := &obs.Collector{}
+			sTraced := newRecordingSink()
+			c = tr.Config()
+			c.Script = script
+			c.Sink = sTraced
+			c.Tracer = col
+			c.Profile = true
+			strTraced, err := sim.RunStream(w.Name, w.MaxProcs, workload.FromWorkload(w), c)
+			if err != nil {
+				t.Fatalf("traced RunStream(%s): %v", label, err)
+			}
+			assertUnperturbed(t, label+"/stream", strBare, strTraced, sBare, sTraced)
+			checkTraceInvariants(t, label+"/stream", col.Events(), strTraced)
+		}
+	}
+}
+
+// TestTracedFederatedIdentical drives both federated drivers bare and
+// traced over a heterogeneous platform, checking the per-cluster
+// counters stay identical and route events carry coherent candidate
+// sets.
+func TestTracedFederatedIdentical(t *testing.T) {
+	cfg, err := workload.Scaled("KTH-SP2", 260)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := []platform.Cluster{
+		{Name: "big", Procs: w.MaxProcs},
+		{Name: "slow", Procs: w.MaxProcs / 2, Speed: 0.5},
+	}
+	script := &scenario.Script{Name: "drain-big", Events: []scenario.Event{
+		{Time: 2000, Action: scenario.Drain, Procs: w.MaxProcs / 4, Cluster: "big"},
+		{Time: 9000, Action: scenario.Restore, Procs: w.MaxProcs / 4, Cluster: "big"},
+	}}
+	for _, routing := range []string{"round-robin", "least-loaded"} {
+		for _, stream := range []bool{false, true} {
+			label := fmt.Sprintf("%s/stream=%v", routing, stream)
+			tr := core.EASYPlusPlus()
+
+			run := func(tracer obs.Tracer, profile bool, sink *recordingSink) *sim.Result {
+				router, err := sched.NewRouter(routing)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fc := sim.FederatedConfig{
+					Clusters: clusters,
+					Router:   router,
+					Session:  tr.Config,
+					Script:   script,
+					Sink:     sink,
+					Tracer:   tracer,
+					Profile:  profile,
+				}
+				var res *sim.Result
+				if stream {
+					res, err = sim.RunFederatedStream(w.Name, workload.FromWorkload(w), fc)
+				} else {
+					res, err = sim.RunFederated(w, fc)
+				}
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				return res
+			}
+
+			bareSink := newRecordingSink()
+			bare := run(nil, false, bareSink)
+			col := &obs.Collector{}
+			tracedSink := newRecordingSink()
+			traced := run(col, true, tracedSink)
+
+			assertUnperturbed(t, label, bare, traced, bareSink, tracedSink)
+			checkTraceInvariants(t, label, col.Events(), traced)
+
+			names := map[string]bool{"big": true, "slow": true}
+			for _, ev := range col.Events() {
+				if ev.Kind != obs.KindRoute {
+					continue
+				}
+				if !names[ev.Cluster] {
+					t.Fatalf("%s: route event names unknown cluster %q", label, ev.Cluster)
+				}
+				if len(ev.Eligible) == 0 {
+					t.Fatalf("%s: route event for job %d has no candidate set", label, ev.Job)
+				}
+				for _, c := range ev.Eligible {
+					if !names[c] {
+						t.Fatalf("%s: candidate set names unknown cluster %q", label, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTraceJSONLEndToEnd traces a run through the real file tracer and
+// reads the trace back strictly: every line decodes, validates, carries
+// its Tagged context, and the per-kind totals match the run.
+func TestTraceJSONLEndToEnd(t *testing.T) {
+	cfg, err := workload.Scaled("CTC-SP2", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	jl, err := obs.OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := core.PaperBest()
+	sink := newRecordingSink()
+	c := tr.Config()
+	c.Sink = sink
+	c.Tracer = obs.Tagged{Tracer: jl, Workload: w.Name, Triple: tr.Name()}
+	c.Profile = true
+	res, err := sim.Run(w, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatalf("close trace: %v", err)
+	}
+
+	var picks, finishes int64
+	err = obs.ReadFile(path, func(line int, ev obs.Event) error {
+		if verr := obs.ValidateEvent(&ev); verr != nil {
+			return fmt.Errorf("line %d: %w", line, verr)
+		}
+		if ev.Workload != w.Name || ev.Triple != tr.Name() {
+			return fmt.Errorf("line %d: lost its tag: %+v", line, ev)
+		}
+		switch ev.Kind {
+		case obs.KindPick:
+			picks++
+		case obs.KindFinish:
+			finishes++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if picks != res.Perf.PickCalls || finishes != int64(res.Finished) {
+		t.Fatalf("trace file totals: %d picks / %d finishes, run had %d / %d",
+			picks, finishes, res.Perf.PickCalls, res.Finished)
+	}
+}

@@ -34,6 +34,10 @@ func FuzzSpecYAML(f *testing.F) {
 		"clusters:\n  - 100\n  - 64x1.5\n  - slow=32x0.5\nrouting: least-loaded\n",
 		"clusters:\n  - name: big\n    procs: 200\n    speed: 2.0\nrouting:\n  - round-robin\n  - spillover\n",
 		"clusters:\n  - 0x\nrouting: []\n",
+		"trace:\n  file: run-trace.jsonl\n  profile: true\n",
+		"trace:\n  file: \"\"\n",
+		"trace: on\n",
+		"kind: robustness\ntrace:\n  profile: false\noutput:\n  perf: true\n",
 		"a:\n - b\n -   c: [1, \"two\", 3]\n",
 		"include: other.yaml\n",
 		"\t\n: :\n- -\n",

@@ -26,7 +26,7 @@ import (
 func (s *Spec) decode(tree *node) error {
 	if err := tree.checkKeys("kind", "seed", "repeats", "jobs", "parallelism",
 		"stream", "workloads", "triples", "scenarios", "clusters", "routing",
-		"output"); err != nil {
+		"output", "trace"); err != nil {
 		return err
 	}
 
@@ -130,6 +130,39 @@ func (s *Spec) decode(tree *node) error {
 		if err := s.decodeOutput(n); err != nil {
 			return err
 		}
+	}
+	if n := tree.at("trace"); n != nil {
+		if err := s.decodeTrace(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeTrace reads the flight-recorder section: the JSONL destination
+// and the per-stage profiling switch.
+func (s *Spec) decodeTrace(n *node) error {
+	if n.kind != kindMap {
+		return n.errf("trace must be a mapping")
+	}
+	if err := n.checkKeys("file", "profile"); err != nil {
+		return err
+	}
+	if fn := n.at("file"); fn != nil {
+		// str rejects empty scalars, so "file:" cannot silently disable
+		// tracing — omit the key instead.
+		v, err := fn.str()
+		if err != nil {
+			return err
+		}
+		s.Trace.File = v
+	}
+	if pn := n.at("profile"); pn != nil {
+		v, err := pn.toBool()
+		if err != nil {
+			return err
+		}
+		s.Trace.Profile = v
 	}
 	return nil
 }

@@ -65,6 +65,19 @@ type Spec struct {
 	Routings []string
 	// Output carries journaling and report settings.
 	Output Output
+	// Trace carries the flight-recorder settings.
+	Trace Trace
+}
+
+// Trace is the spec's trace section: the flight-recorder destination
+// and the per-stage latency profiling switch (see cmd/campaign -trace
+// and the README Observability section).
+type Trace struct {
+	// File is the structured decision-trace JSONL destination ("" = off).
+	File string
+	// Profile collects the per-stage latency histograms rendered by the
+	// -perf summary (output.perf implies it at the CLI layer).
+	Profile bool
 }
 
 // WorkloadSpec is one workload entry: a preset reference (optionally
@@ -111,6 +124,8 @@ type Overrides struct {
 	// (non-nil slices override, matching the list-merge semantics).
 	Clusters []platform.Cluster
 	Routings []string
+	// Trace overrides the spec's trace.file destination.
+	Trace *string
 }
 
 // Apply overlays the overrides onto the spec.
@@ -154,6 +169,9 @@ func (s *Spec) Apply(o Overrides) {
 	}
 	if len(o.Routings) > 0 {
 		s.Routings = o.Routings
+	}
+	if o.Trace != nil {
+		s.Trace.File = *o.Trace
 	}
 }
 

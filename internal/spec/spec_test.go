@@ -85,6 +85,36 @@ scenarios:
 `, `unknown action "melt"`, "7")
 }
 
+func TestTraceBlock(t *testing.T) {
+	path := writeSpec(t, t.TempDir(), "traced.yaml", `
+kind: campaign
+jobs: 100
+trace:
+  file: run-trace.jsonl
+  profile: true
+`)
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Trace.File != "run-trace.jsonl" || !s.Trace.Profile {
+		t.Fatalf("trace block misdecoded: %+v", s.Trace)
+	}
+	// The -trace flag is the outermost override layer.
+	override := "elsewhere.jsonl"
+	s.Apply(Overrides{Trace: &override})
+	if s.Trace.File != "elsewhere.jsonl" || !s.Trace.Profile {
+		t.Fatalf("trace override misapplied: %+v", s.Trace)
+	}
+}
+
+func TestTraceBlockValidation(t *testing.T) {
+	loadErr(t, "trace:\n  flie: x.jsonl\n", `unknown field "flie"`, "2")
+	loadErr(t, "trace:\n  file: \"\"\n", "expected a non-empty string", "2")
+	loadErr(t, "trace:\n  profile: yes-please\n", "expected true or false", "2")
+	loadErr(t, "trace: on\n", "trace must be a mapping", "1")
+}
+
 // TestUnbalancedScriptRejected: the balance check needs the resolved
 // machines, so it fires in WorkloadConfigs, naming scenario and machine.
 func TestUnbalancedScriptRejected(t *testing.T) {
