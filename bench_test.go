@@ -435,6 +435,84 @@ func BenchmarkSchedSimRouted(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedSimStreamParallel prices the sharded federated streaming
+// driver against its sequential twin on the same three-cluster platform:
+// "sequential" is the single-goroutine federated stream, "shards-1" the
+// parallel machinery with one shard (pure coordination overhead, results
+// byte-identical by the differential suite), "shards-4" one event-loop
+// goroutine per cluster. All three produce identical global metrics; the
+// benchmark isolates what the router boundary and shard handoff cost.
+func BenchmarkSchedSimStreamParallel(b *testing.B) {
+	w := benchWorkload(b, "KTH-SP2")
+	clusters := []platform.Cluster{
+		{Name: "big", Procs: w.MaxProcs},
+		{Name: "fast", Procs: w.MaxProcs / 2, Speed: 1.5},
+		{Name: "slow", Procs: w.MaxProcs / 2, Speed: 0.5},
+	}
+	run := func(shards int) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fed := metrics.NewFederated(len(clusters))
+				res, err := sim.RunFederatedStream(w.Name, workload.FromWorkload(w), sim.FederatedConfig{
+					Clusters: clusters,
+					Router:   &sched.RoundRobin{},
+					Shards:   shards,
+					Sink:     fed,
+					Session: func() sim.Config {
+						return sim.Config{
+							Policy:    sched.NewEASY(sched.SJBFOrder),
+							Predictor: predict.NewUserAverage(2),
+							Corrector: correct.Incremental{},
+						}
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g := fed.Global(); res.Finished != g.Finished() {
+					b.Fatalf("sink saw %d of %d finishes", g.Finished(), res.Finished)
+				}
+			}
+		}
+	}
+	// The "=" naming (not "shards-1") keeps benchdiff's GOMAXPROCS
+	// suffix stripping from collapsing the sub-benchmarks into one
+	// baseline entry.
+	b.Run("sequential", run(0))
+	b.Run("shards=1", run(1))
+	b.Run("shards=4", run(4))
+}
+
+// BenchmarkSchedSimStreamHugeThroughput is the headline throughput
+// number: the full 1M-job huge-synthetic preset, generator to metrics,
+// nothing materialized, reported as jobs/s. One iteration simulates a
+// million jobs, so expect a single iteration per benchtime second; the
+// jobs/s metric (not ns/op) is the figure docs/PERFORMANCE.md quotes.
+func BenchmarkSchedSimStreamHugeThroughput(b *testing.B) {
+	cfg, err := workload.Preset("huge-synthetic")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var finished int
+	for i := 0; i < b.N; i++ {
+		g, err := workload.NewGenSource(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		col := metrics.NewCollector()
+		scfg := core.EASYPlusPlus().Config()
+		scfg.Sink = col
+		res, err := sim.RunStream(cfg.Name, cfg.MaxProcs, g, scfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		finished = res.Finished
+	}
+	b.ReportMetric(float64(finished)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
 // --- Ablations (DESIGN.md §5) ------------------------------------------
 
 // BenchmarkAblationBackfillOrder isolates SJBF vs FCFS backfill order

@@ -73,6 +73,7 @@ type options struct {
 	lossName    string
 	corrector   string
 	stream      bool
+	shards      int
 	clusters    []platform.Cluster
 	routing     string
 	traceFile   string
@@ -102,6 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.lossName, "loss", ml.ELoss.Name(), "ML loss, e.g. \"over=sq,under=lin,w=largearea\"")
 	fs.StringVar(&o.corrector, "corrector", "incremental", "correction: requested | incremental | doubling")
 	fs.BoolVar(&o.stream, "stream", false, "bounded-memory run: pull the workload lazily (SWF from disk, or the streaming generator for presets) and compute metrics one-pass; peak memory is O(live jobs), so million-job traces fit")
+	fs.IntVar(&o.shards, "shards", 0, "with -clusters and -stream: run the parallel sharded federated driver with this many per-cluster event-loop goroutines (0 = sequential; results are byte-identical for every shard count)")
 	clustersFlag := fs.String("clusters", "", "federated platform: comma-separated NAME=PROCS[xSPEED] entries (e.g. \"100,64x1.5,slow=32x0.5\"); empty = classic single machine")
 	fs.StringVar(&o.routing, "routing", "", "routing policy in front of -clusters: "+sched.RouterNames+" (default round-robin)")
 	fs.StringVar(&o.traceFile, "trace", "", "append the structured decision trace (JSONL; summarize with tracestat) to this file")
@@ -155,6 +157,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if o.routing != "" && *clustersFlag == "" {
 		return usage("-routing needs -clusters (a single machine has nothing to route)")
+	}
+	if set["shards"] {
+		if o.shards < 0 {
+			return usage("-shards must be >= 0 (0 = sequential), got %d", o.shards)
+		}
+		if *clustersFlag == "" {
+			return usage("-shards needs -clusters (the sharded driver is federated)")
+		}
+		if !o.stream {
+			return usage("-shards needs -stream (the sharded driver is the streaming engine)")
+		}
 	}
 	if *clustersFlag != "" {
 		var err error
@@ -275,10 +288,11 @@ func runFederated(o options, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "scenario      %s (%d drains, %d restores, %d cancel events)\n", res.Scenario, drains, restores, cancels)
 		fmt.Fprintf(stdout, "canceled      %d jobs\n", res.Canceled)
 	}
-	fmt.Fprintf(stdout, "AVEbsld       %.2f\n", col.Global.AVEbsld())
-	fmt.Fprintf(stdout, "max bsld      %.1f\n", col.Global.MaxBsld())
-	fmt.Fprintf(stdout, "mean wait     %.0f s\n", col.Global.MeanWait())
-	fmt.Fprintf(stdout, "utilization   %.3f\n", col.Global.Utilization(res.Makespan, res.MaxProcs))
+	g := col.Global()
+	fmt.Fprintf(stdout, "AVEbsld       %.2f\n", g.AVEbsld())
+	fmt.Fprintf(stdout, "max bsld      %.1f\n", g.MaxBsld())
+	fmt.Fprintf(stdout, "mean wait     %.0f s\n", g.MeanWait())
+	fmt.Fprintf(stdout, "utilization   %.3f\n", g.Utilization(res.Makespan, res.MaxProcs))
 	fmt.Fprintf(stdout, "corrections   %d\n", res.Corrections)
 	printClusterSplit(stdout, res, col)
 	return nil
@@ -290,6 +304,7 @@ func runFederatedStreaming(o options, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	fed.Shards = o.shards
 	col := metrics.NewFederated(len(o.clusters))
 	fed.Sink = col
 
@@ -304,10 +319,11 @@ func runFederatedStreaming(o options, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "workload      %s (streamed, %d jobs finished, %d procs over %d clusters)\n", name, res.Finished, res.MaxProcs, len(res.Clusters))
 	fmt.Fprintf(stdout, "routing       %s\n", res.Routing)
 	fmt.Fprintf(stdout, "triple        %s\n", res.Triple)
-	fmt.Fprintf(stdout, "AVEbsld       %.2f\n", col.Global.AVEbsld())
-	fmt.Fprintf(stdout, "max bsld      %.1f\n", col.Global.MaxBsld())
-	fmt.Fprintf(stdout, "mean wait     %.0f s\n", col.Global.MeanWait())
-	fmt.Fprintf(stdout, "utilization   %.3f\n", col.Global.Utilization(res.Makespan, res.MaxProcs))
+	g := col.Global()
+	fmt.Fprintf(stdout, "AVEbsld       %.2f\n", g.AVEbsld())
+	fmt.Fprintf(stdout, "max bsld      %.1f\n", g.MaxBsld())
+	fmt.Fprintf(stdout, "mean wait     %.0f s\n", g.MeanWait())
+	fmt.Fprintf(stdout, "utilization   %.3f\n", g.Utilization(res.Makespan, res.MaxProcs))
 	fmt.Fprintf(stdout, "corrections   %d\n", res.Corrections)
 	printClusterSplit(stdout, res, col)
 	return nil

@@ -1,0 +1,72 @@
+package job
+
+import (
+	"testing"
+
+	"repro/internal/swf"
+)
+
+func TestArenaNewCopiesRecordAndRecycles(t *testing.T) {
+	var a Arena
+	rec := swf.Job{JobNumber: 7, SubmitTime: 10, RunTime: 50, RequestedTime: 100, RequestedProcs: 4, UserID: 3, Status: 1}
+	j := a.New(&rec)
+	if j.ID != 7 || j.Procs != 4 || j.Submit != 10 {
+		t.Fatalf("New built %+v from %+v", j, rec)
+	}
+	if j.Record == &rec {
+		t.Fatal("New aliased the caller's record instead of copying it")
+	}
+	// The caller may reuse its record immediately; the job must not see it.
+	rec.JobNumber = 999
+	if j.Record.JobNumber != 7 {
+		t.Fatalf("job's record changed to %d after caller reuse", j.Record.JobNumber)
+	}
+
+	// A recycled slot is handed out again, fully reinitialized from the
+	// new record — pointer identity proves the free list is live.
+	a.Recycle(j)
+	rec2 := swf.Job{JobNumber: 8, SubmitTime: 20, RunTime: 5, RequestedTime: 9, RequestedProcs: 2, UserID: 4}
+	j2 := a.New(&rec2)
+	if j2 != j {
+		t.Fatal("New did not reuse the recycled slot")
+	}
+	if j2.ID != 8 || j2.Procs != 2 || j2.Record.JobNumber != 8 {
+		t.Fatalf("recycled slot not reinitialized: %+v", j2)
+	}
+}
+
+func TestArenaSteadyStateAllocatesNothing(t *testing.T) {
+	var a Arena
+	rec := swf.Job{JobNumber: 1, SubmitTime: 1, RunTime: 1, RequestedTime: 1, RequestedProcs: 1}
+	// Warm up one chunk.
+	warm := make([]*Job, arenaChunk)
+	for i := range warm {
+		rec.JobNumber = int64(i)
+		warm[i] = a.New(&rec)
+	}
+	for _, j := range warm {
+		a.Recycle(j)
+	}
+	if got := testing.AllocsPerRun(10, func() {
+		for i := 0; i < arenaChunk; i++ {
+			rec.JobNumber = int64(i)
+			a.Recycle(a.New(&rec))
+		}
+	}); got != 0 {
+		t.Fatalf("steady-state New/Recycle allocated %v times per run", got)
+	}
+}
+
+func TestArenaGrowsByChunks(t *testing.T) {
+	var a Arena
+	rec := swf.Job{JobNumber: 1, RequestedProcs: 1, RunTime: 1, RequestedTime: 1}
+	seen := make(map[*Job]bool, 3*arenaChunk)
+	for i := 0; i < 3*arenaChunk; i++ {
+		rec.JobNumber = int64(i)
+		j := a.New(&rec)
+		if seen[j] {
+			t.Fatalf("New handed out slot %p twice without a Recycle", j)
+		}
+		seen[j] = true
+	}
+}

@@ -59,7 +59,16 @@ type Job struct {
 
 // FromSWF builds the runtime job from an SWF record.
 func FromSWF(r *swf.Job) *Job {
-	return &Job{
+	j := new(Job)
+	FromSWFInto(j, r)
+	return j
+}
+
+// FromSWFInto initializes dst in place from an SWF record, overwriting
+// every field. It is the allocation-free core of FromSWF, used by slab
+// and arena allocation (see Arena and the sim drivers).
+func FromSWFInto(dst *Job, r *swf.Job) {
+	*dst = Job{
 		ID:      r.JobNumber,
 		User:    r.UserID,
 		Procs:   r.Procs(),

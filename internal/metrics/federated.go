@@ -5,34 +5,56 @@ import (
 	"repro/internal/sim"
 )
 
-// Federated is the sink of a federated run: one global Collector over
-// every finished job plus one Collector per cluster, split by the
-// destination the router stamped on each job. Global figures therefore
-// aggregate the whole platform while the per-cluster collectors expose
-// the load imbalance a routing policy produced.
+// Federated is the sink of a federated run: one Collector per cluster,
+// split by the destination the router stamped on each job, plus a
+// merged global view over the whole platform. Observations touch only
+// the destination cluster's collector, which makes the sink shard-safe:
+// the parallel federated driver hands each cluster's collector to the
+// goroutine that owns that cluster (via ClusterObserver) and no two
+// goroutines ever write the same accumulator. The global figures are
+// assembled on demand by merging the per-cluster collectors in platform
+// order — a deterministic fold, so the sequential and sharded drivers
+// produce bit-identical global metrics.
 type Federated struct {
-	// Global observes every finished job.
-	Global *Collector
 	// Clusters holds one collector per cluster, in platform order.
 	Clusters []*Collector
 }
 
 // NewFederated returns an empty federated sink for n clusters.
 func NewFederated(n int) *Federated {
-	f := &Federated{Global: NewCollector(), Clusters: make([]*Collector, n)}
+	f := &Federated{Clusters: make([]*Collector, n)}
 	for i := range f.Clusters {
 		f.Clusters[i] = NewCollector()
 	}
 	return f
 }
 
-// Observe implements sim.JobSink.
+// Observe implements sim.JobSink. Jobs whose cluster stamp falls outside
+// the platform (which a correct run never produces) are dropped.
 func (f *Federated) Observe(j *job.Job) {
-	f.Global.Observe(j)
 	if j.Cluster >= 0 && j.Cluster < len(f.Clusters) {
 		f.Clusters[j.Cluster].Observe(j)
 	}
 }
 
-// statically assert the sink contract.
-var _ sim.JobSink = (*Federated)(nil)
+// ClusterObserver implements sim.ClusterSink: it exposes the one
+// collector the given cluster's shard may observe into.
+func (f *Federated) ClusterObserver(cluster int) any { return f.Clusters[cluster] }
+
+// Global merges the per-cluster collectors, in platform order, into a
+// fresh platform-wide collector. The fold order is fixed, so the result
+// is deterministic and independent of which driver (sequential or
+// sharded) filled the per-cluster collectors.
+func (f *Federated) Global() *Collector {
+	g := NewCollector()
+	for _, c := range f.Clusters {
+		g.Merge(c)
+	}
+	return g
+}
+
+// statically assert the sink contracts.
+var (
+	_ sim.JobSink     = (*Federated)(nil)
+	_ sim.ClusterSink = (*Federated)(nil)
+)

@@ -57,6 +57,27 @@ func (c *Collector) Observe(j *job.Job) {
 	c.wait.Add(float64(w))
 }
 
+// Merge folds another collector into c: integer counters and work sums
+// add, MaxBsld takes the maximum, float accumulators add in call order,
+// and the quantile sketches merge weight-preservingly (stats.Sketch's
+// Merge). Merging the same collectors in the same order is fully
+// deterministic, which is how a federated sink assembles its global view
+// from per-cluster collectors with bit-identical results on the
+// sequential and sharded drivers. o is left untouched.
+func (c *Collector) Merge(o *Collector) {
+	c.finished += o.finished
+	c.sumBsld += o.sumBsld
+	if o.maxBsld > c.maxBsld {
+		c.maxBsld = o.maxBsld
+	}
+	c.sumWait += o.sumWait
+	c.work += o.work
+	c.sumAbs += o.sumAbs
+	c.sumELoss += o.sumELoss
+	c.bsld.Merge(o.bsld)
+	c.wait.Merge(o.wait)
+}
+
 // Finished returns how many jobs were observed.
 func (c *Collector) Finished() int { return c.finished }
 

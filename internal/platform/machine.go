@@ -18,9 +18,10 @@
 package platform
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/job"
 )
@@ -32,6 +33,11 @@ type Machine struct {
 	free         int64              // processors in service and idle
 	pendingDrain int64              // drained-but-busy processors, absorbed as jobs finish
 	running      map[int64]*job.Job // keyed by job ID
+
+	// relScratch backs predictedReleases: the release list is rebuilt on
+	// every availability query (the EASY hot path), so it reuses one
+	// buffer instead of allocating per call. Callers must not retain it.
+	relScratch []release
 }
 
 // New creates a machine with the given processor count, fully in service.
@@ -152,13 +158,16 @@ func (m *Machine) Restore(procs int64) (restored int64) {
 	return restored
 }
 
-// Running returns the running jobs in deterministic (ID) order.
+// Running returns the running jobs in deterministic (ID) order. It
+// allocates a fresh slice per call and is meant for cold paths (policy
+// resyncs, tests); the availability hot paths go through
+// predictedReleases, which reuses a scratch buffer instead.
 func (m *Machine) Running() []*job.Job {
 	jobs := make([]*job.Job, 0, len(m.running))
 	for _, j := range m.running {
 		jobs = append(jobs, j)
 	}
-	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
+	slices.SortFunc(jobs, func(a, b *job.Job) int { return cmp.Compare(a.ID, b.ID) })
 	return jobs
 }
 
@@ -188,19 +197,71 @@ type release struct {
 
 // predictedReleases returns the running jobs' releases in deterministic
 // (instant, ID) order — the order a pending drain is predicted to absorb
-// them in.
+// them in. The returned slice aliases the machine's scratch buffer: it
+// is valid until the next call and must not be retained. Map iteration
+// order does not leak into the result because (instant, ID) is a total
+// order over the running set (IDs are unique), so the sort lands on one
+// canonical permutation regardless of insertion order.
 func (m *Machine) predictedReleases(now int64) []release {
-	releases := make([]release, 0, len(m.running))
-	for _, j := range m.Running() {
+	releases := m.relScratch[:0]
+	for _, j := range m.running {
 		releases = append(releases, release{at: ReleaseInstant(j, now), procs: j.Procs, id: j.ID})
 	}
-	sort.Slice(releases, func(a, b int) bool {
-		if releases[a].at != releases[b].at {
-			return releases[a].at < releases[b].at
+	slices.SortFunc(releases, func(a, b release) int {
+		if a.at != b.at {
+			return cmp.Compare(a.at, b.at)
 		}
-		return releases[a].id < releases[b].id
+		return cmp.Compare(a.id, b.id)
 	})
+	m.relScratch = releases
 	return releases
+}
+
+// releaseBefore is the (instant, ID) total order predictedReleases sorts
+// by and the release heap pops in.
+func releaseBefore(a, b release) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.id < b.id
+}
+
+// heapifyReleases turns the scratch buffer into a binary min-heap under
+// releaseBefore in O(n).
+func heapifyReleases(h []release) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDownRelease(h, i)
+	}
+}
+
+func siftDownRelease(h []release, i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && releaseBefore(h[right], h[left]) {
+			smallest = right
+		}
+		if !releaseBefore(h[smallest], h[i]) {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// popRelease removes the heap minimum, returning the shrunk heap.
+func popRelease(h []release) []release {
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	if last > 0 {
+		siftDownRelease(h, 0)
+	}
+	return h
 }
 
 // Reservation computes EASY's single reservation for a job of width
@@ -213,6 +274,14 @@ func (m *Machine) predictedReleases(now int64) []release {
 // so their processors never rejoin the pool. A job wider than the
 // eventual capacity gets (InfiniteTime, 0): it cannot start until a
 // restore grows the machine.
+//
+// This is EASY's per-event hot path, so the releases are consumed
+// through a partial heap sort instead of a full sort: heapify is O(R)
+// and the loop pops only until availability covers the request —
+// typically far fewer than R pops — where a full sort would pay
+// O(R log R) every event. The pop order is the same (instant, ID) total
+// order predictedReleases uses, so the computed reservation is
+// bit-identical to the sorted scan's.
 func (m *Machine) Reservation(now int64, procs int64) (shadow int64, extra int64) {
 	if procs <= m.free {
 		return now, m.free - procs
@@ -220,13 +289,20 @@ func (m *Machine) Reservation(now int64, procs int64) (shadow int64, extra int64
 	if procs > m.EventualCapacity() {
 		return InfiniteTime, 0
 	}
-	releases := m.predictedReleases(now)
+	releases := m.relScratch[:0]
+	for _, j := range m.running {
+		releases = append(releases, release{at: ReleaseInstant(j, now), procs: j.Procs, id: j.ID})
+	}
+	m.relScratch = releases
+	heapifyReleases(releases)
 	avail := m.free
 	pending := m.pendingDrain
-	for i := 0; i < len(releases); {
-		t := releases[i].at
-		for i < len(releases) && releases[i].at == t {
-			gain := releases[i].procs
+	h := releases
+	for len(h) > 0 {
+		t := h[0].at
+		for len(h) > 0 && h[0].at == t {
+			gain := h[0].procs
+			h = popRelease(h)
 			if pending > 0 {
 				take := pending
 				if take > gain {
@@ -236,7 +312,6 @@ func (m *Machine) Reservation(now int64, procs int64) (shadow int64, extra int64
 				gain -= take
 			}
 			avail += gain
-			i++
 		}
 		if avail >= procs {
 			return t, avail - procs

@@ -106,13 +106,17 @@ func (*UserAverage) OnSubmit(*job.Job, int64) {}
 // OnStart implements Predictor.
 func (*UserAverage) OnStart(*job.Job, int64) {}
 
-// OnFinish implements Predictor.
+// OnFinish implements Predictor. The newest runtime is shifted into the
+// user's window in place: once a user's window reaches k entries it is
+// never reallocated, so the learning hot path stops allocating entirely
+// (this is the predictor update inside every job completion).
 func (p *UserAverage) OnFinish(j *job.Job, _ int64) {
 	h := p.history[j.User]
-	h = append([]int64{j.Runtime}, h...)
-	if len(h) > p.k {
-		h = h[:p.k]
+	if len(h) < p.k {
+		h = append(h, 0)
 	}
+	copy(h[1:], h)
+	h[0] = j.Runtime
 	p.history[j.User] = h
 }
 

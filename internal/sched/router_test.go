@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/platform"
+)
+
+// routerState builds a ClusterState over a fresh machine of the given
+// size with busy processors occupied by one synthetic running job.
+func routerState(t *testing.T, name string, id, size, busy int64, queueLen int) ClusterState {
+	t.Helper()
+	m := platform.New(size)
+	if busy > 0 {
+		m.Start(&job.Job{ID: id, Procs: busy})
+	}
+	return ClusterState{Name: name, Machine: m, QueueLen: queueLen}
+}
+
+func TestNewRouterVocabulary(t *testing.T) {
+	for _, name := range []string{"round-robin", "least-loaded", "queue-depth", "spillover"} {
+		r, err := NewRouter(name)
+		if err != nil {
+			t.Fatalf("NewRouter(%q): %v", name, err)
+		}
+		if r.Name() != name {
+			t.Fatalf("NewRouter(%q).Name() = %q", name, r.Name())
+		}
+	}
+	if _, err := NewRouter("random"); err == nil {
+		t.Fatal("NewRouter accepted an unknown policy")
+	}
+}
+
+func TestEligibleFallsBackToNominalFit(t *testing.T) {
+	small := routerState(t, "small", 1, 8, 0, 0)
+	big := routerState(t, "big", 2, 64, 0, 0)
+	j := &job.Job{ID: 10, Procs: 16}
+
+	got := Eligible(nil, j, []ClusterState{small, big})
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("eligible = %v, want [1] (only the 64-wide cluster fits 16 procs)", got)
+	}
+
+	// Drain the fitting cluster below the job's width: eligibility must
+	// fall back to nominal fit so the job can wait for a restore.
+	big.Machine.Drain(60)
+	got = Eligible(got, j, []ClusterState{small, big})
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("eligible after drain = %v, want [1] (nominal-size fallback)", got)
+	}
+
+	// A job wider than every nominal size has no candidates at all.
+	wide := &job.Job{ID: 11, Procs: 1000}
+	if got = Eligible(got, wide, []ClusterState{small, big}); len(got) != 0 {
+		t.Fatalf("eligible for an unroutable job = %v, want empty", got)
+	}
+}
+
+func TestRoundRobinRotatesOverEligible(t *testing.T) {
+	clusters := []ClusterState{
+		routerState(t, "a", 1, 32, 0, 0),
+		routerState(t, "b", 2, 8, 0, 0),
+		routerState(t, "c", 3, 32, 0, 0),
+	}
+	r := &RoundRobin{}
+	narrow := &job.Job{ID: 20, Procs: 1}
+	wide := &job.Job{ID: 21, Procs: 16}
+
+	if got := r.Route(narrow, 0, clusters); got != 0 {
+		t.Fatalf("first narrow route = %d, want 0", got)
+	}
+	if got := r.Route(narrow, 0, clusters); got != 1 {
+		t.Fatalf("second narrow route = %d, want 1", got)
+	}
+	// The wide job's candidate set is {0, 2}; the rotation counter is at
+	// 2, so it lands on the counter-mod-candidates pick, cluster 0 — the
+	// rotation continues over whatever is currently eligible.
+	if got := r.Route(wide, 0, clusters); got != 0 {
+		t.Fatalf("wide route = %d, want 0", got)
+	}
+	if got := r.Route(wide, 0, []ClusterState{routerState(t, "tiny", 4, 2, 0, 0)}); got != -1 {
+		t.Fatalf("route with no candidates = %d, want -1", got)
+	}
+}
+
+func TestLeastLoadedPicksLowestBusyFraction(t *testing.T) {
+	clusters := []ClusterState{
+		routerState(t, "busy", 1, 32, 24, 0), // 75% busy
+		routerState(t, "idle", 2, 32, 8, 0),  // 25% busy
+		routerState(t, "mid", 3, 32, 16, 0),  // 50% busy
+	}
+	l := &LeastLoaded{}
+	if got := l.Route(&job.Job{ID: 30, Procs: 4}, 0, clusters); got != 1 {
+		t.Fatalf("least-loaded route = %d, want 1", got)
+	}
+
+	// A fully drained cluster counts as fully busy, not division-by-zero
+	// attractive.
+	drained := routerState(t, "drained", 4, 16, 0, 0)
+	drained.Machine.Drain(16)
+	if f := busyFraction(drained.Machine); f != 1 {
+		t.Fatalf("busyFraction of a fully drained machine = %v, want 1", f)
+	}
+}
+
+func TestQueueDepthNormalizesAndBreaksTies(t *testing.T) {
+	big := routerState(t, "big", 1, 64, 0, 4)    // backlog 4/64
+	small := routerState(t, "small", 2, 8, 0, 1) // backlog 1/8 — worse
+	q := &QueueDepth{}
+	if got := q.Route(&job.Job{ID: 40, Procs: 2}, 0, []ClusterState{small, big}); got != 1 {
+		t.Fatalf("queue-depth route = %d, want 1 (deep queue on a big cluster beats shallow on a small one)", got)
+	}
+
+	// Equal scores: the tie breaks toward more free processors.
+	freer := routerState(t, "freer", 3, 16, 2, 1)
+	tighter := routerState(t, "tighter", 4, 16, 10, 1)
+	if got := q.Route(&job.Job{ID: 41, Procs: 2}, 0, []ClusterState{tighter, freer}); got != 1 {
+		t.Fatalf("queue-depth tie-break = %d, want 1 (more free processors)", got)
+	}
+}
+
+func TestSpilloverPrefersImmediateStart(t *testing.T) {
+	full := routerState(t, "full", 1, 16, 16, 0)
+	open := routerState(t, "open", 2, 16, 4, 0)
+	s := &Spillover{}
+	if got := s.Route(&job.Job{ID: 50, Procs: 8}, 0, []ClusterState{full, open}); got != 1 {
+		t.Fatalf("spillover route = %d, want 1 (first cluster with free procs)", got)
+	}
+	// Everything saturated: fall back to the first eligible cluster.
+	busy := routerState(t, "busy", 3, 16, 12, 0)
+	if got := s.Route(&job.Job{ID: 51, Procs: 8}, 0, []ClusterState{full, busy}); got != 0 {
+		t.Fatalf("saturated spillover route = %d, want 0", got)
+	}
+}

@@ -24,9 +24,25 @@
 // decision; Pick detects a machine swap and desynchronized queues and
 // falls back to a full rebuild, but it cannot detect arbitrary external
 // mutation of a queue it has already indexed.
+//
+// # Determinism invariants
+//
+// Every Pick decision is a pure function of (instant, machine state,
+// queue order) — no map iteration, randomness or wall clock — and every
+// ordering a policy maintains breaks ties on the unique job ID (the
+// SJBF index orders by (prediction, submit, ID); the machine's release
+// order by (instant, ID)), so "equal" jobs cannot reorder between runs.
+// Routers (router.go) extend the same contract to the federated layer:
+// Route is a pure function of the job and the per-cluster states, and
+// the engine consults it exactly once per job in trace submission
+// order. The parallel sharded driver preserves that sequencing — the
+// router remains a global serialization point even when every cluster
+// runs on its own goroutine — which is what makes sharded runs
+// byte-identical to sequential ones (see the sim package comment).
 package sched
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/job"
@@ -180,7 +196,15 @@ func (e *EASY) reset(m *platform.Machine) {
 
 func (e *EASY) rebuildIndex(queue []*job.Job) {
 	e.index = append(e.index[:0], queue...)
-	sort.Slice(e.index, func(a, b int) bool { return predLess(e.index[a], e.index[b]) })
+	slices.SortFunc(e.index, func(a, b *job.Job) int {
+		if predLess(a, b) {
+			return -1
+		}
+		if predLess(b, a) {
+			return 1
+		}
+		return 0
+	})
 	e.indexOK = true
 }
 
@@ -197,7 +221,9 @@ func (e *EASY) Pick(now int64, m *platform.Machine, queue []*job.Job) *job.Job {
 	if head.Procs <= free {
 		return head
 	}
-	if len(queue) == 1 {
+	if len(queue) == 1 || free == 0 {
+		// Every job needs at least one processor, so nothing can
+		// backfill into an empty pool; skip the reservation entirely.
 		return nil
 	}
 	if !e.resOK || e.resNow != now || e.resHead != head.ID {
@@ -205,17 +231,41 @@ func (e *EASY) Pick(now int64, m *platform.Machine, queue []*job.Job) *job.Job {
 		e.resNow, e.resHead, e.resOK = now, head.ID, true
 	}
 	shadow, extra := e.resShadow, e.resExtra
-	var candidates []*job.Job
 	if e.Backfill == SJBFOrder {
 		if !e.indexOK || len(e.index) != len(queue) {
 			e.rebuildIndex(queue)
 		}
-		candidates = e.index
-	} else {
-		candidates = queue[1:]
+		// The index is sorted by prediction (predLess), so the jobs
+		// predicted to complete by the shadow time form a prefix whose
+		// end a binary search finds; within it any job narrow enough to
+		// fit backfills. Past the prefix, only jobs narrow enough to fit
+		// inside the extra processors qualify — and when there are none,
+		// the whole suffix scan vanishes. The split preserves the exact
+		// first-match-in-index-order semantics of the single scan: every
+		// prefix position precedes every suffix position, and the
+		// admission test is equivalent on each side of the cutoff.
+		cutoff := shadow - now
+		k := sort.Search(len(e.index), func(i int) bool { return e.index[i].Prediction > cutoff })
+		for _, c := range e.index[:k] {
+			if c != head && c.Procs <= free {
+				return c
+			}
+		}
+		lim := extra
+		if free < lim {
+			lim = free
+		}
+		if lim > 0 {
+			for _, c := range e.index[k:] {
+				if c != head && c.Procs <= lim {
+					return c
+				}
+			}
+		}
+		return nil
 	}
-	for _, c := range candidates {
-		if c == head || c.Procs > free {
+	for _, c := range queue[1:] {
+		if c.Procs > free {
 			continue
 		}
 		if now+c.Prediction <= shadow || c.Procs <= extra {

@@ -83,6 +83,14 @@ type engine struct {
 	// targets is non-nil only on streaming runs with a cancellation
 	// script; see cancelTarget.
 	targets map[int64]*cancelTarget
+	// arena, when non-nil (streaming runs), recycles a job's slot after
+	// its natural completion retires it. Only the Finish path recycles:
+	// a killed job may still have its original Finish event (and stale
+	// expiries) queued, so its slot must stay untouched until the run
+	// ends. A naturally finished job has no queued events left — every
+	// expiry instant is strictly before the completion instant — and by
+	// the JobSink contract no observer retains the pointer.
+	arena *job.Arena
 
 	// Flight-recorder state (trace.go). tracer and prof are nil on
 	// unobserved runs; timed caches whether either is live so the hot
@@ -92,6 +100,22 @@ type engine struct {
 	timed   bool
 	eligIdx []int
 	elig    []string
+
+	// onPush, when non-nil, observes every cluster-local event (Finish,
+	// Expiry) the engine schedules. The traced sharded driver uses it to
+	// record push parentage for the deterministic trace replay
+	// (parallel.go); every other run leaves it nil.
+	onPush func(t int64, k eventq.Kind)
+}
+
+// push schedules a cluster-local event, notifying the push observer on
+// instrumented sharded runs. Every Finish/Expiry push goes through
+// here; the global kinds are pushed by the drivers directly.
+func (e *engine) push(t int64, k eventq.Kind, p payload) {
+	e.q.Push(t, k, p)
+	if e.onPush != nil {
+		e.onPush(t, k)
+	}
 }
 
 // scaleTime converts a reference-speed duration to a cluster running at
@@ -166,9 +190,9 @@ func (e *engine) startJob(c *clusterState, j *job.Job, now int64) {
 	if e.tracer != nil {
 		e.traceStart(c, j, now)
 	}
-	e.q.Push(now+j.Runtime, eventq.Finish, payload{j: j})
+	e.push(now+j.Runtime, eventq.Finish, payload{j: j})
 	if j.Prediction < j.Runtime {
-		e.q.Push(now+j.Prediction, eventq.Expiry, payload{j: j})
+		e.push(now+j.Prediction, eventq.Expiry, payload{j: j})
 	}
 }
 
@@ -300,6 +324,9 @@ func (e *engine) handle(ev eventq.Event[payload]) {
 			c.policy.OnCapacityChange(now, c.machine)
 		}
 		e.retire(c, j)
+		if e.arena != nil {
+			e.arena.Recycle(j)
+		}
 	case eventq.Cancel:
 		var runPass bool
 		c, runPass = e.handleCancel(ev.Payload, now)
@@ -363,7 +390,7 @@ func (e *engine) handle(ev eventq.Event[payload]) {
 			e.traceCorrect(c, j, now)
 		}
 		if j.PredictedEnd() < j.Start+j.Runtime {
-			e.q.Push(j.PredictedEnd(), eventq.Expiry, payload{j: j})
+			e.push(j.PredictedEnd(), eventq.Expiry, payload{j: j})
 		}
 	}
 	if c.sub != nil {

@@ -50,6 +50,32 @@ type FederatedConfig struct {
 	// per-cluster session Configs must leave them unset.
 	Tracer  obs.Tracer
 	Profile bool
+	// Shards selects the parallel sharded driver for RunFederatedStream:
+	// 0 (the default) runs the classic sequential event loop; N >= 1
+	// spreads the clusters over min(N, len(Clusters)) worker goroutines,
+	// each running its own event loop, with the router acting as the
+	// sequencing boundary (see parallel.go). The parallel path produces
+	// byte-identical Results and per-cluster observation sequences for
+	// every shard count; Shards == 1 additionally reproduces the
+	// sequential driver's global trace and sink order byte for byte.
+	// With Shards >= 2 a non-nil Sink must implement ClusterSink, and
+	// Profile is unsupported (stage timings of concurrent loops would
+	// not be comparable). RunFederated ignores Shards.
+	Shards int
+}
+
+// ClusterSink is the shard-safe flavor of JobSink a parallel federated
+// run needs when more than one worker retires jobs concurrently:
+// instead of one global observer, the sink hands out one independent
+// observer per cluster, and each worker feeds only the observers of the
+// clusters it owns. ClusterObserver's result must implement JobSink
+// (checked at setup); it is called once per cluster before the run
+// starts. metrics.Federated is the canonical implementation.
+type ClusterSink interface {
+	JobSink
+	// ClusterObserver returns the observer for one cluster (platform
+	// order index). The returned value must implement JobSink.
+	ClusterObserver(cluster int) any
 }
 
 // setup validates the config and builds the N-cluster engine. maxTotal
@@ -194,15 +220,18 @@ func RunFederated(w *trace.Workload, fed FederatedConfig) (*Result, error) {
 	}
 	res.Workload = w.Name
 
+	slab := make([]job.Job, len(w.Jobs))
 	jobs := make([]*job.Job, len(w.Jobs))
 	byID := make(map[int64]*job.Job, len(w.Jobs))
 	res.Jobs = jobs
+	e.q.Reserve(len(w.Jobs) + 64)
 	for i := range w.Jobs {
 		r := &w.Jobs[i]
 		if r.Procs() > maxTotal {
 			return nil, fmt.Errorf("sim: job %d wider (%d) than every cluster (widest %d)", r.JobNumber, r.Procs(), maxTotal)
 		}
-		j := job.FromSWF(r)
+		j := &slab[i]
+		job.FromSWFInto(j, r)
 		jobs[i] = j
 		byID[j.ID] = j
 		e.q.Push(j.Submit, eventq.Submit, payload{j: j})
@@ -239,6 +268,9 @@ func RunFederated(w *trace.Workload, fed FederatedConfig) (*Result, error) {
 // the clusters. A one-cluster unit-speed federation reproduces
 // RunStream byte for byte.
 func RunFederatedStream(name string, src workload.Source, fed FederatedConfig) (*Result, error) {
+	if fed.Shards != 0 {
+		return runFederatedStreamSharded(name, src, fed)
+	}
 	wallStart := time.Now()
 	e, res, maxTotal, err := fed.setup()
 	if err != nil {
@@ -249,6 +281,7 @@ func RunFederatedStream(name string, src workload.Source, fed FederatedConfig) (
 	}
 	res.Workload = name
 	res.Streamed = true
+	e.arena = new(job.Arena)
 	if err := e.pushScript(fed.Script, nil); err != nil {
 		return nil, err
 	}
@@ -262,8 +295,7 @@ func RunFederatedStream(name string, src workload.Source, fed FederatedConfig) (
 			return fmt.Errorf("sim: stream %q not submit-ordered: job %d at %d after %d", name, rec.JobNumber, rec.SubmitTime, lastSubmit)
 		}
 		lastSubmit = rec.SubmitTime
-		r := rec // escapes with the job; collected when the job retires
-		j := job.FromSWF(&r)
+		j := e.arena.New(&rec)
 		if tgt := e.target(j.ID); tgt != nil {
 			if tgt.bound {
 				return fmt.Errorf("sim: stream %q: duplicate job id %d targeted by a cancellation", name, j.ID)

@@ -289,8 +289,8 @@ func TestFederatedMultiClusterValid(t *testing.T) {
 				}
 				total += c.Finished()
 			}
-			if total != col.Global.Finished() {
-				t.Fatalf("%s: cluster sinks saw %d jobs, global saw %d", label, total, col.Global.Finished())
+			if total != col.Global().Finished() {
+				t.Fatalf("%s: cluster sinks saw %d jobs, global saw %d", label, total, col.Global().Finished())
 			}
 		}
 	}

@@ -1,0 +1,714 @@
+package sim
+
+// This file is the parallel sharded federated streaming driver: the
+// Shards >= 1 path of RunFederatedStream. The design is conservative
+// parallel discrete-event simulation with the router as the single
+// sequencing boundary:
+//
+//   - Each worker goroutine ("shard") owns a disjoint subset of the
+//     clusters (cluster i belongs to shard i mod W) and runs its own
+//     event loop over a shard-local queue. Local queues only ever hold
+//     cluster-local kinds — Finish and Expiry — which never cross
+//     clusters.
+//   - The router goroutine owns the global kinds — Submit, Cancel,
+//     Drain, Restore — in its own queue, pops them in exactly the
+//     deterministic (time, kind, sequence) order the sequential driver
+//     uses, and turns each into a command on the owning shard's FIFO
+//     channel. A command carries its global cutoff key: the shard first
+//     advances its local queue past every event ordered before the
+//     cutoff, then applies the command. Shards never advance
+//     spontaneously, so between commands a shard is quiescent and (after
+//     an ack) its state may be read race-free by the router.
+//   - Before every routing decision the router barriers: shards whose
+//     local horizon might precede the submission's cutoff process their
+//     backlog — concurrently with each other — and ack. The router then
+//     snapshots all cluster views and routes exactly as the sequential
+//     engine would. The ack also reports the shard's next local event
+//     key, so an idle shard with nothing before the next cutoff is not
+//     synced again (the sync-skip that keeps router round trips off the
+//     common path).
+//
+// Determinism: on traced runs every shard records, per event it
+// handles, the trace events it emitted and the keys of the local events
+// its handling pushed. After the run the merge replays the sequential
+// driver's global queue over those records (replayMergedTrace): the
+// router's pops seed the virtual queue in their deterministic order,
+// children enter it exactly when their parent pops, and the queue's own
+// push-sequence tie-break reproduces the sequential same-instant order.
+// The merged stream is therefore byte-identical to the sequential
+// trace — not merely a permutation of it — for every shard count.
+// Result counters are summed (or maxed) over shards and are likewise
+// byte-identical to the sequential driver — the properties
+// parallel_diff_test.go enforces.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/eventq"
+	"repro/internal/job"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/swf"
+	"repro/internal/workload"
+)
+
+// shardCmdKind enumerates the commands a router sends to a shard.
+type shardCmdKind uint8
+
+const (
+	// shardSync advances the shard to the cutoff and acks its horizon.
+	shardSync shardCmdKind = iota
+	// shardSubmit delivers a routed submission (record + destination).
+	shardSubmit
+	// shardCancel delivers a cancellation of a job routed to this shard.
+	shardCancel
+	// shardDrain and shardRestore deliver capacity disruptions.
+	shardDrain
+	shardRestore
+	// shardPass runs a scheduling pass with no state change — the
+	// sequential engine's behavior for cancellations of jobs that were
+	// never routed (the pass runs on cluster 0).
+	shardPass
+	// shardFinish drains the local queue to empty, acks, and exits.
+	shardFinish
+)
+
+// shardCmd is one router->shard message. time/cut form the global
+// ordering key the shard advances to before applying the command.
+type shardCmd struct {
+	kind    shardCmdKind
+	time    int64
+	cut     eventq.Kind
+	rec     swf.Job // shardSubmit: the job record, copied by value
+	cluster int     // destination cluster (submit/drain/restore/pass)
+	procs   int64   // drain/restore width
+	id      int64   // shardCancel: target job ID
+	tracked bool    // shardSubmit: register cancel bookkeeping
+	// trace, when non-nil, is an event the router computed at its
+	// sequencing point (a routing decision, or a cancellation of an
+	// unrouted job) but that must appear in trace order at the shard's
+	// position; the shard emits it before applying the command.
+	trace *obs.Event
+}
+
+// shardAck reports a quiescent shard's next local event key to the
+// router (empty when the local queue is drained). Receiving it is the
+// happens-before edge that lets the router read the shard's clusters.
+type shardAck struct {
+	t     int64
+	k     eventq.Kind
+	empty bool
+}
+
+// childKey is the ordering key of a local event pushed while handling
+// a step — the replay's record of push parentage.
+type childKey struct {
+	t int64
+	k eventq.Kind
+}
+
+// replayStep records everything the trace replay needs about one event
+// a shard handled: the popped event's ordering key (checked against the
+// replay for divergence), the trace events emitted while handling it,
+// and the keys of the local events its handling pushed, in push order.
+type replayStep struct {
+	t        int64
+	k        eventq.Kind
+	events   []obs.Event
+	children []childKey
+}
+
+// rootRec is one router-queue pop, in pop order — the seed of the trace
+// replay. shard is the dispatch target, -1 when the pop had no
+// observable effect (a canceled submission, a stale cancel) and
+// therefore no shard-side step.
+type rootRec struct {
+	t     int64
+	k     eventq.Kind
+	shard int
+}
+
+// stepTracer appends emitted trace events to the shard's current step.
+// Eligible slices are deep-copied because the emitting engine reuses
+// its scratch buffer.
+type stepTracer struct{ sh *shard }
+
+func (t stepTracer) Trace(ev *obs.Event) {
+	cp := *ev
+	if len(cp.Eligible) > 0 {
+		cp.Eligible = append([]string(nil), cp.Eligible...)
+	}
+	st := &t.sh.steps[len(t.sh.steps)-1]
+	st.events = append(st.events, cp)
+}
+
+// clusterSinks dispatches retirements to per-cluster observers — the
+// shard-side face of a ClusterSink.
+type clusterSinks []JobSink
+
+func (s clusterSinks) Observe(j *job.Job) {
+	if o := s[j.Cluster]; o != nil {
+		o.Observe(j)
+	}
+}
+
+// shard is one worker: a private engine (own event queue, arena, cancel
+// bookkeeping and result scratch) over the shared cluster slice, driven
+// by the router's command FIFO. The engine's cluster slice is the
+// run-global one, but a shard only ever touches the clusters it owns.
+type shard struct {
+	eng     engine
+	cmds    chan shardCmd
+	acks    chan shardAck
+	tracing bool         // buffer replay steps (traced runs only)
+	steps   []replayStep // one per handled event, in processing order
+}
+
+// begin opens a replay step for the event about to be handled. No-op on
+// untraced runs.
+func (s *shard) begin(t int64, k eventq.Kind) {
+	if s.tracing {
+		s.steps = append(s.steps, replayStep{t: t, k: k})
+	}
+}
+
+// advance pops and handles every local event strictly ordered before
+// the cutoff key.
+func (s *shard) advance(cutT int64, cutK eventq.Kind) {
+	e := &s.eng
+	for {
+		t, k, ok := e.q.Peek()
+		if !ok || t > cutT || (t == cutT && k >= cutK) {
+			return
+		}
+		ev, _ := e.q.Pop()
+		e.res.Perf.Events++
+		s.begin(ev.Time, ev.Kind)
+		e.handle(ev)
+	}
+}
+
+// submit applies a routed submission: the shard-side half of the
+// sequential engine's Submit case, with the routing decision already
+// made. The ordering of effects mirrors engine.handle/route exactly.
+func (s *shard) submit(cmd *shardCmd) {
+	e := &s.eng
+	now := cmd.time
+	j := e.arena.New(&cmd.rec)
+	c := e.clusters[cmd.cluster]
+	j.Cluster = cmd.cluster
+	if cmd.tracked {
+		if e.targets == nil {
+			e.targets = make(map[int64]*cancelTarget)
+		}
+		e.targets[j.ID] = &cancelTarget{j: j, bound: true}
+	}
+	c.sub.Routed++
+	if e.tracer != nil && cmd.trace != nil {
+		e.tracer.Trace(cmd.trace)
+	}
+	if c.speed != 1 {
+		j.Runtime = scaleTime(j.Runtime, c.speed)
+		j.Request = scaleTime(j.Request, c.speed)
+	}
+	j.Prediction = j.ClampPrediction(c.predictor.Predict(j, now))
+	j.SubmitPrediction = j.Prediction
+	c.predictor.OnSubmit(j, now)
+	c.queue = append(c.queue, j)
+	c.policy.OnSubmit(j, now)
+	if e.tracer != nil {
+		e.traceSubmit(c, j, now)
+	}
+	c.sub.Events++
+	e.schedulePass(c, now)
+}
+
+// run is the shard's goroutine body: apply commands in FIFO order until
+// the channel closes or a shardFinish arrives.
+func (s *shard) run() {
+	e := &s.eng
+	for cmd := range s.cmds {
+		switch cmd.kind {
+		case shardSync:
+			s.advance(cmd.time, cmd.cut)
+			s.ack()
+		case shardSubmit:
+			s.advance(cmd.time, eventq.Submit)
+			s.begin(cmd.time, eventq.Submit)
+			s.submit(&cmd)
+		case shardCancel:
+			s.advance(cmd.time, eventq.Cancel)
+			s.begin(cmd.time, eventq.Cancel)
+			e.handle(eventq.Event[payload]{Time: cmd.time, Kind: eventq.Cancel, Payload: payload{id: cmd.id}})
+		case shardDrain:
+			s.advance(cmd.time, eventq.Drain)
+			s.begin(cmd.time, eventq.Drain)
+			e.handle(eventq.Event[payload]{Time: cmd.time, Kind: eventq.Drain, Payload: payload{procs: cmd.procs, cluster: cmd.cluster}})
+		case shardRestore:
+			s.advance(cmd.time, eventq.Restore)
+			s.begin(cmd.time, eventq.Restore)
+			e.handle(eventq.Event[payload]{Time: cmd.time, Kind: eventq.Restore, Payload: payload{procs: cmd.procs, cluster: cmd.cluster}})
+		case shardPass:
+			s.advance(cmd.time, eventq.Cancel)
+			s.begin(cmd.time, eventq.Cancel)
+			if e.tracer != nil && cmd.trace != nil {
+				e.tracer.Trace(cmd.trace)
+			}
+			c := e.clusters[cmd.cluster]
+			c.sub.Events++
+			e.schedulePass(c, cmd.time)
+		case shardFinish:
+			for {
+				ev, ok := e.q.Pop()
+				if !ok {
+					break
+				}
+				e.res.Perf.Events++
+				s.begin(ev.Time, ev.Kind)
+				e.handle(ev)
+			}
+			s.ack()
+			return
+		}
+	}
+}
+
+// ack reports the shard's post-advance horizon.
+func (s *shard) ack() {
+	t, k, ok := s.eng.q.Peek()
+	s.acks <- shardAck{t: t, k: k, empty: !ok}
+}
+
+// routerTarget is the router-side cancel bookkeeping: one entry per job
+// ID named by a scenario cancellation, mirroring cancelTarget but
+// tracking routing instead of liveness (liveness is the owning shard's
+// business once a job is routed).
+type routerTarget struct {
+	bound    bool // the source delivered the submission
+	routed   bool // the Submit event was popped and dispatched
+	canceled bool
+	cluster  int // destination, valid once routed
+}
+
+// routerEvent is the router queue's payload: the global event kinds and
+// their arguments.
+type routerEvent struct {
+	rec     swf.Job
+	procs   int64
+	id      int64
+	cluster int
+}
+
+// runFederatedStreamSharded is the Shards >= 1 implementation of
+// RunFederatedStream. See the file comment for the design and
+// FederatedConfig.Shards for the contract.
+func runFederatedStreamSharded(name string, src workload.Source, fed FederatedConfig) (*Result, error) {
+	wallStart := time.Now()
+	if fed.Shards < 0 {
+		return nil, fmt.Errorf("sim: stream %q: negative shard count %d", name, fed.Shards)
+	}
+	if fed.Profile {
+		return nil, fmt.Errorf("sim: stream %q: stage profiling requires the sequential driver (Shards = 0)", name)
+	}
+	e, res, maxTotal, err := fed.setup()
+	if err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("sim: stream %q: nil source", name)
+	}
+	res.Workload = name
+	res.Streamed = true
+
+	nw := fed.Shards
+	if nw > len(e.clusters) {
+		nw = len(e.clusters)
+	}
+	var perCluster clusterSinks
+	if fed.Sink != nil && nw > 1 {
+		cs, ok := fed.Sink.(ClusterSink)
+		if !ok {
+			return nil, fmt.Errorf("sim: stream %q: Shards = %d needs a ClusterSink (got %T); use Shards <= 1 or a sharded sink like metrics.Federated", name, fed.Shards, fed.Sink)
+		}
+		perCluster = make(clusterSinks, len(e.clusters))
+		for i := range e.clusters {
+			o, ok := cs.ClusterObserver(i).(JobSink)
+			if !ok {
+				return nil, fmt.Errorf("sim: stream %q: ClusterObserver(%d) of %T does not implement JobSink", name, i, fed.Sink)
+			}
+			perCluster[i] = o
+		}
+	}
+
+	// The router queue holds the global event kinds. Scenario events are
+	// seeded up front exactly like the sequential drivers, so same-kind
+	// same-instant ties keep script order.
+	var rq eventq.Queue[routerEvent]
+	rtargets := make(map[int64]*routerTarget)
+	if !fed.Script.Empty() {
+		res.Scenario = fed.Script.Name
+		for _, ev := range fed.Script.Events {
+			switch {
+			case ev.Time < 0:
+				return nil, fmt.Errorf("sim: scenario event at negative instant %d", ev.Time)
+			case ev.Action == scenario.Drain && ev.Procs > 0:
+				ci, err := e.clusterIndex(ev.Cluster)
+				if err != nil {
+					return nil, err
+				}
+				rq.Push(ev.Time, eventq.Drain, routerEvent{procs: ev.Procs, cluster: ci})
+			case ev.Action == scenario.Restore && ev.Procs > 0:
+				ci, err := e.clusterIndex(ev.Cluster)
+				if err != nil {
+					return nil, err
+				}
+				rq.Push(ev.Time, eventq.Restore, routerEvent{procs: ev.Procs, cluster: ci})
+			case ev.Action == scenario.Cancel:
+				if rtargets[ev.JobID] == nil {
+					rtargets[ev.JobID] = &routerTarget{}
+				}
+				rq.Push(ev.Time, eventq.Cancel, routerEvent{id: ev.JobID})
+			default:
+				return nil, fmt.Errorf("sim: scenario %s event with %d processors", ev.Action, ev.Procs)
+			}
+		}
+	}
+
+	// Spawn the workers. Each shard's engine shares the cluster slice
+	// (global indices) but owns a disjoint subset of it, plus its own
+	// queue, arena, cancel map and counter scratch.
+	shards := make([]*shard, nw)
+	var wg sync.WaitGroup
+	for i := range shards {
+		sh := &shard{
+			cmds: make(chan shardCmd, 256),
+			acks: make(chan shardAck, 1),
+		}
+		sh.eng = engine{
+			corrector: e.corrector,
+			clusters:  e.clusters,
+			res:       &Result{},
+			arena:     new(job.Arena),
+		}
+		sh.eng.q.Reserve(256)
+		if fed.Sink != nil {
+			if nw == 1 {
+				sh.eng.sink = fed.Sink
+			} else {
+				sh.eng.sink = perCluster
+			}
+		}
+		if fed.Tracer != nil {
+			sh.tracing = true
+			sh.eng.instrument(stepTracer{sh}, false)
+			sh.eng.onPush = func(t int64, k eventq.Kind) {
+				st := &sh.steps[len(sh.steps)-1]
+				st.children = append(st.children, childKey{t: t, k: k})
+			}
+		}
+		shards[i] = sh
+	}
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.run()
+		}(sh)
+	}
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		for _, sh := range shards {
+			close(sh.cmds)
+		}
+		wg.Wait()
+	}
+	defer stop()
+
+	// Router-side dispatch and barrier state. synced/horizon implement
+	// the sync-skip: a shard that acked since its last command and whose
+	// next local event is not before the cutoff has nothing to do and is
+	// not synced again.
+	synced := make([]bool, nw)
+	horizon := make([]shardAck, nw)
+	waiting := make([]bool, nw)
+	send := func(si int, cmd shardCmd) {
+		synced[si] = false
+		shards[si].cmds <- cmd
+	}
+
+	// roots logs every router-queue pop in pop order (traced runs only):
+	// the seed of the trace replay.
+	var roots []rootRec
+	traced := fed.Tracer != nil
+	dispatched := func(si int) {
+		if traced {
+			roots[len(roots)-1].shard = si
+		}
+	}
+	horizonBefore := func(h shardAck, t int64, k eventq.Kind) bool {
+		if h.empty {
+			return false
+		}
+		return h.t < t || (h.t == t && h.k < k)
+	}
+	barrier := func(t int64, k eventq.Kind) {
+		for i := range shards {
+			waiting[i] = false
+			if synced[i] && !horizonBefore(horizon[i], t, k) {
+				continue
+			}
+			send(i, shardCmd{kind: shardSync, time: t, cut: k})
+			waiting[i] = true
+		}
+		for i := range shards {
+			if !waiting[i] {
+				continue
+			}
+			horizon[i] = <-shards[i].acks
+			synced[i] = true
+		}
+	}
+
+	lastSubmit := int64(-1 << 62)
+	admit := func(rec swf.Job) error {
+		if rec.Procs() > maxTotal {
+			return fmt.Errorf("sim: job %d wider (%d) than every cluster (widest %d)", rec.JobNumber, rec.Procs(), maxTotal)
+		}
+		if rec.SubmitTime < lastSubmit {
+			return fmt.Errorf("sim: stream %q not submit-ordered: job %d at %d after %d", name, rec.JobNumber, rec.SubmitTime, lastSubmit)
+		}
+		lastSubmit = rec.SubmitTime
+		if tgt := rtargets[rec.JobNumber]; tgt != nil {
+			if tgt.bound {
+				return fmt.Errorf("sim: stream %q: duplicate job id %d targeted by a cancellation", name, rec.JobNumber)
+			}
+			tgt.bound = true
+			if tgt.canceled {
+				// Canceled before submission: counted now, dropped when
+				// its Submit event pops — the sequential semantics.
+				res.Canceled++
+			}
+		}
+		rq.Push(rec.SubmitTime, eventq.Submit, routerEvent{rec: rec})
+		return nil
+	}
+
+	var pending swf.Job
+	havePending, exhausted := false, false
+	for {
+		// Top up arrivals against the router queue's clock. Local
+		// finish/expiry events never order submissions among themselves,
+		// so pacing against the global kinds alone preserves the
+		// sequential push (and therefore tie-break) order.
+		for !exhausted {
+			if !havePending {
+				rec, err := src.NextJob()
+				if err == io.EOF {
+					exhausted = true
+					break
+				}
+				if err != nil {
+					return nil, fmt.Errorf("sim: stream %q: %w", name, err)
+				}
+				pending, havePending = rec, true
+			}
+			if t, ok := rq.PeekTime(); ok && pending.SubmitTime > t {
+				break
+			}
+			if err := admit(pending); err != nil {
+				return nil, err
+			}
+			havePending = false
+		}
+
+		ev, ok := rq.Pop()
+		if !ok {
+			break
+		}
+		res.Perf.Events++
+		now := ev.Time
+		if traced {
+			roots = append(roots, rootRec{t: now, k: ev.Kind, shard: -1})
+		}
+		switch ev.Kind {
+		case eventq.Submit:
+			rec := ev.Payload.rec
+			tgt := rtargets[rec.JobNumber]
+			if tgt != nil && tgt.canceled {
+				break // canceled before submission: never enters the system
+			}
+			// Sequencing point: every shard state ordered before this
+			// submission must be realized before the router looks.
+			barrier(now, eventq.Submit)
+			var tmp job.Job
+			job.FromSWFInto(&tmp, &rec)
+			for i, cs := range e.clusters {
+				e.views[i] = sched.ClusterState{Name: cs.name, Machine: cs.machine, QueueLen: len(cs.queue)}
+			}
+			pick := e.router.Route(&tmp, now, e.views)
+			if pick < 0 || pick >= len(e.clusters) || e.clusters[pick].machine.Total() < tmp.Procs {
+				panic(fmt.Sprintf("sim: router %s sent job %d (%d procs) to invalid cluster %d",
+					e.router.Name(), tmp.ID, tmp.Procs, pick))
+			}
+			if tgt != nil {
+				tgt.routed, tgt.cluster = true, pick
+			}
+			cmd := shardCmd{kind: shardSubmit, time: now, rec: rec, cluster: pick, tracked: tgt != nil}
+			if fed.Tracer != nil {
+				cmd.trace = e.routeEventFor(&tmp, pick, now)
+			}
+			dispatched(pick % nw)
+			send(pick%nw, cmd)
+		case eventq.Cancel:
+			tgt := rtargets[ev.Payload.id]
+			if tgt.canceled {
+				break // double cancellation: stale, like the sequential path
+			}
+			switch {
+			case tgt.routed:
+				// The owning shard resolves liveness (finished/killed/
+				// queued) with its local state, exactly as handleCancel
+				// does sequentially.
+				dispatched(tgt.cluster % nw)
+				send(tgt.cluster%nw, shardCmd{kind: shardCancel, time: now, id: ev.Payload.id})
+			case tgt.bound:
+				// Admitted but its Submit not yet popped (same-instant
+				// cancellation): drop it before it enters the system and
+				// run the no-op pass on cluster 0, like the sequential
+				// "not yet submitted" branch.
+				tgt.canceled = true
+				res.Canceled++
+				cmd := shardCmd{kind: shardPass, time: now, cluster: 0}
+				if fed.Tracer != nil {
+					cmd.trace = &obs.Event{T: now, Kind: obs.KindCancel, Job: ev.Payload.id}
+				}
+				dispatched(0)
+				send(0, cmd)
+			default:
+				// Not delivered by the source yet (or ever): mark so a
+				// later submission is dropped on arrival.
+				tgt.canceled = true
+				dispatched(0)
+				send(0, shardCmd{kind: shardPass, time: now, cluster: 0})
+			}
+		case eventq.Drain:
+			dispatched(ev.Payload.cluster % nw)
+			send(ev.Payload.cluster%nw, shardCmd{kind: shardDrain, time: now, cluster: ev.Payload.cluster, procs: ev.Payload.procs})
+		case eventq.Restore:
+			dispatched(ev.Payload.cluster % nw)
+			send(ev.Payload.cluster%nw, shardCmd{kind: shardRestore, time: now, cluster: ev.Payload.cluster, procs: ev.Payload.procs})
+		}
+	}
+
+	// Drain every shard to empty, concurrently, then collect the acks —
+	// after which all shard state is quiescent and visible.
+	for i := range shards {
+		send(i, shardCmd{kind: shardFinish})
+	}
+	for i := range shards {
+		<-shards[i].acks
+	}
+	stop()
+
+	if n, first := e.queuedJobs(); n != 0 {
+		return nil, fmt.Errorf("sim: %d jobs never started (first: %d) — did the scenario restore its drains?", n, first.ID)
+	}
+	if n := e.runningJobs(); n != 0 {
+		return nil, fmt.Errorf("sim: %d jobs still running after the event queue drained", n)
+	}
+	for _, sh := range shards {
+		sr := sh.eng.res
+		res.Finished += sr.Finished
+		res.Corrections += sr.Corrections
+		res.Canceled += sr.Canceled
+		res.Perf.Events += sr.Perf.Events
+		res.Perf.PickCalls += sr.Perf.PickCalls
+		if sr.Makespan > res.Makespan {
+			res.Makespan = sr.Makespan
+		}
+	}
+	if fed.Tracer != nil {
+		if err := replayMergedTrace(fed.Tracer, roots, shards); err != nil {
+			return nil, err
+		}
+	}
+	e.finishFederated(wallStart)
+	return res, nil
+}
+
+// replayMergedTrace emits the buffered shard traces in the exact order
+// the sequential driver would have emitted them, by replaying its
+// global event queue: the router's pops seed a virtual queue in their
+// deterministic order, and each popped step's recorded children enter
+// the queue at the moment their parent pops — so the queue's
+// push-sequence tie-break reproduces the sequential same-instant order
+// exactly. The per-shard step logs are consumed sequentially: a shard
+// processes its events in the global order restricted to that shard,
+// which is the same invariant the simulation itself relies on. Any
+// key mismatch or leftover step means that invariant broke, and is
+// reported rather than traced around.
+func replayMergedTrace(tr obs.Tracer, roots []rootRec, shards []*shard) error {
+	var vq eventq.Queue[int]
+	vq.Reserve(len(roots))
+	for _, r := range roots {
+		vq.Push(r.t, r.k, r.shard)
+	}
+	next := make([]int, len(shards))
+	for {
+		ev, ok := vq.Pop()
+		if !ok {
+			break
+		}
+		si := ev.Payload
+		if si < 0 {
+			continue // a root with no observable effect anywhere
+		}
+		sh := shards[si]
+		if next[si] >= len(sh.steps) {
+			return fmt.Errorf("sim: trace replay overran shard %d after %d steps", si, len(sh.steps))
+		}
+		st := &sh.steps[next[si]]
+		next[si]++
+		if st.t != ev.Time || st.k != ev.Kind {
+			return fmt.Errorf("sim: trace replay diverged on shard %d: replayed (%d, %v), shard handled (%d, %v)",
+				si, ev.Time, ev.Kind, st.t, st.k)
+		}
+		for i := range st.events {
+			tr.Trace(&st.events[i])
+		}
+		for _, c := range st.children {
+			vq.Push(c.t, c.k, si)
+		}
+	}
+	for si, sh := range shards {
+		if next[si] != len(sh.steps) {
+			return fmt.Errorf("sim: trace replay left %d of shard %d's %d steps unconsumed",
+				len(sh.steps)-next[si], si, len(sh.steps))
+		}
+	}
+	return nil
+}
+
+// routeEventFor builds the flight-recorder routing event at the
+// router's sequencing point, with its own copy of the eligible set
+// (the event outlives the router's scratch: it is emitted later, in
+// trace position, by the owning shard).
+func (e *engine) routeEventFor(j *job.Job, pick int, now int64) *obs.Event {
+	e.eligIdx = sched.Eligible(e.eligIdx, j, e.views)
+	elig := make([]string, 0, len(e.eligIdx))
+	for _, i := range e.eligIdx {
+		elig = append(elig, e.clusters[i].name)
+	}
+	return &obs.Event{
+		T: now, Kind: obs.KindRoute, Job: j.ID, Procs: j.Procs,
+		Router: e.router.Name(), Eligible: elig, Cluster: e.clusters[pick].name,
+	}
+}

@@ -1,0 +1,444 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/obs"
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The differential layer of the parallel sharded driver: for every shard
+// count, runFederatedStreamSharded must reproduce the sequential
+// RunFederatedStream byte for byte — the same Result counters, the same
+// per-cluster counters and capacity timelines, and the same per-cluster
+// retirement sequences (with one shard, the same *global* retirement and
+// trace sequences). Anything less means the router stopped being a true
+// sequencing boundary.
+
+// shardedRecorder is a ClusterSink of recordingSinks: it works on both
+// the sequential driver (plain Observe) and the parallel one
+// (per-cluster observers), yielding comparable per-cluster retirement
+// sequences either way.
+type shardedRecorder struct {
+	per []*recordingSink
+}
+
+func newShardedRecorder(n int) *shardedRecorder {
+	s := &shardedRecorder{per: make([]*recordingSink, n)}
+	for i := range s.per {
+		s.per[i] = newRecordingSink()
+	}
+	return s
+}
+
+func (s *shardedRecorder) Observe(j *job.Job)         { s.per[j.Cluster].Observe(j) }
+func (s *shardedRecorder) ClusterObserver(ci int) any { return s.per[ci] }
+
+// parallelPlatform is the heterogeneous testbed platform: mixed widths
+// and speeds so routing, speed scaling and backfilling all differ per
+// cluster.
+func parallelPlatform(maxProcs int64) []platform.Cluster {
+	return []platform.Cluster{
+		{Name: "big", Procs: maxProcs},
+		{Name: "mid", Procs: maxProcs / 2, Speed: 1.5},
+		{Name: "slow", Procs: maxProcs, Speed: 0.5},
+		{Name: "aux", Procs: maxProcs / 2, Speed: 0.75},
+	}
+}
+
+// runShardedPair runs the sequential federated stream and the sharded
+// one over the same source, returning results and per-cluster sinks.
+func runShardedPair(t *testing.T, w *trace.Workload, tr core.Triple, clusters []platform.Cluster, router sched.Router, script *scenario.Script, shards int) (seqRes, parRes *sim.Result, seqSink, parSink *shardedRecorder) {
+	t.Helper()
+	seqSink = newShardedRecorder(len(clusters))
+	seqRes, err := sim.RunFederatedStream(w.Name, workload.FromWorkload(w), sim.FederatedConfig{
+		Clusters: clusters,
+		Router:   router,
+		Session:  func() sim.Config { return tr.Config() },
+		Script:   script,
+		Sink:     seqSink,
+	})
+	if err != nil {
+		t.Fatalf("RunFederatedStream(%s): %v", tr.Name(), err)
+	}
+	parSink = newShardedRecorder(len(clusters))
+	parRes, err = sim.RunFederatedStream(w.Name, workload.FromWorkload(w), sim.FederatedConfig{
+		Clusters: clusters,
+		Router:   router,
+		Session:  func() sim.Config { return tr.Config() },
+		Script:   script,
+		Sink:     parSink,
+		Shards:   shards,
+	})
+	if err != nil {
+		t.Fatalf("sharded RunFederatedStream(%s, shards=%d): %v", tr.Name(), shards, err)
+	}
+	return seqRes, parRes, seqSink, parSink
+}
+
+// assertShardedIdentical holds a sharded run to the sequential one on
+// every deterministic observable.
+func assertShardedIdentical(t *testing.T, label string, seqRes, parRes *sim.Result, seqSink, parSink *shardedRecorder) {
+	t.Helper()
+	if seqRes.Makespan != parRes.Makespan || seqRes.Corrections != parRes.Corrections ||
+		seqRes.Canceled != parRes.Canceled || seqRes.Finished != parRes.Finished {
+		t.Fatalf("%s: counters differ: makespan %d/%d corrections %d/%d canceled %d/%d finished %d/%d",
+			label, seqRes.Makespan, parRes.Makespan, seqRes.Corrections, parRes.Corrections,
+			seqRes.Canceled, parRes.Canceled, seqRes.Finished, parRes.Finished)
+	}
+	if seqRes.Perf.Events != parRes.Perf.Events || seqRes.Perf.PickCalls != parRes.Perf.PickCalls {
+		t.Fatalf("%s: perf counters differ: events %d/%d picks %d/%d",
+			label, seqRes.Perf.Events, parRes.Perf.Events, seqRes.Perf.PickCalls, parRes.Perf.PickCalls)
+	}
+	if len(seqRes.CapacitySteps) != len(parRes.CapacitySteps) {
+		t.Fatalf("%s: capacity timelines differ in length: %d vs %d", label, len(seqRes.CapacitySteps), len(parRes.CapacitySteps))
+	}
+	for i := range seqRes.CapacitySteps {
+		if seqRes.CapacitySteps[i] != parRes.CapacitySteps[i] {
+			t.Fatalf("%s: capacity step %d differs", label, i)
+		}
+	}
+	if len(seqRes.Clusters) != len(parRes.Clusters) {
+		t.Fatalf("%s: cluster counts differ", label)
+	}
+	for ci := range seqRes.Clusters {
+		a, b := seqRes.Clusters[ci], parRes.Clusters[ci]
+		if a.Routed != b.Routed || a.Finished != b.Finished || a.Canceled != b.Canceled ||
+			a.Corrections != b.Corrections || a.Makespan != b.Makespan ||
+			a.Events != b.Events || a.PickCalls != b.PickCalls {
+			t.Fatalf("%s: cluster %s counters differ:\n seq: %+v\n par: %+v", label, a.Name, a, b)
+		}
+		if len(a.CapacitySteps) != len(b.CapacitySteps) {
+			t.Fatalf("%s: cluster %s capacity timelines differ in length", label, a.Name)
+		}
+		for k := range a.CapacitySteps {
+			if a.CapacitySteps[k] != b.CapacitySteps[k] {
+				t.Fatalf("%s: cluster %s capacity step %d differs", label, a.Name, k)
+			}
+		}
+		as, bs := seqSink.per[ci], parSink.per[ci]
+		if len(as.seq) != len(bs.seq) {
+			t.Fatalf("%s: cluster %s retirement counts differ: %d vs %d", label, a.Name, len(as.seq), len(bs.seq))
+		}
+		for i := range as.seq {
+			if as.seq[i] != bs.seq[i] {
+				t.Fatalf("%s: cluster %s retirement %d differs:\n seq: %+v\n par: %+v",
+					label, a.Name, i, as.seq[i], bs.seq[i])
+			}
+		}
+		// Identical per-cluster observation sequences imply bit-identical
+		// collector sums; check anyway so a sink-wiring bug cannot hide.
+		ac, bc := as.col, bs.col
+		if ac.AVEbsld() != bc.AVEbsld() || ac.MaxBsld() != bc.MaxBsld() ||
+			ac.MeanWait() != bc.MeanWait() || ac.MAE() != bc.MAE() || ac.MeanELoss() != bc.MeanELoss() {
+			t.Fatalf("%s: cluster %s collectors diverged", label, a.Name)
+		}
+	}
+}
+
+// TestParallelOneShardByteIdentical pins the strongest identity: with
+// Shards = 1 the parallel machinery (router queue, command channel,
+// shard loop) is exercised, but the single worker must reproduce the
+// sequential driver's *global* retirement order byte for byte — not
+// just the per-cluster projections — across the full differential
+// triple grid.
+func TestParallelOneShardByteIdentical(t *testing.T) {
+	cfg, err := workload.Scaled("KTH-SP2", 220)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := parallelPlatform(w.MaxProcs)
+	for _, tr := range diffConfigs() {
+		label := tr.Name()
+		seqSink := newRecordingSink()
+		seqRes, err := sim.RunFederatedStream(w.Name, workload.FromWorkload(w), sim.FederatedConfig{
+			Clusters: clusters,
+			Session:  func() sim.Config { return tr.Config() },
+			Sink:     seqSink,
+		})
+		if err != nil {
+			t.Fatalf("RunFederatedStream(%s): %v", label, err)
+		}
+		parSink := newRecordingSink()
+		parRes, err := sim.RunFederatedStream(w.Name, workload.FromWorkload(w), sim.FederatedConfig{
+			Clusters: clusters,
+			Session:  func() sim.Config { return tr.Config() },
+			Sink:     parSink,
+			Shards:   1,
+		})
+		if err != nil {
+			t.Fatalf("sharded RunFederatedStream(%s): %v", label, err)
+		}
+		if len(seqSink.seq) != len(parSink.seq) {
+			t.Fatalf("%s: retirement counts differ: %d vs %d", label, len(seqSink.seq), len(parSink.seq))
+		}
+		for i := range seqSink.seq {
+			if seqSink.seq[i] != parSink.seq[i] {
+				t.Fatalf("%s: global retirement %d differs:\n seq: %+v\n par: %+v",
+					label, i, seqSink.seq[i], parSink.seq[i])
+			}
+		}
+		if seqRes.Makespan != parRes.Makespan || seqRes.Finished != parRes.Finished ||
+			seqRes.Perf.Events != parRes.Perf.Events || seqRes.Perf.PickCalls != parRes.Perf.PickCalls {
+			t.Fatalf("%s: counters differ: %+v vs %+v", label, seqRes.Perf, parRes.Perf)
+		}
+	}
+}
+
+// TestParallelShardedIdenticalAcrossShardCounts sweeps shard counts
+// (including more shards than clusters) and routers: every combination
+// must match the sequential driver exactly.
+func TestParallelShardedIdenticalAcrossShardCounts(t *testing.T) {
+	cfg, err := workload.Scaled("SDSC-SP2", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := parallelPlatform(w.MaxProcs)
+	triples := []core.Triple{core.EASYPlusPlus(), core.ConservativeBF(), core.PaperBest()}
+	for _, routerName := range []string{"round-robin", "least-loaded", "queue-depth", "spillover"} {
+		for _, tr := range triples {
+			for _, shards := range []int{1, 2, 3, 8} {
+				label := fmt.Sprintf("%s/%s/shards=%d", routerName, tr.Name(), shards)
+				router, err := sched.NewRouter(routerName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				router2, err := sched.NewRouter(routerName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seqSink := newShardedRecorder(len(clusters))
+				seqRes, err := sim.RunFederatedStream(w.Name, workload.FromWorkload(w), sim.FederatedConfig{
+					Clusters: clusters, Router: router,
+					Session: func() sim.Config { return tr.Config() },
+					Sink:    seqSink,
+				})
+				if err != nil {
+					t.Fatalf("RunFederatedStream(%s): %v", label, err)
+				}
+				parSink := newShardedRecorder(len(clusters))
+				parRes, err := sim.RunFederatedStream(w.Name, workload.FromWorkload(w), sim.FederatedConfig{
+					Clusters: clusters, Router: router2,
+					Session: func() sim.Config { return tr.Config() },
+					Sink:    parSink,
+					Shards:  shards,
+				})
+				if err != nil {
+					t.Fatalf("sharded RunFederatedStream(%s): %v", label, err)
+				}
+				assertShardedIdentical(t, label, seqRes, parRes, seqSink, parSink)
+			}
+		}
+	}
+}
+
+// TestParallelShardedIdenticalUnderDisruption replays generated
+// disruption scripts (drains, maintenance windows, cancellations) plus
+// hand-built edge cases — a cluster-targeted drain, a ghost cancel of a
+// job that never arrives, and a cancel at a job's exact submit instant —
+// through both drivers at several shard counts.
+func TestParallelShardedIdenticalUnderDisruption(t *testing.T) {
+	cfg, err := workload.Scaled("CTC-SP2", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := parallelPlatform(w.MaxProcs)
+	edge := &scenario.Script{Name: "edges", Events: []scenario.Event{
+		{Time: 10, Action: scenario.Cancel, JobID: 1 << 40}, // ghost: never delivered
+		{Time: w.Jobs[5].SubmitTime, Action: scenario.Cancel, JobID: w.Jobs[5].JobNumber},
+		{Time: 1000, Action: scenario.Drain, Procs: clusters[1].Procs / 2, Cluster: "mid"},
+		{Time: 50000, Action: scenario.Restore, Procs: clusters[1].Procs / 2, Cluster: "mid"},
+		{Time: 2000, Action: scenario.Cancel, JobID: w.Jobs[40].JobNumber},
+		{Time: 2000, Action: scenario.Cancel, JobID: w.Jobs[40].JobNumber}, // double cancel: stale
+	}}
+	src := rng.New(0x5a4d)
+	scripts := []*scenario.Script{edge}
+	for _, in := range scenario.Intensities {
+		if in.Name == "none" {
+			continue
+		}
+		scripts = append(scripts, scenario.Generate(w, in, src.Uint64()))
+	}
+	triples := []core.Triple{core.EASYPlusPlus(), core.ConservativeBF()}
+	for _, script := range scripts {
+		for _, tr := range triples {
+			for _, shards := range []int{1, 3} {
+				label := fmt.Sprintf("%s/%s/shards=%d", script.Name, tr.Name(), shards)
+				seqRes, parRes, seqSink, parSink := runShardedPair(t, w, tr, clusters, nil, script, shards)
+				assertShardedIdentical(t, label, seqRes, parRes, seqSink, parSink)
+			}
+		}
+	}
+}
+
+// checkTraceEvents is checkTraceInvariants minus the stage-histogram
+// ties: the sharded driver does not support profiling, so only the
+// schema and the event/counter correspondences apply.
+func checkTraceEvents(t *testing.T, label string, events []obs.Event, res *sim.Result) {
+	t.Helper()
+	var picks, finishes, submits, routes int64
+	for i := range events {
+		ev := &events[i]
+		if err := obs.ValidateEvent(ev); err != nil {
+			t.Fatalf("%s: event %d invalid: %v (%+v)", label, i, err, *ev)
+		}
+		switch ev.Kind {
+		case obs.KindPick:
+			picks++
+		case obs.KindFinish:
+			finishes++
+		case obs.KindSubmit:
+			submits++
+		case obs.KindRoute:
+			routes++
+		}
+	}
+	if picks != res.Perf.PickCalls {
+		t.Fatalf("%s: %d pick events for %d Pick calls", label, picks, res.Perf.PickCalls)
+	}
+	if finishes != int64(res.Finished) {
+		t.Fatalf("%s: %d finish events for %d finished jobs", label, finishes, res.Finished)
+	}
+	if routes != submits {
+		t.Fatalf("%s: %d route events for %d submissions", label, routes, submits)
+	}
+}
+
+// stripNanos zeroes the wall-clock field, the one legitimately
+// nondeterministic part of a trace event.
+func stripNanos(events []obs.Event) []obs.Event {
+	out := append([]obs.Event(nil), events...)
+	for i := range out {
+		out[i].Nanos = 0
+	}
+	return out
+}
+
+// eventKey is a total order on stripped events for multiset comparison.
+func eventKey(e *obs.Event) string {
+	return fmt.Sprintf("%d/%s/%d/%s/%d/%d/%d/%d/%d/%d/%v/%d/%d/%v",
+		e.T, e.Kind, e.Job, e.Cluster, e.Procs, e.Request, e.Prediction,
+		e.Picked, e.QueueLen, e.Free, e.Started, e.Wait, e.Corrections, e.Eligible)
+}
+
+// TestParallelTracedDeterministic holds the traced parallel path to
+// its contract: for every shard count the merged stream equals the
+// sequential stream event for event (the replay merge reconstructs the
+// sequential queue's emission order exactly — not merely a
+// deterministic permutation), and tracing stays pure observation
+// (counters match the untraced run).
+func TestParallelTracedDeterministic(t *testing.T) {
+	cfg, err := workload.Scaled("KTH-SP2", 260)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := parallelPlatform(w.MaxProcs)
+	script := scenario.Generate(w, scenario.Intensities[1], 0x7ace)
+	tr := core.EASYPlusPlus()
+
+	run := func(shards int, tracer obs.Tracer) (*sim.Result, *shardedRecorder) {
+		sink := newShardedRecorder(len(clusters))
+		res, err := sim.RunFederatedStream(w.Name, workload.FromWorkload(w), sim.FederatedConfig{
+			Clusters: clusters,
+			Session:  func() sim.Config { return tr.Config() },
+			Script:   script,
+			Sink:     sink,
+			Tracer:   tracer,
+			Shards:   shards,
+		})
+		if err != nil {
+			t.Fatalf("RunFederatedStream(shards=%d): %v", shards, err)
+		}
+		return res, sink
+	}
+
+	seqCol := &obs.Collector{}
+	seqRes, seqSink := run(0, seqCol)
+	seqEvents := stripNanos(seqCol.Events())
+
+	for _, shardCount := range []int{1, 2, 3} {
+		label := fmt.Sprintf("traced/shards=%d", shardCount)
+		col := &obs.Collector{}
+		res, sink := run(shardCount, col)
+		events := stripNanos(col.Events())
+		assertShardedIdentical(t, label, seqRes, res, seqSink, sink)
+		checkTraceEvents(t, label, col.Events(), res)
+		if len(seqEvents) != len(events) {
+			t.Fatalf("%s: event counts differ: %d vs %d", label, len(seqEvents), len(events))
+		}
+		for i := range seqEvents {
+			if eventKey(&seqEvents[i]) != eventKey(&events[i]) {
+				t.Fatalf("%s: event %d differs:\n seq: %+v\n par: %+v", label, i, seqEvents[i], events[i])
+			}
+		}
+	}
+}
+
+// TestParallelConfigErrors pins the sharded driver's contract checks.
+func TestParallelConfigErrors(t *testing.T) {
+	cfg, err := workload.Scaled("KTH-SP2", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := parallelPlatform(w.MaxProcs)
+	base := func() sim.FederatedConfig {
+		return sim.FederatedConfig{
+			Clusters: clusters,
+			Session:  func() sim.Config { return core.EASYPlusPlus().Config() },
+		}
+	}
+	fed := base()
+	fed.Shards = -1
+	if _, err := sim.RunFederatedStream(w.Name, workload.FromWorkload(w), fed); err == nil {
+		t.Fatal("negative shard count must be rejected")
+	}
+	fed = base()
+	fed.Shards = 2
+	fed.Profile = true
+	if _, err := sim.RunFederatedStream(w.Name, workload.FromWorkload(w), fed); err == nil {
+		t.Fatal("profiling a sharded run must be rejected")
+	}
+	fed = base()
+	fed.Shards = 2
+	fed.Sink = newRecordingSink() // not a ClusterSink
+	if _, err := sim.RunFederatedStream(w.Name, workload.FromWorkload(w), fed); err == nil {
+		t.Fatal("a plain sink on a multi-worker run must be rejected")
+	}
+	// One worker is allowed to keep a plain sink: observation order is
+	// sequential by construction.
+	fed = base()
+	fed.Shards = 1
+	fed.Sink = newRecordingSink()
+	if _, err := sim.RunFederatedStream(w.Name, workload.FromWorkload(w), fed); err != nil {
+		t.Fatalf("single-worker run with a plain sink failed: %v", err)
+	}
+}

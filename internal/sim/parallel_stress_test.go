@@ -1,0 +1,68 @@
+package sim_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestParallelStressGOMAXPROCS runs the sharded driver across a
+// GOMAXPROCS matrix: 1 forces full goroutine interleaving on a single
+// OS thread (every handoff is a context switch), 2 pits the router
+// against one shard at a time, and 8 lets all shards run truly
+// concurrently. The results must match the sequential reference exactly
+// in every configuration — determinism of the parallel path cannot
+// depend on how the runtime schedules the shard goroutines. Under
+// `go test -race` (the CI race job) this doubles as the data-race
+// stress for the router/shard channel protocol.
+func TestParallelStressGOMAXPROCS(t *testing.T) {
+	cfg, err := workload.Scaled("KTH-SP2", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := parallelPlatform(w.MaxProcs)
+	tr := core.EASYPlusPlus()
+
+	seqSink := newShardedRecorder(len(clusters))
+	seqRes, err := sim.RunFederatedStream(w.Name, workload.FromWorkload(w), sim.FederatedConfig{
+		Clusters: clusters,
+		Router:   &sched.LeastLoaded{},
+		Session:  func() sim.Config { return tr.Config() },
+		Sink:     seqSink,
+	})
+	if err != nil {
+		t.Fatalf("sequential reference: %v", err)
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("gomaxprocs-%d", procs), func(t *testing.T) {
+			runtime.GOMAXPROCS(procs)
+			for _, shards := range []int{1, 2, 4} {
+				label := fmt.Sprintf("gomaxprocs=%d shards=%d", procs, shards)
+				parSink := newShardedRecorder(len(clusters))
+				parRes, err := sim.RunFederatedStream(w.Name, workload.FromWorkload(w), sim.FederatedConfig{
+					Clusters: clusters,
+					Router:   &sched.LeastLoaded{},
+					Session:  func() sim.Config { return tr.Config() },
+					Sink:     parSink,
+					Shards:   shards,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				assertShardedIdentical(t, label, seqRes, parRes, seqSink, parSink)
+			}
+		})
+	}
+}

@@ -23,14 +23,42 @@
 // running. The realized capacity timeline is recorded on the Result so
 // validation can check the schedule against it.
 //
-// The engine has two drivers over one shared event core (engine.go):
+// The engine has four drivers over one shared event core (engine.go):
 // Run preloads a trace.Workload and retains every job on the Result —
 // the validating, table-producing path — while RunStream (stream.go)
 // pulls submissions lazily from a workload.Source and retires finished
 // jobs into a JobSink, keeping peak memory O(live jobs + window)
-// regardless of trace length. A differential test harness
-// (stream_diff_test.go) holds the two drivers to decision-identical
-// schedules.
+// regardless of trace length; RunFederated and RunFederatedStream
+// (federated.go) drive N per-cluster states behind a sched.Router
+// consulted once per job at submission, with the single-machine drivers
+// being the 1-cluster special case. A differential test harness
+// (stream_diff_test.go, federated_diff_test.go) holds every driver to
+// decision-identical schedules.
+//
+// # Determinism invariants
+//
+// Every driver is deterministic given (workload, config, script): no
+// map iteration order, goroutine schedule or wall clock leaks into a
+// decision. The invariants that guarantee it:
+//
+//   - Same-instant ordering. Events at one instant are processed in
+//     eventq's fixed kind order (completions, cancellations, capacity
+//     changes, expiries, submissions) and, within a kind, insertion
+//     order — see the eventq package comment.
+//   - Canonical tie-breaks. Wherever the engine or a policy must order
+//     jobs, ties fall back to the unique job ID (e.g. the machine's
+//     predicted-release order is (instant, ID)), so no two orderings
+//     are ever "equal".
+//   - Router sequencing. Federated drivers consult the router once per
+//     job in trace submission order, against cluster states that have
+//     advanced exactly to that job's submission instant. The parallel
+//     sharded driver (parallel.go, FederatedConfig.Shards) keeps the
+//     router as this global sequencing boundary — shards quiesce up to
+//     each routing instant before the router reads their state — so
+//     every routing decision, and therefore every schedule, is
+//     byte-identical to the sequential driver's for every shard count
+//     (proven by parallel_diff_test.go, including trace capture, whose
+//     merge replays the sequential queue's exact emission order).
 package sim
 
 import (
@@ -217,6 +245,10 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// One slab holds every runtime job: the preloading path retains them
+	// all on the Result anyway, so allocating them individually only
+	// fragments the heap and costs one allocation per job.
+	slab := make([]job.Job, len(w.Jobs))
 	jobs := make([]*job.Job, len(w.Jobs))
 	byID := make(map[int64]*job.Job, len(w.Jobs))
 	res := &Result{Triple: cfg.Name(), Workload: w.Name, MaxProcs: w.MaxProcs, Jobs: jobs}
@@ -233,12 +265,16 @@ func Run(w *trace.Workload, cfg Config) (*Result, error) {
 		res:  res,
 	}
 	e.instrument(cfg.Tracer, cfg.Profile)
+	// The queue holds all n submissions up front plus the live jobs'
+	// finish/expiry events; reserving once avoids every growth copy.
+	e.q.Reserve(len(w.Jobs) + 64)
 	for i := range w.Jobs {
 		r := &w.Jobs[i]
 		if r.Procs() > w.MaxProcs {
 			return nil, fmt.Errorf("sim: job %d wider (%d) than machine (%d)", r.JobNumber, r.Procs(), w.MaxProcs)
 		}
-		j := job.FromSWF(r)
+		j := &slab[i]
+		job.FromSWFInto(j, r)
 		jobs[i] = j
 		byID[j.ID] = j
 		e.q.Push(j.Submit, eventq.Submit, payload{j: j})

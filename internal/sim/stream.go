@@ -54,8 +54,9 @@ func RunStream(name string, maxProcs int64, src workload.Source, cfg Config) (*R
 			policy:    cfg.Policy,
 			predictor: cfg.Predictor,
 		}},
-		sink: cfg.Sink,
-		res:  res,
+		sink:  cfg.Sink,
+		res:   res,
+		arena: new(job.Arena),
 	}
 	e.instrument(cfg.Tracer, cfg.Profile)
 
@@ -99,8 +100,10 @@ func RunStream(name string, maxProcs int64, src workload.Source, cfg Config) (*R
 			return fmt.Errorf("sim: stream %q not submit-ordered: job %d at %d after %d", name, rec.JobNumber, rec.SubmitTime, lastSubmit)
 		}
 		lastSubmit = rec.SubmitTime
-		r := rec // escapes with the job; collected when the job retires
-		j := job.FromSWF(&r)
+		// The arena copies the record into the job's slot; the slot is
+		// recycled when the job retires, so a steady-state stream
+		// allocates nothing per admission.
+		j := e.arena.New(&rec)
 		if tgt := e.target(j.ID); tgt != nil {
 			if tgt.bound {
 				return fmt.Errorf("sim: stream %q: duplicate job id %d targeted by a cancellation", name, j.ID)

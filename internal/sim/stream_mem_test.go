@@ -68,7 +68,7 @@ func TestStreamMemorySmoke(t *testing.T) {
 // streaming path: the full 1M-job huge-synthetic preset must complete
 // with peak heap bounded by the live-job window, far below what the
 // preloading path would need (>400 MB of retained jobs and events before
-// GC headroom). It takes a few minutes, so it only runs when asked:
+// GC headroom). It takes several seconds, so it only runs when asked:
 //
 //	SIM_LONG=1 go test ./internal/sim -run TestStreamHugeSynthetic -v -timeout 30m
 func TestStreamHugeSyntheticBoundedMemory(t *testing.T) {

@@ -91,6 +91,19 @@ func (s *Spec) decode(tree *node) error {
 		}
 		s.Stream = v
 	}
+	if n := tree.at("shards"); n != nil {
+		v, err := n.toInt()
+		if err != nil {
+			return err
+		}
+		if v < 0 {
+			return n.errf("shards must be >= 0 (0 = sequential), got %d", v)
+		}
+		if s.Kind != "campaign" {
+			return n.errf("shards only applies to campaign grids (the sharded driver is federated)")
+		}
+		s.Shards = v
+	}
 
 	if n := tree.at("workloads"); n != nil {
 		if err := s.decodeWorkloads(n); err != nil {

@@ -76,6 +76,38 @@ func (s *Sketch) compact(lvl int) {
 	s.levels[lvl] = buf[:0]
 }
 
+// Merge folds another sketch into s, preserving every sample weight: an
+// element stored at level i of o carries weight 1<<i, so it enters s at
+// the same level and compacts upward from there exactly as if s had
+// produced it. The merge is deterministic — elements stream in level
+// order, then stored order — so merging the same sketches in the same
+// order always yields the same ladder. Merging a sketch into itself is
+// not supported. o is left untouched.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if s.n == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.n == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.n += o.n
+	for lvl := len(s.levels); lvl < len(o.levels); lvl++ {
+		s.levels = append(s.levels, make([]float64, 0, s.k))
+		s.odd = append(s.odd, false)
+	}
+	for lvl, buf := range o.levels {
+		for _, v := range buf {
+			s.levels[lvl] = append(s.levels[lvl], v)
+			for l := lvl; l < len(s.levels) && len(s.levels[l]) >= s.k; l++ {
+				s.compact(l)
+			}
+		}
+	}
+}
+
 // Count returns the number of samples observed (exact).
 func (s *Sketch) Count() int64 { return s.n }
 

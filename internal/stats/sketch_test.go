@@ -72,6 +72,59 @@ func TestSketchDeterministic(t *testing.T) {
 	}
 }
 
+// TestSketchMerge holds the merge to its contract: exact count and
+// extremes, deterministic ladders, quantile accuracy comparable to a
+// single sketch over the union, and no-op merges of empty sketches.
+func TestSketchMerge(t *testing.T) {
+	const n = 200_000
+	const shards = 4
+	whole := NewSketch()
+	parts := make([]*Sketch, shards)
+	for i := range parts {
+		parts[i] = NewSketch()
+	}
+	for i := 0; i < n; i++ {
+		v := float64((i*2654435761)%n) / n
+		whole.Add(v)
+		parts[i%shards].Add(v)
+	}
+	build := func() *Sketch {
+		m := NewSketch()
+		for _, p := range parts {
+			m.Merge(p)
+		}
+		return m
+	}
+	a, b := build(), build()
+	if a.Count() != n || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged count/extremes %d %v..%v, want %d %v..%v",
+			a.Count(), a.Min(), a.Max(), n, whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("merge not deterministic at q=%v: %v vs %v", q, a.Quantile(q), b.Quantile(q))
+		}
+		// Uniform values over [0, 1): the q-quantile is ~q. Merging must
+		// not degrade accuracy beyond the single-sketch error budget.
+		if got := a.Quantile(q); math.Abs(got-q) > 0.05 {
+			t.Errorf("merged Quantile(%v) = %v, want ~%v", q, got, q)
+		}
+	}
+	if got := a.Stored(); got > 16*defaultSketchK {
+		t.Fatalf("merged sketch stores %d samples, want bounded", got)
+	}
+	empty := NewSketch()
+	a.Merge(empty)
+	a.Merge(nil)
+	if a.Count() != n {
+		t.Fatalf("empty/nil merges changed count to %d", a.Count())
+	}
+	empty.Merge(b)
+	if empty.Count() != b.Count() || empty.Min() != b.Min() || empty.Max() != b.Max() {
+		t.Fatal("merging into an empty sketch must adopt the source stream")
+	}
+}
+
 func TestSketchEmpty(t *testing.T) {
 	s := NewSketch()
 	if s.Count() != 0 || s.At(1) != 0 || s.Quantile(0.5) != 0 || s.Stored() != 0 {
