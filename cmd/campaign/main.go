@@ -24,7 +24,8 @@
 // experiment in a versioned spec file (workloads, triples, disruption
 // scenarios, grid dimensions, output settings — see specs/ for the
 // canonical paper grid, the robustness sweep and the nightly CI
-// campaign, and the README for the schema). Flags given alongside -spec
+// campaign, and docs/WORKLOADS.md for the workload and clients
+// schema). Flags given alongside -spec
 // override the spec's fields; -validate parses and resolves a spec,
 // prints its shape, and exits without simulating:
 //
@@ -105,7 +106,7 @@ func run() {
 	stream := flag.Bool("stream", false, "run every cell on the bounded-memory streaming engine (same tables, O(live jobs) per cell)")
 	shards := flag.Int("shards", 0, "with -clusters and -stream: run each cell on the parallel sharded federated driver with this many per-cluster event-loop goroutines (0 = sequential; results are byte-identical for every shard count)")
 	memLimit := flag.Int("memlimit", 0, "soft memory cap in MiB for the whole process (0 = none); pairs with -stream for big grids on small machines")
-	specPath := flag.String("spec", "", "run the experiment described by this spec file (see specs/ and the README schema); other flags override its fields")
+	specPath := flag.String("spec", "", "run the experiment described by this spec file (see specs/ and docs/WORKLOADS.md); other flags override its fields")
 	validate := flag.Bool("validate", false, "with -spec: parse and resolve the spec, print its shape, and exit without simulating")
 	clustersFlag := flag.String("clusters", "", "federated platform: comma-separated NAME=PROCS[xSPEED] entries (e.g. \"100,64x1.5,slow=32x0.5\"); the campaign grids over -routing policies and renders the federated table")
 	routingFlag := flag.String("routing", "", "comma-separated routing policies in front of -clusters: "+sched.RouterNames+" (default round-robin)")
@@ -457,6 +458,12 @@ func runCampaignGrid(ctx context.Context, c *campaign.Campaign, ws []*trace.Work
 	}
 	if hasAny(figures, 3) {
 		fmt.Println(report.Figure3(results, "SDSC-BLUE", "Metacentrum"))
+	}
+	// Multi-client workloads (a spec with clients: blocks) get their
+	// per-client decomposition next to the global tables; single-
+	// population grids render nothing extra.
+	if t := report.ClientTable(results); t != "" {
+		fmt.Println(t)
 	}
 
 	if hasAny(tables, 8) || hasAny(figures, 4, 5) {

@@ -1,14 +1,18 @@
 // Command gentrace generates a synthetic SWF workload from one of the
 // Table-4 presets (or a custom size) and writes it to stdout or a file.
 // With -spec it instead materializes every workload of an experiment
-// spec file (see specs/ and the README schema) — including inline
-// custom generator configs no preset flag can express.
+// spec file (see specs/ and docs/WORKLOADS.md) — including inline
+// custom generator configs and multi-client clients blocks no preset
+// flag can express. Multi-client workloads are written with one
+// Partition comment header per client (name, job count, realized rate
+// share, arrival process), so generated traces are self-describing.
 //
 // Usage:
 //
 //	gentrace -preset Curie -jobs 5000 -o curie.swf
 //	gentrace -preset KTH-SP2 -stats
 //	gentrace -spec specs/ci-smoke.yaml -o traces/           # one .swf per workload
+//	gentrace -spec specs/clients.yaml -o traces/            # multi-client, per-client headers
 //	gentrace -spec specs/nightly.yaml -stats
 //	gentrace -preset huge-synthetic -stream -o huge.swf     # 1M jobs, bounded memory
 package main
@@ -36,22 +40,22 @@ func main() {
 	stream := flag.Bool("stream", false, "generate straight to disk in bounded memory (streaming generator; arrival draws differ from the in-memory generator, determinism per seed is identical)")
 	flag.Parse()
 
-	cfgs := resolveConfigs(*specPath, *preset, *jobs, *seed)
+	entries := resolveEntries(*specPath, *preset, *jobs, *seed)
 
 	if *stream {
 		if *stats {
 			fatal(fmt.Errorf("-stream cannot compute whole-trace statistics; drop -stats"))
 		}
-		streamConfigs(cfgs, *specPath, *out)
+		streamEntries(entries, *specPath, *out)
 		return
 	}
 
 	if *stats {
-		for i, cfg := range cfgs {
+		for i, e := range entries {
 			if i > 0 {
 				fmt.Println()
 			}
-			printStats(generate(cfg))
+			printStats(generate(e))
 		}
 		return
 	}
@@ -61,29 +65,29 @@ func main() {
 	// not break when the spec's workload list shrinks to one. Without
 	// -spec, -o stays a single file path as before.
 	if *specPath == "" {
-		writeTrace(generate(cfgs[0]), *out)
+		writeEntry(entries[0], *out)
 		return
 	}
 	if *out == "" {
-		if len(cfgs) == 1 {
-			writeTrace(generate(cfgs[0]), "")
+		if len(entries) == 1 {
+			writeEntry(entries[0], "")
 			return
 		}
-		fatal(fmt.Errorf("the spec has %d workloads; pass -o DIR to write one .swf per workload", len(cfgs)))
+		fatal(fmt.Errorf("the spec has %d workloads; pass -o DIR to write one .swf per workload", len(entries)))
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	for _, cfg := range cfgs {
-		path := filepath.Join(*out, cfg.Name+".swf")
-		writeTrace(generate(cfg), path)
-		fmt.Fprintf(os.Stderr, "gentrace: wrote %s (%d jobs)\n", path, cfg.Jobs)
+	for _, e := range entries {
+		path := filepath.Join(*out, e.Config.Name+".swf")
+		writeEntry(e, path)
+		fmt.Fprintf(os.Stderr, "gentrace: wrote %s (%d jobs)\n", path, e.Config.Jobs)
 	}
 }
 
-// resolveConfigs turns the flags — or the spec, with flags as overrides
-// — into the list of generator configurations to materialize.
-func resolveConfigs(specPath, preset string, jobs int, seed uint64) []workload.Config {
+// resolveEntries turns the flags — or the spec, with flags as overrides
+// — into the list of workloads (config + clients) to materialize.
+func resolveEntries(specPath, preset string, jobs int, seed uint64) []spec.ResolvedWorkload {
 	if specPath == "" {
 		cfg, err := workload.Scaled(preset, jobs)
 		if err != nil {
@@ -92,7 +96,7 @@ func resolveConfigs(specPath, preset string, jobs int, seed uint64) []workload.C
 		if seed != 0 {
 			cfg.Seed = seed
 		}
-		return []workload.Config{cfg}
+		return []spec.ResolvedWorkload{{Config: cfg}}
 	}
 	s, err := spec.Load(specPath)
 	if err != nil {
@@ -108,47 +112,66 @@ func resolveConfigs(specPath, preset string, jobs int, seed uint64) []workload.C
 		}
 	})
 	s.Apply(ov)
-	cfgs, err := s.WorkloadConfigs()
+	entries, err := s.ResolvedWorkloads()
 	if err != nil {
 		fatal(err)
 	}
 	if seed != 0 {
-		for i := range cfgs {
-			cfgs[i].Seed = seed
+		for i := range entries {
+			entries[i].Config.Seed = seed
 		}
 	}
-	return cfgs
+	return entries
 }
 
-// streamConfigs writes each workload with the bounded-memory generator:
+// headeredSource is a streaming generator that can describe itself:
+// both the single-population GenSource and the multi-client MultiSource.
+type headeredSource interface {
+	workload.Source
+	Header() swf.Header
+}
+
+// newSource builds the streaming generator for one entry.
+func newSource(e spec.ResolvedWorkload) headeredSource {
+	if len(e.Clients) > 0 {
+		m, err := workload.NewMultiSource(e.Config, e.Clients)
+		if err != nil {
+			fatal(err)
+		}
+		return m
+	}
+	g, err := workload.NewGenSource(e.Config)
+	if err != nil {
+		fatal(err)
+	}
+	return g
+}
+
+// streamEntries writes each workload with the bounded-memory generator:
 // jobs go from the arrival sampler straight into the SWF writer, so a
 // million-job trace costs megabytes, not gigabytes. The -o handling
 // mirrors the preloading path (single file without -spec, directory
 // with one).
-func streamConfigs(cfgs []workload.Config, specPath, out string) {
-	if specPath == "" || (out == "" && len(cfgs) == 1) {
-		streamTrace(cfgs[0], out)
+func streamEntries(entries []spec.ResolvedWorkload, specPath, out string) {
+	if specPath == "" || (out == "" && len(entries) == 1) {
+		streamTrace(newSource(entries[0]), out)
 		return
 	}
 	if out == "" {
-		fatal(fmt.Errorf("the spec has %d workloads; pass -o DIR to write one .swf per workload", len(cfgs)))
+		fatal(fmt.Errorf("the spec has %d workloads; pass -o DIR to write one .swf per workload", len(entries)))
 	}
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		fatal(err)
 	}
-	for _, cfg := range cfgs {
-		path := filepath.Join(out, cfg.Name+".swf")
-		streamTrace(cfg, path)
-		fmt.Fprintf(os.Stderr, "gentrace: wrote %s (%d jobs, streamed)\n", path, cfg.Jobs)
+	for _, e := range entries {
+		path := filepath.Join(out, e.Config.Name+".swf")
+		streamTrace(newSource(e), path)
+		fmt.Fprintf(os.Stderr, "gentrace: wrote %s (%d jobs, streamed)\n", path, e.Config.Jobs)
 	}
 }
 
 // streamTrace pipes one streaming generator into one SWF file.
-func streamTrace(cfg workload.Config, out string) {
-	g, err := workload.NewGenSource(cfg)
-	if err != nil {
-		fatal(err)
-	}
+func streamTrace(g headeredSource, out string) {
 	dst := os.Stdout
 	if out != "" {
 		f, err := os.Create(out)
@@ -180,8 +203,14 @@ func streamTrace(cfg workload.Config, out string) {
 	}
 }
 
-func generate(cfg workload.Config) *trace.Workload {
-	w, err := workload.Generate(cfg)
+func generate(e spec.ResolvedWorkload) *trace.Workload {
+	var w *trace.Workload
+	var err error
+	if len(e.Clients) > 0 {
+		w, err = workload.GenerateMulti(e.Config, e.Clients)
+	} else {
+		w, err = workload.Generate(e.Config)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -194,11 +223,27 @@ func printStats(w *trace.Workload) {
 	fmt.Printf("machine       %d processors\n", s.MaxProcs)
 	fmt.Printf("jobs          %d\n", s.Jobs)
 	fmt.Printf("users         %d\n", s.Users)
+	if len(w.Clients) > 0 {
+		fmt.Printf("clients       %d (%v)\n", len(w.Clients), w.Clients)
+	}
 	fmt.Printf("duration      %d s (%.1f days)\n", s.DurationSec, float64(s.DurationSec)/86400)
 	fmt.Printf("offered load  %.2f\n", s.OfferedLoad)
 	fmt.Printf("mean runtime  %.0f s (median %d s)\n", s.MeanRunTime, s.MedianRunTime)
 	fmt.Printf("mean request  %.0f s (mean over-estimation %.1fx)\n", s.MeanRequested, s.MeanOverestim)
 	fmt.Printf("mean width    %.1f procs (max %d)\n", s.MeanProcsPerJob, s.MaxProcsPerJob)
+}
+
+// writeEntry writes one preloaded workload. Multi-client entries go
+// through the streaming writer instead: the generated jobs survive
+// cleaning untouched, so the bytes match the preloading path, and the
+// MultiSource header carries the per-client Partition comments that
+// make the trace self-describing.
+func writeEntry(e spec.ResolvedWorkload, out string) {
+	if len(e.Clients) > 0 {
+		streamTrace(newSource(e), out)
+		return
+	}
+	writeTrace(generate(e), out)
 }
 
 func writeTrace(w *trace.Workload, out string) {

@@ -13,6 +13,13 @@
 //	simsched -swf huge.swf -stream                               # bounded memory: O(live jobs), any trace length
 //	simsched -preset huge-synthetic -jobs 0 -stream              # a million generated jobs, streamed
 //
+// With -wspec the workload comes from an experiment spec file instead
+// of -preset: the spec must resolve to exactly one workload entry, and
+// multi-client entries (a clients: block — see docs/WORKLOADS.md) get a
+// per-client metrics split next to the global numbers:
+//
+//	simsched -wspec specs/clients.yaml -triple best -stream
+//
 // With -clusters the run is federated: jobs are routed across the
 // listed clusters by the -routing policy, each cluster runs its own
 // policy session, and the output gains a per-cluster split. -disrupt
@@ -27,8 +34,9 @@
 // honor -disrupt or -status replay (both sample the whole trace),
 // -triple excludes the per-axis -policy/-predictor/-corrector/-loss
 // flags, -maxprocs and -status only describe -swf inputs, -preset and
-// -jobs only describe generated ones, -disrupt-seed needs -disrupt, and
-// -routing needs -clusters.
+// -jobs only describe generated ones, -disrupt-seed needs -disrupt,
+// -routing needs -clusters, and -wspec supplies the whole workload so
+// it excludes -preset/-jobs/-swf/-maxprocs/-status.
 package main
 
 import (
@@ -48,6 +56,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/swf"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -62,6 +71,7 @@ func main() {
 type options struct {
 	preset      string
 	jobs        int
+	wspec       string
 	swfPath     string
 	maxProcs    int64
 	status      string
@@ -92,6 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var o options
 	fs.StringVar(&o.preset, "preset", "KTH-SP2", "workload preset")
 	fs.IntVar(&o.jobs, "jobs", 5000, "scale the preset to this many jobs (0 = full size)")
+	fs.StringVar(&o.wspec, "wspec", "", "generate the workload of this spec file (must resolve to exactly one workload entry; clients: blocks get a per-client split)")
 	fs.StringVar(&o.swfPath, "swf", "", "load this SWF file instead of generating a preset")
 	fs.Int64Var(&o.maxProcs, "maxprocs", 0, "machine size override for -swf (0 = use header)")
 	fs.StringVar(&o.status, "status", "keep", "how -swf honors cancelled/failed jobs: keep | skip | truncate | replay (replay re-kills never-ran cancelled jobs at their logged instant)")
@@ -134,6 +145,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, axis := range []string{"policy", "predictor", "corrector", "loss"} {
 			if set[axis] {
 				return usage("-triple names a complete (policy, predictor, corrector) bundle; drop -%s", axis)
+			}
+		}
+	}
+	if o.wspec != "" {
+		for _, f := range []string{"preset", "jobs", "swf", "maxprocs", "status"} {
+			if set[f] {
+				return usage("-wspec supplies the whole workload; drop -%s", f)
 			}
 		}
 	}
@@ -211,7 +229,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // runOnce is the classic single-machine preloading run.
 func runOnce(o options, stdout io.Writer) error {
-	w, script, err := loadWorkload(o.preset, o.jobs, o.swfPath, o.maxProcs, o.status)
+	w, script, err := loadWorkload(o)
 	if err != nil {
 		return err
 	}
@@ -249,13 +267,25 @@ func runOnce(o options, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "utilization   %.3f\n", metrics.Utilization(res))
 	fmt.Fprintf(stdout, "corrections   %d\n", res.Corrections)
 	fmt.Fprintf(stdout, "prediction MAE %.0f s, mean E-Loss %.3g\n", metrics.MAE(res.Jobs), metrics.MeanELoss(res.Jobs))
+	if len(w.Clients) > 0 {
+		// Fold the finished jobs through the same per-client collectors
+		// the streaming path uses as a sink, so both paths print the
+		// identical split.
+		pc := metrics.NewPerClient(w.Clients)
+		for _, j := range res.Jobs {
+			if j.Finished {
+				pc.Observe(j)
+			}
+		}
+		printClientSplit(stdout, pc)
+	}
 	return nil
 }
 
 // runFederated is the federated preloading run: one workload routed
 // across -clusters, validated cluster by cluster.
 func runFederated(o options, stdout io.Writer) error {
-	w, script, err := loadWorkload(o.preset, o.jobs, o.swfPath, o.maxProcs, o.status)
+	w, script, err := loadWorkload(o)
 	if err != nil {
 		return err
 	}
@@ -308,7 +338,10 @@ func runFederatedStreaming(o options, stdout io.Writer) error {
 	col := metrics.NewFederated(len(o.clusters))
 	fed.Sink = col
 
-	name, _, src, err := buildStreamSource(o.preset, o.jobs, o.swfPath, o.maxProcs, o.status)
+	// A multi-client -wspec entry streams through the federation too;
+	// the per-client split is single-machine output (the federated sink
+	// splits by cluster instead), so the client names are not used here.
+	name, _, src, _, err := buildStreamSource(o)
 	if err != nil {
 		return err
 	}
@@ -397,14 +430,20 @@ func runStreaming(o options, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	col := metrics.NewCollector()
-	cfg.Sink = col
-	cfg.Tracer = o.tracer
-
-	name, mp, src, err := buildStreamSource(o.preset, o.jobs, o.swfPath, o.maxProcs, o.status)
+	name, mp, src, clients, err := buildStreamSource(o)
 	if err != nil {
 		return err
 	}
+	col := metrics.NewCollector()
+	cfg.Sink = col
+	var pc *metrics.PerClient
+	if len(clients) > 0 {
+		pc = metrics.NewPerClient(clients)
+		cfg.Sink = pc
+		col = pc.Overall()
+	}
+	cfg.Tracer = o.tracer
+
 	res, err := sim.RunStream(name, mp, src, cfg)
 	if err != nil {
 		return err
@@ -418,66 +457,118 @@ func runStreaming(o options, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "utilization   %.3f\n", col.Utilization(res.Makespan, res.MaxProcs))
 	fmt.Fprintf(stdout, "corrections   %d\n", res.Corrections)
 	fmt.Fprintf(stdout, "prediction MAE %.0f s, mean E-Loss %.3g\n", col.MAE(), col.MeanELoss())
+	if pc != nil {
+		printClientSplit(stdout, pc)
+	}
 	return nil
+}
+
+// printClientSplit renders the per-client lines of a multi-client run,
+// mirroring printClusterSplit's shape for federated runs.
+func printClientSplit(stdout io.Writer, pc *metrics.PerClient) {
+	total := pc.Overall().Finished()
+	for i, name := range pc.Names() {
+		c := pc.Client(i)
+		share := 0.0
+		if total > 0 {
+			share = float64(c.Finished()) / float64(total)
+		}
+		fmt.Fprintf(stdout, "client %-10s finished %6d (%4.1f%%)  AVEbsld %6.2f  mean wait %6.0f s\n",
+			name, c.Finished(), 100*share, c.AVEbsld(), c.MeanWait())
+	}
 }
 
 // buildStreamSource assembles the lazy job pipeline and resolves the
 // machine size (peeking one record so the SWF header is available).
-func buildStreamSource(preset string, jobs int, swfPath string, maxProcs int64, status string) (string, int64, workload.Source, error) {
-	if swfPath == "" {
-		cfg, err := workload.Scaled(preset, jobs)
+// clients is non-nil only for a multi-client -wspec entry: the client
+// names, in client-index order, for the per-client metrics split.
+func buildStreamSource(o options) (name string, mp int64, src workload.Source, clients []string, err error) {
+	if o.wspec != "" {
+		e, err := resolveWSpec(o.wspec)
 		if err != nil {
-			return "", 0, nil, err
+			return "", 0, nil, nil, err
+		}
+		if len(e.Clients) > 0 {
+			m, err := workload.NewMultiSource(e.Config, e.Clients)
+			if err != nil {
+				return "", 0, nil, nil, err
+			}
+			return e.Config.Name, e.Config.MaxProcs, m, m.ClientNames(), nil
+		}
+		g, err := workload.NewGenSource(e.Config)
+		if err != nil {
+			return "", 0, nil, nil, err
+		}
+		return e.Config.Name, e.Config.MaxProcs, g, nil, nil
+	}
+	if o.swfPath == "" {
+		cfg, err := workload.Scaled(o.preset, o.jobs)
+		if err != nil {
+			return "", 0, nil, nil, err
 		}
 		g, err := workload.NewGenSource(cfg)
 		if err != nil {
-			return "", 0, nil, err
+			return "", 0, nil, nil, err
 		}
-		return cfg.Name, cfg.MaxProcs, g, nil
+		return cfg.Name, cfg.MaxProcs, g, nil, nil
 	}
 
-	mode, err := swf.ParseStatusMode(status)
+	mode, err := swf.ParseStatusMode(o.status)
 	if err != nil {
-		return "", 0, nil, err
+		return "", 0, nil, nil, err
 	}
-	f, err := os.Open(swfPath)
+	f, err := os.Open(o.swfPath)
 	if err != nil {
-		return "", 0, nil, err
+		return "", 0, nil, nil, err
 	}
 	// The file stays open for the whole run; the process exit closes it.
 	sc := swf.NewScanner(f)
 	first, err := sc.Next()
 	if err == io.EOF {
-		return "", 0, nil, fmt.Errorf("%s: no jobs", swfPath)
+		return "", 0, nil, nil, fmt.Errorf("%s: no jobs", o.swfPath)
 	}
 	if err != nil {
-		return "", 0, nil, err
+		return "", 0, nil, nil, err
 	}
-	mp := maxProcs
+	mp = o.maxProcs
 	if mp <= 0 {
 		mp = sc.Header().Procs()
 	}
 	if mp <= 0 {
-		return "", 0, nil, fmt.Errorf("%s: machine size unknown (no MaxProcs/MaxNodes header; pass -maxprocs)", swfPath)
+		return "", 0, nil, nil, fmt.Errorf("%s: machine size unknown (no MaxProcs/MaxNodes header; pass -maxprocs)", o.swfPath)
 	}
-	var src workload.Source = workload.Prepend([]swf.Job{first}, workload.NewScanSource(sc))
+	src = workload.Prepend([]swf.Job{first}, workload.NewScanSource(sc))
 	src, err = workload.NewStatusSource(src, mode)
 	if err != nil {
-		return "", 0, nil, err
+		return "", 0, nil, nil, err
 	}
-	return swfPath, mp, workload.NewCleanSource(src, mp), nil
+	return o.swfPath, mp, workload.NewCleanSource(src, mp), nil, nil
 }
 
 // loadWorkload builds the scheduling problem. For SWF files the status
 // mode is applied before cleaning; replay mode additionally derives the
-// cancellation script from the log's own status fields.
-func loadWorkload(preset string, jobs int, swfPath string, maxProcs int64, status string) (*trace.Workload, *scenario.Script, error) {
-	if swfPath != "" {
-		mode, err := swf.ParseStatusMode(status)
+// cancellation script from the log's own status fields. A -wspec entry
+// is generated via the spec resolver, so clients: blocks work here too.
+func loadWorkload(o options) (*trace.Workload, *scenario.Script, error) {
+	if o.wspec != "" {
+		e, err := resolveWSpec(o.wspec)
 		if err != nil {
 			return nil, nil, err
 		}
-		f, err := os.Open(swfPath)
+		var w *trace.Workload
+		if len(e.Clients) > 0 {
+			w, err = workload.GenerateMulti(e.Config, e.Clients)
+		} else {
+			w, err = workload.Generate(e.Config)
+		}
+		return w, nil, err
+	}
+	if o.swfPath != "" {
+		mode, err := swf.ParseStatusMode(o.status)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := os.Open(o.swfPath)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -486,22 +577,40 @@ func loadWorkload(preset string, jobs int, swfPath string, maxProcs int64, statu
 		if err != nil {
 			return nil, nil, err
 		}
-		w, err := trace.FromSWF(swfPath, swf.ApplyStatus(raw, mode), maxProcs)
+		w, err := trace.FromSWF(o.swfPath, swf.ApplyStatus(raw, mode), o.maxProcs)
 		if err != nil {
 			return nil, nil, err
 		}
 		var script *scenario.Script
 		if mode == swf.StatusReplay {
-			script = scenario.CancellationsFromSWF(swfPath+"/cancellations", raw)
+			script = scenario.CancellationsFromSWF(o.swfPath+"/cancellations", raw)
 		}
 		return w, script, nil
 	}
-	cfg, err := workload.Scaled(preset, jobs)
+	cfg, err := workload.Scaled(o.preset, o.jobs)
 	if err != nil {
 		return nil, nil, err
 	}
 	w, err := workload.Generate(cfg)
 	return w, nil, err
+}
+
+// resolveWSpec loads a spec file and demands exactly one workload entry
+// — simsched runs one simulation, so a multi-workload spec is a grid
+// job for cmd/campaign instead.
+func resolveWSpec(path string) (spec.ResolvedWorkload, error) {
+	s, err := spec.Load(path)
+	if err != nil {
+		return spec.ResolvedWorkload{}, err
+	}
+	entries, err := s.ResolvedWorkloads()
+	if err != nil {
+		return spec.ResolvedWorkload{}, err
+	}
+	if len(entries) != 1 {
+		return spec.ResolvedWorkload{}, fmt.Errorf("%s resolves to %d workloads; -wspec needs exactly one (grids belong to cmd/campaign)", path, len(entries))
+	}
+	return entries[0], nil
 }
 
 func buildConfig(triple, policy, predictor, lossName, corrector string) (sim.Config, error) {

@@ -38,6 +38,11 @@ type RunResult struct {
 	// MAE and MeanELoss judge the submission-time predictions.
 	MAE       float64
 	MeanELoss float64
+	// Clients decomposes the cell by traffic source when the workload
+	// carries a multi-client clients block (trace.Workload.Clients).
+	// Nil for single-population workloads and federated cells (whose
+	// decomposition axis is the cluster).
+	Clients []ClientMetrics
 	// Perf holds the simulation's performance counters.
 	Perf sim.Perf
 }
@@ -197,13 +202,21 @@ func runOne(w *trace.Workload, tr core.Triple, script *scenario.Script, stream b
 	}
 	cfg.Profile = profile
 	if stream {
+		// Multi-client workloads swap in a per-client sink; its Overall
+		// collector accumulates exactly what the plain Collector would.
+		var clients *metrics.PerClient
 		col := metrics.NewCollector()
 		cfg.Sink = col
+		if len(w.Clients) > 0 {
+			clients = metrics.NewPerClient(w.Clients)
+			cfg.Sink = clients
+			col = clients.Overall()
+		}
 		res, err := sim.RunStream(w.Name, w.MaxProcs, workload.FromWorkload(w), cfg)
 		if err != nil {
 			return RunResult{}, fmt.Errorf("campaign: %s on %s (stream): %w", tr.Name(), w.Name, err)
 		}
-		return RunResult{
+		rr := RunResult{
 			Workload:    w.Name,
 			Triple:      tr,
 			AVEbsld:     col.AVEbsld(),
@@ -215,7 +228,11 @@ func runOne(w *trace.Workload, tr core.Triple, script *scenario.Script, stream b
 			MAE:         col.MAE(),
 			MeanELoss:   col.MeanELoss(),
 			Perf:        res.Perf,
-		}, nil
+		}
+		if clients != nil {
+			rr.Clients = perClientMetrics(clients)
+		}
+		return rr, nil
 	}
 	res, err := sim.Run(w, cfg)
 	if err != nil {
@@ -224,7 +241,7 @@ func runOne(w *trace.Workload, tr core.Triple, script *scenario.Script, stream b
 	if verrs := sim.ValidateResult(res); len(verrs) != 0 {
 		return RunResult{}, fmt.Errorf("campaign: %s on %s: invalid schedule: %v", tr.Name(), w.Name, verrs[0])
 	}
-	return RunResult{
+	rr := RunResult{
 		Workload:    w.Name,
 		Triple:      tr,
 		AVEbsld:     metrics.AVEbsld(res),
@@ -236,7 +253,11 @@ func runOne(w *trace.Workload, tr core.Triple, script *scenario.Script, stream b
 		MAE:         metrics.MAE(res.Jobs),
 		MeanELoss:   metrics.MeanELoss(res.Jobs),
 		Perf:        res.Perf,
-	}, nil
+	}
+	if len(w.Clients) > 0 {
+		rr.Clients = perClientMetrics(perClientFromJobs(w.Clients, res.Jobs))
+	}
+	return rr, nil
 }
 
 // Score looks up the AVEbsld of a (workload, triple-name) pair.

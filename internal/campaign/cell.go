@@ -54,6 +54,12 @@ type CellRecord struct {
 	// Clusters carries the per-cluster metrics of a federated cell.
 	Clusters []ClusterMetrics `json:"clusters,omitempty"`
 
+	// PerClient carries the per-traffic-source decomposition of a
+	// multi-client cell. Purely additive payload: it is not part of the
+	// cell key, so journals from before the clients axis existed still
+	// resume.
+	PerClient []ClientMetrics `json:"per_client,omitempty"`
+
 	// Perf holds the simulation's performance counters, making every
 	// journal a performance record of the engine itself.
 	Perf sim.Perf `json:"perf"`
@@ -95,6 +101,7 @@ func newCellRecord(kind, intensity string, jobCount int, rr RunResult, seed uint
 
 		Drains:       drains,
 		CancelEvents: cancels,
+		PerClient:    rr.Clients,
 		Perf:         rr.Perf,
 	}
 }
@@ -114,6 +121,7 @@ func (r CellRecord) runResult(tr core.Triple) RunResult {
 		Canceled:    r.Canceled,
 		MAE:         r.MAE,
 		MeanELoss:   r.MeanELoss,
+		Clients:     r.PerClient,
 		Perf:        r.Perf,
 	}
 }

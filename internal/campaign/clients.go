@@ -1,0 +1,63 @@
+package campaign
+
+import (
+	"repro/internal/job"
+	"repro/internal/metrics"
+)
+
+// ClientMetrics is the per-traffic-source slice of one cell's result:
+// the decomposition of a multi-client workload's AVEbsld and waiting
+// time by generating client. Journaled alongside the cell (see
+// CellRecord.PerClient) so resumed campaigns reproduce the per-client
+// tables exactly.
+type ClientMetrics struct {
+	// Name is the client's name from the workload's clients block.
+	Name string `json:"name"`
+	// Finished counts the client's jobs that ran to completion.
+	Finished int `json:"finished"`
+	// Share is the client's realized fraction of all finished jobs.
+	Share float64 `json:"share"`
+	// AVEbsld, MaxBsld and MeanWait are the client's slice of the
+	// paper's objective and waiting-time summaries.
+	AVEbsld  float64 `json:"avebsld"`
+	MaxBsld  float64 `json:"max_bsld"`
+	MeanWait float64 `json:"mean_wait"`
+}
+
+// perClientMetrics flattens a per-client sink into journalable records,
+// in client-index order.
+func perClientMetrics(pc *metrics.PerClient) []ClientMetrics {
+	total := pc.Overall().Finished()
+	names := pc.Names()
+	out := make([]ClientMetrics, len(names))
+	for i, name := range names {
+		c := pc.Client(i)
+		share := 0.0
+		if total > 0 {
+			share = float64(c.Finished()) / float64(total)
+		}
+		out[i] = ClientMetrics{
+			Name:     name,
+			Finished: c.Finished(),
+			Share:    share,
+			AVEbsld:  c.AVEbsld(),
+			MaxBsld:  c.MaxBsld(),
+			MeanWait: c.MeanWait(),
+		}
+	}
+	return out
+}
+
+// perClientFromJobs folds a preloading run's retained jobs through a
+// per-client sink, observing exactly the population the streaming sink
+// sees: finished jobs only (jobs a scenario canceled before they ever
+// ran have no realized schedule).
+func perClientFromJobs(names []string, jobs []*job.Job) *metrics.PerClient {
+	pc := metrics.NewPerClient(names)
+	for _, j := range jobs {
+		if j.Finished {
+			pc.Observe(j)
+		}
+	}
+	return pc
+}

@@ -51,6 +51,12 @@ type Job struct {
 	// to at submission. Always 0 on single-machine runs, and for jobs a
 	// scenario canceled before they were ever routed.
 	Cluster int
+	// Client is the index of the traffic source that generated the job
+	// in a multi-client workload, derived from the SWF Partition field
+	// (partition 1+index). 0 for single-population synthetics; negative
+	// or out-of-range values (archive logs with exotic partition
+	// numbering) are ignored by the per-client collectors.
+	Client int
 
 	// Record points at the original SWF record, which carries the extra
 	// descriptive fields (executable, queue, ...) used by learning.
@@ -75,6 +81,7 @@ func FromSWFInto(dst *Job, r *swf.Job) {
 		Submit:  r.SubmitTime,
 		Runtime: r.RunTime,
 		Request: r.Request(),
+		Client:  int(r.Partition) - 1,
 		Record:  r,
 	}
 }

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/campaign"
+)
+
+// ClientTable renders the per-client decomposition of a multi-client
+// campaign: one block per workload, triples as rows, one
+// "AVEbsld @ wait (jobs)" column per client next to the global score,
+// so a client's slice of the objective is visible beside its traffic
+// share. Results without a per-client decomposition (single-population
+// workloads) are skipped; an empty string means nothing to render.
+func ClientTable(results []campaign.RunResult) string {
+	byWorkload := map[string][]campaign.RunResult{}
+	var order []string
+	for _, r := range results {
+		if len(r.Clients) == 0 {
+			continue
+		}
+		if _, seen := byWorkload[r.Workload]; !seen {
+			order = append(order, r.Workload)
+		}
+		byWorkload[r.Workload] = append(byWorkload[r.Workload], r)
+	}
+	if len(order) == 0 {
+		return ""
+	}
+
+	var b strings.Builder
+	b.WriteString("Per-client metrics per triple (AVEbsld @ mean wait[s], share of finished jobs)\n")
+	for _, w := range order {
+		rs := byWorkload[w]
+		fmt.Fprintf(&b, "\n%s:\n", w)
+		tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "  Triple\tAVEbsld")
+		for _, c := range rs[0].Clients {
+			fmt.Fprintf(tw, "\t%s", c.Name)
+		}
+		fmt.Fprintf(tw, "\t\n")
+		for _, r := range rs {
+			fmt.Fprintf(tw, "  %s\t%.1f", r.Triple.Name(), r.AVEbsld)
+			for _, c := range r.Clients {
+				fmt.Fprintf(tw, "\t%.1f @ %.0f (%.0f%%)", c.AVEbsld, c.MeanWait, 100*c.Share)
+			}
+			fmt.Fprintf(tw, "\t\n")
+		}
+		tw.Flush()
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+)
+
+func clientResults() []campaign.RunResult {
+	return []campaign.RunResult{
+		{
+			Workload: "KTH-SP2", Triple: core.EASY(), AVEbsld: 14.2,
+			Clients: []campaign.ClientMetrics{
+				{Name: "steady", Finished: 180, Share: 0.6, AVEbsld: 10.1, MeanWait: 300},
+				{Name: "bursty", Finished: 120, Share: 0.4, AVEbsld: 20.4, MeanWait: 451},
+			},
+		},
+		{
+			Workload: "KTH-SP2", Triple: core.EASYPlusPlus(), AVEbsld: 9.8,
+			Clients: []campaign.ClientMetrics{
+				{Name: "steady", Finished: 180, Share: 0.6, AVEbsld: 7.0, MeanWait: 210},
+				{Name: "bursty", Finished: 120, Share: 0.4, AVEbsld: 14.0, MeanWait: 330},
+			},
+		},
+	}
+}
+
+func TestClientTable(t *testing.T) {
+	out := ClientTable(clientResults())
+	for _, want := range []string{
+		"Per-client metrics",
+		"KTH-SP2:",
+		"steady", "bursty",
+		core.EASY().Name(), core.EASYPlusPlus().Name(),
+		"10.1 @ 300 (60%)",
+		"14.0 @ 330 (40%)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table misses %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestClientTableSkipsSinglePopulation: results without a decomposition
+// render nothing — no empty block, no header.
+func TestClientTableSkipsSinglePopulation(t *testing.T) {
+	if out := ClientTable([]campaign.RunResult{{Workload: "CTC-SP2", Triple: core.EASY()}}); out != "" {
+		t.Fatalf("single-population results rendered %q", out)
+	}
+	if out := ClientTable(nil); out != "" {
+		t.Fatalf("nil results rendered %q", out)
+	}
+	// A mixed set renders only the decomposed workload.
+	mixed := append(clientResults(), campaign.RunResult{Workload: "CTC-SP2", Triple: core.EASY()})
+	out := ClientTable(mixed)
+	if strings.Contains(out, "CTC-SP2") {
+		t.Fatalf("undecomposed workload leaked into the table:\n%s", out)
+	}
+}

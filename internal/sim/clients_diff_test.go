@@ -1,0 +1,163 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The multi-client analogue of the stream differential layer: a
+// degenerate clients block must be invisible to the engine (identical
+// decisions, metrics and counters to the single-population generator),
+// and a real decomposition must drive both streaming drivers with its
+// per-client accounting intact.
+
+func multiClients() []workload.Client {
+	return []workload.Client{
+		{Name: "steady", Fraction: 0.6},
+		{Name: "bursty", Fraction: 0.3, Arrival: "gamma", Shape: 0.5},
+		{Name: "tidal", Fraction: 0.1, Arrival: "weibull",
+			Envelope: []float64{1, 0.25}, EnvelopePeriod: 6 * 3600},
+	}
+}
+
+// TestStreamSingleClientIdenticalToGenSource is the acceptance
+// differential: one all-default client through the full streaming
+// engine produces the exact retirement sequence, Result counters and
+// metric collector sums of the plain generator.
+func TestStreamSingleClientIdenticalToGenSource(t *testing.T) {
+	cfg, err := workload.Scaled("KTH-SP2", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := core.EASYPlusPlus()
+
+	gen, err := workload.NewGenSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genSink := newRecordingSink()
+	gcfg := tr.Config()
+	gcfg.Sink = genSink
+	gres, err := sim.RunStream(cfg.Name, cfg.MaxProcs, gen, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	multi, err := workload.NewMultiSource(cfg, []workload.Client{{Name: "all", Fraction: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiSink := newRecordingSink()
+	mcfg := tr.Config()
+	mcfg.Sink = multiSink
+	mres, err := sim.RunStream(cfg.Name, cfg.MaxProcs, multi, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "single-client", gres, mres, genSink, multiSink)
+}
+
+// TestStreamMultiClientPerClientAccounting runs a real three-client
+// decomposition through RunStream with the per-client sink: the client
+// collectors must partition the overall population exactly, matching
+// the generator's apportionment (no disruptions, so every job
+// finishes).
+func TestStreamMultiClientPerClientAccounting(t *testing.T) {
+	cfg, err := workload.Scaled("CTC-SP2", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewMultiSource(cfg, multiClients())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := src.Counts()
+	pc := metrics.NewPerClient(src.ClientNames())
+	scfg := core.EASYPlusPlus().Config()
+	scfg.Sink = pc
+	res, err := sim.RunStream(cfg.Name, cfg.MaxProcs, src, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != cfg.Jobs {
+		t.Fatalf("finished %d of %d jobs", res.Finished, cfg.Jobs)
+	}
+	if pc.Overall().Finished() != cfg.Jobs {
+		t.Fatalf("overall collector saw %d jobs, want %d", pc.Overall().Finished(), cfg.Jobs)
+	}
+	sum := 0
+	for i, name := range pc.Names() {
+		got := pc.Client(i).Finished()
+		if got != counts[i] {
+			t.Fatalf("client %s finished %d jobs, apportionment says %d", name, got, counts[i])
+		}
+		sum += got
+	}
+	if sum != pc.Overall().Finished() {
+		t.Fatalf("per-client finishes sum to %d, overall %d", sum, pc.Overall().Finished())
+	}
+	// The per-client AVEbsld values must average (weighted by finish
+	// counts) back to the overall objective — the decomposition is a
+	// partition, not a resampling.
+	var weighted float64
+	for i := range pc.Names() {
+		c := pc.Client(i)
+		weighted += c.AVEbsld() * float64(c.Finished())
+	}
+	weighted /= float64(pc.Overall().Finished())
+	overall := pc.Overall().AVEbsld()
+	if diff := weighted - overall; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("weighted per-client AVEbsld %.12f != overall %.12f", weighted, overall)
+	}
+}
+
+// TestFederatedStreamAcceptsMultiSource pins drop-in compatibility with
+// the federated streaming driver: a multi-client stream routes across
+// clusters and every job finishes.
+func TestFederatedStreamAcceptsMultiSource(t *testing.T) {
+	cfg, err := workload.Scaled("KTH-SP2", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewMultiSource(cfg, multiClients())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The widest cluster must fit the widest generated job (up to the
+	// base machine's 32 procs).
+	clusters, err := platform.ParseClusters("32,16x1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := sched.NewRouter("least-loaded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := metrics.NewFederated(len(clusters))
+	fed := sim.FederatedConfig{
+		Clusters: clusters,
+		Router:   router,
+		Sink:     col,
+		Session:  func() sim.Config { return core.EASYPlusPlus().Config() },
+	}
+	res, err := sim.RunFederatedStream(cfg.Name, src, fed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != cfg.Jobs {
+		t.Fatalf("finished %d of %d jobs", res.Finished, cfg.Jobs)
+	}
+	routed := 0
+	for i := range res.Clusters {
+		routed += res.Clusters[i].Routed
+	}
+	if routed != cfg.Jobs {
+		t.Fatalf("routed %d of %d jobs", routed, cfg.Jobs)
+	}
+}

@@ -1,0 +1,104 @@
+package sim_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// hugeClientsWorkload mirrors the huge-clients entry of
+// specs/clients.yaml: the huge-synthetic operating point decomposed
+// into three clients whose user bases total users (200k at full
+// scale), apportioned 15:4:1.
+func hugeClientsWorkload(jobs, users int) (workload.Config, []workload.Client, error) {
+	cfg, err := workload.Preset("huge-synthetic")
+	if err != nil {
+		return workload.Config{}, nil, err
+	}
+	cfg.Name = "huge-clients"
+	cfg.Jobs = jobs
+	cfg.Seed = 0xc11e
+	clients := []workload.Client{
+		{Name: "bulk", Fraction: 0.75, Users: users * 15 / 20},
+		{Name: "campaigns", Fraction: 0.20, Arrival: "gamma", Shape: 0.5, Users: users * 4 / 20},
+		{Name: "interactive", Fraction: 0.05, Arrival: "poisson",
+			Envelope: []float64{1, 0.3}, EnvelopePeriod: 43200, Users: users / 20},
+	}
+	return cfg, clients, nil
+}
+
+// TestMultiClientStreamSmoke is the always-on scaled-down form of the
+// multi-client memory guard: a 20k-job three-client stream completes
+// on the streaming engine with every client's apportioned share
+// finishing.
+func TestMultiClientStreamSmoke(t *testing.T) {
+	cfg, clients, err := hugeClientsWorkload(20_000, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewMultiSource(cfg, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := src.Counts()
+	pc := metrics.NewPerClient(src.ClientNames())
+	scfg := core.EASYPlusPlus().Config()
+	scfg.Sink = pc
+	res, err := sim.RunStream(cfg.Name, cfg.MaxProcs, src, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != cfg.Jobs {
+		t.Fatalf("finished %d jobs, want %d", res.Finished, cfg.Jobs)
+	}
+	for i, name := range pc.Names() {
+		if pc.Client(i).Finished() != counts[i] {
+			t.Fatalf("client %s finished %d jobs, apportionment says %d", name, pc.Client(i).Finished(), counts[i])
+		}
+	}
+}
+
+// TestMultiClientHugeBoundedMemory is the acceptance guard for
+// million-job multi-client streaming: the full huge-clients workload —
+// 1M jobs from 200k users across three clients — must complete with
+// peak heap within 2x of the single-population huge-synthetic budget
+// (the populations dominate: three user bases instead of one). Opt-in
+// like its single-population sibling:
+//
+//	SIM_LONG=1 go test ./internal/sim -run TestMultiClientHuge -v -timeout 30m
+func TestMultiClientHugeBoundedMemory(t *testing.T) {
+	if os.Getenv("SIM_LONG") == "" {
+		t.Skip("set SIM_LONG=1 to run the million-job multi-client memory guard")
+	}
+	cfg, clients, err := hugeClientsWorkload(1_000_000, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewMultiSource(cfg, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &peakSink{inner: metrics.NewPerClient(src.ClientNames()), sampleEvery: 20_000}
+	scfg := core.EASYPlusPlus().Config()
+	scfg.Sink = sink
+	res, err := sim.RunStream(cfg.Name, cfg.MaxProcs, src, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished != cfg.Jobs {
+		t.Fatalf("finished %d jobs, want %d", res.Finished, cfg.Jobs)
+	}
+	// 2x the single-population streaming budget: the extra headroom is
+	// the 200k-user populations (the single-population preset carries
+	// 1200 users), not the job count, which stays O(live window).
+	const heapBudget = 512 << 20
+	if sink.peak > heapBudget {
+		t.Fatalf("peak heap %d MiB exceeds the %d MiB multi-client budget", sink.peak>>20, heapBudget>>20)
+	}
+	t.Logf("1M jobs, 3 clients: peak heap %d MiB, %d events, %v wall",
+		sink.peak>>20, res.Perf.Events, res.Perf.Wall())
+}

@@ -38,6 +38,9 @@ func FuzzSpecYAML(f *testing.F) {
 		"trace:\n  file: \"\"\n",
 		"trace: on\n",
 		"kind: robustness\ntrace:\n  profile: false\noutput:\n  perf: true\n",
+		"workloads:\n  - preset: KTH-SP2\n    clients:\n      - name: a\n        fraction: 0.5\n      - fraction: 0.5\n        arrival: gamma\n        shape: 0.7\n",
+		"workloads:\n  - preset: KTH-SP2\n    clients:\n      - fraction: 1\n        envelope: [1, 0]\n        envelope_period: 3600\n        users: 3\n        runtime_log_mean: 8\n",
+		"shards: 2\nstream: true\n",
 		"a:\n - b\n -   c: [1, \"two\", 3]\n",
 		"include: other.yaml\n",
 		"\t\n: :\n- -\n",

@@ -25,8 +25,8 @@ import (
 // decode fills the Spec from the merged tree.
 func (s *Spec) decode(tree *node) error {
 	if err := tree.checkKeys("kind", "seed", "repeats", "jobs", "parallelism",
-		"stream", "workloads", "triples", "scenarios", "clusters", "routing",
-		"output", "trace"); err != nil {
+		"stream", "shards", "workloads", "triples", "scenarios", "clusters",
+		"routing", "output", "trace"); err != nil {
 		return err
 	}
 
@@ -302,7 +302,7 @@ func (s *Spec) decodeWorkload(n *node) (WorkloadSpec, error) {
 		return WorkloadSpec{}, n.errf("workload entries must be preset names or mappings")
 	}
 	if n.at("config") != nil {
-		if err := n.checkKeys("name", "config"); err != nil {
+		if err := n.checkKeys("name", "config", "clients"); err != nil {
 			return WorkloadSpec{}, err
 		}
 		nameNode := n.at("name")
@@ -317,9 +317,15 @@ func (s *Spec) decodeWorkload(n *node) (WorkloadSpec, error) {
 		if err != nil {
 			return WorkloadSpec{}, err
 		}
-		return WorkloadSpec{Config: cfg, Jobs: -1}, nil
+		w := WorkloadSpec{Config: cfg, Jobs: -1}
+		if cn := n.at("clients"); cn != nil {
+			if w.Clients, err = decodeClients(cn); err != nil {
+				return WorkloadSpec{}, err
+			}
+		}
+		return w, nil
 	}
-	if err := n.checkKeys("preset", "jobs", "seed"); err != nil {
+	if err := n.checkKeys("preset", "jobs", "seed", "clients"); err != nil {
 		return WorkloadSpec{}, err
 	}
 	presetNode := n.at("preset")
@@ -351,7 +357,113 @@ func (s *Spec) decodeWorkload(n *node) (WorkloadSpec, error) {
 		}
 		w.Seed = v
 	}
+	if cn := n.at("clients"); cn != nil {
+		clients, err := decodeClients(cn)
+		if err != nil {
+			return WorkloadSpec{}, err
+		}
+		w.Clients = clients
+	}
 	return w, nil
+}
+
+// decodeClients reads a clients block: the multi-client decomposition
+// of one workload entry (see docs/WORKLOADS.md for the schema).
+// Cross-client validity — unique names, fraction sums, arrival
+// vocabulary, envelope shape — is workload.ValidateClients's job,
+// surfaced at the list's position.
+func decodeClients(n *node) ([]workload.Client, error) {
+	if n.kind != kindList {
+		return nil, n.errf("clients must be a list")
+	}
+	if len(n.items) == 0 {
+		return nil, n.errf("clients must not be empty (omit the key for a single population)")
+	}
+	out := make([]workload.Client, 0, len(n.items))
+	for _, item := range n.items {
+		c, err := decodeClient(item)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	if err := workload.ValidateClients(out); err != nil {
+		return nil, n.errf("%v", err)
+	}
+	return out, nil
+}
+
+func decodeClient(n *node) (workload.Client, error) {
+	if n.kind != kindMap {
+		return workload.Client{}, n.errf("client entries must be mappings")
+	}
+	if err := n.checkKeys("name", "fraction", "arrival", "shape", "envelope",
+		"envelope_period", "users", "runtime_log_mean", "runtime_log_sigma",
+		"class_sigma", "serial_fraction", "max_job_procs_fraction"); err != nil {
+		return workload.Client{}, err
+	}
+	var c workload.Client
+	var err error
+	if nn := n.at("name"); nn != nil {
+		if c.Name, err = nn.str(); err != nil {
+			return workload.Client{}, err
+		}
+	}
+	fn := n.at("fraction")
+	if fn == nil {
+		return workload.Client{}, n.errf("client needs a fraction (its share of the job stream)")
+	}
+	if c.Fraction, err = fn.toFloat(); err != nil {
+		return workload.Client{}, err
+	}
+	if an := n.at("arrival"); an != nil {
+		if c.Arrival, err = an.str(); err != nil {
+			return workload.Client{}, err
+		}
+	}
+	if sn := n.at("shape"); sn != nil {
+		if c.Shape, err = sn.toFloat(); err != nil {
+			return workload.Client{}, err
+		}
+	}
+	if en := n.at("envelope"); en != nil {
+		if c.Envelope, err = en.toFloatList(); err != nil {
+			return workload.Client{}, err
+		}
+	}
+	if pn := n.at("envelope_period"); pn != nil {
+		if c.EnvelopePeriod, err = pn.toInt64(); err != nil {
+			return workload.Client{}, err
+		}
+	}
+	if un := n.at("users"); un != nil {
+		if c.Users, err = un.toInt(); err != nil {
+			return workload.Client{}, err
+		}
+	}
+	// Distribution overrides: a present key overrides the base config
+	// even at zero, hence the pointer fields.
+	for _, o := range []struct {
+		key string
+		dst **float64
+	}{
+		{"runtime_log_mean", &c.RuntimeLogMean},
+		{"runtime_log_sigma", &c.RuntimeLogSigma},
+		{"class_sigma", &c.ClassSigma},
+		{"serial_fraction", &c.SerialFraction},
+		{"max_job_procs_fraction", &c.MaxJobProcsFraction},
+	} {
+		on := n.at(o.key)
+		if on == nil {
+			continue
+		}
+		v, err := on.toFloat()
+		if err != nil {
+			return workload.Client{}, err
+		}
+		*o.dst = &v
+	}
+	return c, nil
 }
 
 // configFields maps the snake_case spec schema onto workload.Config.
@@ -953,6 +1065,21 @@ func (n *node) toBool() (bool, error) {
 		}
 	}
 	return false, n.errf("expected true or false")
+}
+
+func (n *node) toFloatList() ([]float64, error) {
+	if n.kind != kindList {
+		return nil, n.errf("expected a list")
+	}
+	out := make([]float64, len(n.items))
+	for i, item := range n.items {
+		v, err := item.toFloat()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 func (n *node) toIntList() ([]int, error) {

@@ -11,8 +11,9 @@
 // file:line-positional errors.
 //
 // The accepted format is a strict YAML subset parsed by this package
-// (see yaml.go); the full schema is documented in the repository README
-// and exercised by the canonical files under specs/.
+// (see yaml.go); the workload and clients schema is documented in
+// docs/WORKLOADS.md, the rest in the repository README, and both are
+// exercised by the canonical files under specs/.
 package spec
 
 import (
@@ -96,6 +97,9 @@ type WorkloadSpec struct {
 	Seed uint64
 	// Config is the inline generator configuration (Preset == "").
 	Config *workload.Config
+	// Clients is the entry's multi-client decomposition (nil = a single
+	// homogeneous population). See docs/WORKLOADS.md for the schema.
+	Clients []workload.Client
 }
 
 // Output is the spec's output section plus rendering selections.
@@ -301,11 +305,18 @@ func mergeTree(base, over *node) *node {
 	return merged
 }
 
-// WorkloadConfigs resolves the workload entries into generator
-// configurations, applying the spec-level scaling (after any flag
-// overrides), and cross-validates the scenario scripts against each
-// machine they will run on.
-func (s *Spec) WorkloadConfigs() ([]workload.Config, error) {
+// ResolvedWorkload pairs a resolved generator configuration with its
+// multi-client decomposition (nil Clients = single population).
+type ResolvedWorkload struct {
+	Config  workload.Config
+	Clients []workload.Client
+}
+
+// ResolvedWorkloads resolves the workload entries into generator
+// configurations plus their clients blocks, applying the spec-level
+// scaling (after any flag overrides), and cross-validates the scenario
+// scripts against each machine they will run on.
+func (s *Spec) ResolvedWorkloads() ([]ResolvedWorkload, error) {
 	entries := s.Workloads
 	if len(entries) == 0 {
 		// Default: every Table-4 preset at the spec's scaling.
@@ -313,14 +324,15 @@ func (s *Spec) WorkloadConfigs() ([]workload.Config, error) {
 			entries = append(entries, WorkloadSpec{Preset: name, Jobs: -1})
 		}
 	}
-	cfgs := make([]workload.Config, len(entries))
+	rs := make([]ResolvedWorkload, len(entries))
 	for i, e := range entries {
+		rs[i].Clients = e.Clients
 		if e.Preset == "" {
 			cfg := *e.Config
 			if err := cfg.Validate(); err != nil {
 				return nil, fmt.Errorf("spec: %s: workload %q: %w", s.Path, cfg.Name, err)
 			}
-			cfgs[i] = cfg
+			rs[i].Config = cfg
 			continue
 		}
 		jobs := e.Jobs
@@ -334,14 +346,14 @@ func (s *Spec) WorkloadConfigs() ([]workload.Config, error) {
 		if e.Seed != 0 {
 			cfg.Seed = e.Seed
 		}
-		cfgs[i] = cfg
+		rs[i].Config = cfg
 	}
 	seen := map[string]bool{}
-	for _, cfg := range cfgs {
-		if seen[cfg.Name] {
-			return nil, fmt.Errorf("spec: %s: duplicate workload name %q", s.Path, cfg.Name)
+	for _, r := range rs {
+		if seen[r.Config.Name] {
+			return nil, fmt.Errorf("spec: %s: duplicate workload name %q", s.Path, r.Config.Name)
 		}
-		seen[cfg.Name] = true
+		seen[r.Config.Name] = true
 	}
 	// A fixed script that drains more than it restores would leave jobs
 	// stranded and fail mid-grid; reject it per machine up front.
@@ -349,26 +361,48 @@ func (s *Spec) WorkloadConfigs() ([]workload.Config, error) {
 		if sc.Script == nil {
 			continue
 		}
-		for _, cfg := range cfgs {
-			if !sc.Script.Balanced(cfg.MaxProcs) {
+		for _, r := range rs {
+			if !sc.Script.Balanced(r.Config.MaxProcs) {
 				return nil, fmt.Errorf("spec: %s: scenario %q does not restore its drains on %s (%d processors)",
-					s.Path, sc.Script.Name, cfg.Name, cfg.MaxProcs)
+					s.Path, sc.Script.Name, r.Config.Name, r.Config.MaxProcs)
 			}
 		}
+	}
+	return rs, nil
+}
+
+// WorkloadConfigs resolves the workload entries into bare generator
+// configurations — ResolvedWorkloads without the clients axis, kept for
+// callers that only need the configs (validation, gentrace -preset).
+func (s *Spec) WorkloadConfigs() ([]workload.Config, error) {
+	rs, err := s.ResolvedWorkloads()
+	if err != nil {
+		return nil, err
+	}
+	cfgs := make([]workload.Config, len(rs))
+	for i := range rs {
+		cfgs[i] = rs[i].Config
 	}
 	return cfgs, nil
 }
 
 // GenerateWorkloads resolves and generates the spec's workloads — the
-// expensive step a validate-only run skips.
+// expensive step a validate-only run skips. Entries with a clients
+// block generate through the multi-client merge and carry the client
+// names on the returned workload.
 func (s *Spec) GenerateWorkloads() ([]*trace.Workload, error) {
-	cfgs, err := s.WorkloadConfigs()
+	rs, err := s.ResolvedWorkloads()
 	if err != nil {
 		return nil, err
 	}
-	ws := make([]*trace.Workload, len(cfgs))
-	for i, cfg := range cfgs {
-		w, err := workload.Generate(cfg)
+	ws := make([]*trace.Workload, len(rs))
+	for i, r := range rs {
+		var w *trace.Workload
+		if len(r.Clients) > 0 {
+			w, err = workload.GenerateMulti(r.Config, r.Clients)
+		} else {
+			w, err = workload.Generate(r.Config)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("spec: %s: %w", s.Path, err)
 		}

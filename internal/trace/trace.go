@@ -22,6 +22,10 @@ type Workload struct {
 	MaxProcs int64
 	// Jobs is ordered by submit time.
 	Jobs []swf.Job
+	// Clients names the traffic sources of a multi-client workload in
+	// client-index order (the SWF Partition field carries 1+index). Nil
+	// for single-population workloads and archive logs.
+	Clients []string
 }
 
 // FromSWF builds a Workload from a parsed trace, cleaning it first.

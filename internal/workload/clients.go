@@ -1,0 +1,681 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/swf"
+	"repro/internal/trace"
+)
+
+// Client describes one traffic source of a multi-client workload. A
+// slice of Clients decomposes a base Config's job budget into
+// heterogeneous sub-populations — skewed rate shares, distinct arrival
+// processes, per-client size/runtime overrides — the shape of
+// production traffic that a single homogeneous population cannot
+// express. See docs/WORKLOADS.md for the model and the spec schema.
+type Client struct {
+	// Name labels the client in reports, journals and SWF headers.
+	// Empty names default to "c<index>".
+	Name string
+	// Fraction is the client's share of the total job count. Shares are
+	// normalized over all clients, so they need not sum to 1; a zero
+	// fraction is allowed and yields an empty stream for that client.
+	Fraction float64
+	// Arrival selects the client's arrival process: "profile" (default,
+	// empty string — the daily/weekly intensity of the single-population
+	// generator), "poisson" (flat rate), "gamma" (bursty renewal), or
+	// "weibull" (heavy-tailed renewal).
+	Arrival string
+	// Shape parameterizes the gamma/weibull renewal processes; zero
+	// picks the default (0.5 for gamma, 0.7 for weibull). Shapes below 1
+	// make inter-arrivals bursty. Setting Shape with any other arrival
+	// process is a validation error.
+	Shape float64
+	// Envelope is an optional cyclic rate envelope: relative weights
+	// applied over consecutive windows of EnvelopePeriod seconds,
+	// repeating for the whole trace. It multiplies the arrival-process
+	// intensity, so e.g. [1, 0] with a 12-hour period makes the client
+	// submit only every other half-day.
+	Envelope []float64
+	// EnvelopePeriod is the width of one envelope window in seconds.
+	// Required with Envelope, rejected without it.
+	EnvelopePeriod int64
+	// Users overrides this client's user-population size; zero
+	// apportions the base Config's population by Fraction.
+	Users int
+	// Per-client distribution overrides. Nil inherits the base Config;
+	// pointers distinguish "unset" from a meaningful zero.
+	RuntimeLogMean      *float64
+	RuntimeLogSigma     *float64
+	ClassSigma          *float64
+	SerialFraction      *float64
+	MaxJobProcsFraction *float64
+}
+
+// arrivalKind is the parsed form of Client.Arrival.
+type arrivalKind int
+
+const (
+	arrivalProfile arrivalKind = iota
+	arrivalPoisson
+	arrivalGamma
+	arrivalWeibull
+)
+
+func parseArrival(s string) (arrivalKind, error) {
+	switch s {
+	case "", "profile":
+		return arrivalProfile, nil
+	case "poisson":
+		return arrivalPoisson, nil
+	case "gamma":
+		return arrivalGamma, nil
+	case "weibull":
+		return arrivalWeibull, nil
+	}
+	return 0, fmt.Errorf("unknown arrival process %q (have profile, poisson, gamma, weibull)", s)
+}
+
+func (k arrivalKind) String() string {
+	switch k {
+	case arrivalPoisson:
+		return "poisson"
+	case arrivalGamma:
+		return "gamma"
+	case arrivalWeibull:
+		return "weibull"
+	}
+	return "profile"
+}
+
+// clientName returns the effective (defaulted) name of clients[i].
+func clientName(c *Client, i int) string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("c%d", i)
+}
+
+// ValidateClients reports configuration errors in a clients block:
+// duplicate names, negative or all-zero fractions, unknown arrival
+// vocabulary, shapes on non-renewal processes, malformed envelopes, and
+// out-of-range distribution overrides.
+func ValidateClients(clients []Client) error {
+	if len(clients) == 0 {
+		return fmt.Errorf("clients: need at least one client")
+	}
+	seen := make(map[string]bool, len(clients))
+	var sum float64
+	for i := range clients {
+		c := &clients[i]
+		name := clientName(c, i)
+		bad := func(format string, args ...any) error {
+			return fmt.Errorf("clients[%d] (%s): %s", i, name, fmt.Sprintf(format, args...))
+		}
+		if seen[name] {
+			return bad("duplicate client name")
+		}
+		seen[name] = true
+		if c.Fraction < 0 || math.IsInf(c.Fraction, 0) || math.IsNaN(c.Fraction) {
+			return bad("fraction %v must be finite and >= 0", c.Fraction)
+		}
+		sum += c.Fraction
+		kind, err := parseArrival(c.Arrival)
+		if err != nil {
+			return bad("%v", err)
+		}
+		if c.Shape < 0 || math.IsInf(c.Shape, 0) || math.IsNaN(c.Shape) {
+			return bad("shape %v must be finite and >= 0", c.Shape)
+		}
+		if c.Shape != 0 && kind != arrivalGamma && kind != arrivalWeibull {
+			return bad("shape only applies to gamma/weibull arrivals, not %q", kind)
+		}
+		if len(c.Envelope) > 0 {
+			if c.EnvelopePeriod <= 0 {
+				return bad("envelope needs a positive envelope_period")
+			}
+			var esum float64
+			for _, w := range c.Envelope {
+				if w < 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+					return bad("envelope weight %v must be finite and >= 0", w)
+				}
+				esum += w
+			}
+			if esum <= 0 {
+				return bad("envelope weights must not all be zero")
+			}
+		} else if c.EnvelopePeriod != 0 {
+			return bad("envelope_period without an envelope")
+		}
+		if c.Users < 0 {
+			return bad("users must be >= 0")
+		}
+		if c.RuntimeLogSigma != nil && *c.RuntimeLogSigma < 0 {
+			return bad("runtime_log_sigma must be >= 0")
+		}
+		if c.ClassSigma != nil && *c.ClassSigma < 0 {
+			return bad("class_sigma must be >= 0")
+		}
+		if c.SerialFraction != nil && (*c.SerialFraction < 0 || *c.SerialFraction > 1) {
+			return bad("serial_fraction must be in [0,1]")
+		}
+		if c.MaxJobProcsFraction != nil && (*c.MaxJobProcsFraction <= 0 || *c.MaxJobProcsFraction > 1) {
+			return bad("max_job_procs_fraction must be in (0,1]")
+		}
+	}
+	if sum <= 0 {
+		return fmt.Errorf("clients: fractions sum to %v; at least one must be positive", sum)
+	}
+	return nil
+}
+
+// defaultPopulation reports whether the client carries no overrides at
+// all, so its stream is definitionally the base single-population one.
+func defaultPopulation(c *Client) bool {
+	return c.Arrival == "" && c.Shape == 0 && len(c.Envelope) == 0 &&
+		c.EnvelopePeriod == 0 && c.Users == 0 &&
+		c.RuntimeLogMean == nil && c.RuntimeLogSigma == nil &&
+		c.ClassSigma == nil && c.SerialFraction == nil &&
+		c.MaxJobProcsFraction == nil
+}
+
+// apportion splits total jobs across clients by largest-remainder
+// apportionment of the (normalized) fractions. Ties go to the lower
+// index, and a zero-fraction client never receives a leftover, so a
+// rate share of 0 really does mean an empty stream.
+func apportion(total int, fractions []float64) []int {
+	var sum float64
+	for _, f := range fractions {
+		sum += f
+	}
+	counts := make([]int, len(fractions))
+	type rem struct {
+		frac float64
+		idx  int
+	}
+	var rems []rem
+	assigned := 0
+	for i, f := range fractions {
+		if f <= 0 {
+			continue
+		}
+		exact := float64(total) * f / sum
+		counts[i] = int(exact)
+		assigned += counts[i]
+		rems = append(rems, rem{frac: exact - float64(counts[i]), idx: i})
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for k := 0; assigned < total; k++ {
+		counts[rems[k%len(rems)].idx]++
+		assigned++
+	}
+	return counts
+}
+
+// rateWalker inverts the cumulative arrival intensity Λ(t) one segment
+// at a time. The intensity is piecewise constant — the product of the
+// hourly daily/weekly profile (for "profile" arrivals) and the client's
+// cyclic envelope — scaled so Λ(duration) equals the client's job
+// count. Queries arrive with nondecreasing operational time, so the
+// walker advances monotonically: a whole stream inverts in
+// O(total segments) work and O(1) memory.
+type rateWalker struct {
+	duration  float64
+	diurnal   bool
+	env       []float64
+	envPeriod float64
+	scale     float64 // converts raw weight to arrivals per second
+
+	segStart float64
+	segEnd   float64
+	rate     float64 // scaled rate over [segStart, segEnd)
+	cum      float64 // Λ(segStart)
+}
+
+// weightAt returns the unscaled intensity weight at instant t.
+func (w *rateWalker) weightAt(t float64) float64 {
+	v := 1.0
+	if w.diurnal {
+		h := int(t / 3600)
+		v = 0.35 + 0.65*dayWeight(h%24)
+		if (h/24)%7 >= 5 {
+			v *= 0.45 // weekend dip, as in hourlyCum
+		}
+	}
+	if len(w.env) > 0 {
+		v *= w.env[int(t/w.envPeriod)%len(w.env)]
+	}
+	return v
+}
+
+// boundaryAfter returns the next segment boundary strictly after t,
+// capped at the trace duration.
+func (w *rateWalker) boundaryAfter(t float64) float64 {
+	next := w.duration
+	if w.diurnal {
+		if b := (math.Floor(t/3600) + 1) * 3600; b < next {
+			next = b
+		}
+	}
+	if len(w.env) > 0 {
+		if b := (math.Floor(t/w.envPeriod) + 1) * w.envPeriod; b < next {
+			next = b
+		}
+	}
+	if next <= t {
+		next = w.duration // FP guard: never stall
+	}
+	return next
+}
+
+func newRateWalker(diurnal bool, env []float64, envPeriod, duration, jobs float64) (*rateWalker, error) {
+	w := &rateWalker{duration: duration, diurnal: diurnal, env: env, envPeriod: envPeriod}
+	var total float64
+	for t := 0.0; t < duration; {
+		b := w.boundaryAfter(t)
+		total += w.weightAt(t) * (b - t)
+		t = b
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("arrival intensity is zero over the whole %gs trace (every envelope window that fits is zero-weight)", duration)
+	}
+	w.scale = jobs / total
+	w.segEnd = w.boundaryAfter(0)
+	w.rate = w.weightAt(0) * w.scale
+	return w, nil
+}
+
+// invert returns the instant t with Λ(t) = opTime, clamped to the
+// duration. opTime must be nondecreasing across calls.
+func (w *rateWalker) invert(opTime float64) float64 {
+	for {
+		segMass := w.rate * (w.segEnd - w.segStart)
+		if w.rate > 0 && w.cum+segMass >= opTime {
+			return w.segStart + (opTime-w.cum)/w.rate
+		}
+		if w.segEnd >= w.duration {
+			return w.duration // caller clamps into range
+		}
+		w.cum += segMass
+		w.segStart = w.segEnd
+		w.segEnd = w.boundaryAfter(w.segStart)
+		w.rate = w.weightAt(w.segStart) * w.scale
+	}
+}
+
+// clientStream generates one client's sub-stream: the same proto-job
+// machinery as GenSource (seeded with this client's derived child seed)
+// with arrivals drawn by time-rescaling — unit-mean renewal increments
+// accumulated in operational time and pushed through the inverse of the
+// client's cumulative intensity. Memory is O(client users + 1 walker).
+type clientStream struct {
+	protos *protoStream
+	arr    *rng.Source
+	kind   arrivalKind
+	shape  float64
+	walk   *rateWalker
+
+	jobs          int
+	emitted       int
+	burstFraction float64
+	burstGap      int64
+	duration      float64
+	prev          int64
+	opTime        float64
+}
+
+func newClientStream(sub Config, c *Client, duration float64) (*clientStream, error) {
+	kind, err := parseArrival(c.Arrival)
+	if err != nil {
+		return nil, err
+	}
+	shape := c.Shape
+	if shape == 0 {
+		switch kind {
+		case arrivalGamma:
+			shape = 0.5
+		case arrivalWeibull:
+			shape = 0.7
+		}
+	}
+	burstGap := sub.BurstGap
+	if burstGap <= 0 {
+		burstGap = 120
+	}
+	walk, err := newRateWalker(kind == arrivalProfile, c.Envelope,
+		float64(c.EnvelopePeriod), duration, float64(sub.Jobs))
+	if err != nil {
+		return nil, err
+	}
+	return &clientStream{
+		protos:        newProtoStream(sub),
+		arr:           rng.Stream(sub.Seed, streamArrivals),
+		kind:          kind,
+		shape:         shape,
+		walk:          walk,
+		jobs:          sub.Jobs,
+		burstFraction: sub.BurstFraction,
+		burstGap:      burstGap,
+		duration:      duration,
+	}, nil
+}
+
+// nextArrival draws the next submission instant, nondecreasing by
+// construction: bursts clump within burstGap of the previous arrival
+// exactly as in GenSource, and base-process draws add a unit-mean
+// operational-time increment and invert the intensity.
+func (cs *clientStream) nextArrival() int64 {
+	if cs.emitted > 0 && cs.arr.Bernoulli(cs.burstFraction) {
+		t := cs.prev + cs.arr.Int63n(cs.burstGap+1)
+		if float64(t) >= cs.duration {
+			t = int64(cs.duration) - 1
+		}
+		if t < cs.prev {
+			t = cs.prev
+		}
+		cs.prev = t
+		return t
+	}
+	var x float64
+	switch cs.kind {
+	case arrivalGamma:
+		x = cs.arr.Gamma(cs.shape, 1/cs.shape)
+	case arrivalWeibull:
+		x = cs.arr.Weibull(cs.shape, 1/math.Gamma(1+1/cs.shape))
+	default: // profile and poisson: Poisson process in operational time
+		x = cs.arr.Exponential(1)
+	}
+	cs.opTime += x
+	t := cs.walk.invert(cs.opTime)
+	it := int64(t)
+	if float64(it) >= cs.duration {
+		it = int64(cs.duration) - 1
+	}
+	if it < cs.prev {
+		it = cs.prev
+	}
+	cs.prev = it
+	return it
+}
+
+// next draws the client's following job. Callers must not pull past the
+// client's job count (MultiSource tracks that via done).
+func (cs *clientStream) next() swf.Job {
+	p := cs.protos.next()
+	t := cs.nextArrival()
+	cs.emitted++
+	return p.toSWF(int64(cs.emitted), t)
+}
+
+func (cs *clientStream) done() bool { return cs.emitted >= cs.jobs }
+
+// MultiSource is the multi-client form of GenSource: a deterministic
+// k-way merge of per-client streams, each seeded with an rng.DeriveSeed
+// child of the base seed, ordered by (submit time, client index). Peak
+// memory is O(sum of per-client user populations + k), independent of
+// the job count, so it is drop-in compatible with sim.RunStream and
+// sim.RunFederatedStream at million-job scale.
+//
+// Emitted jobs renumber globally in merge order; the SWF Partition
+// field carries 1 + the client index (the hook job.FromSWFInto turns
+// back into job.Job.Client), and user/class identifiers are offset per
+// client so the merged population stays disjoint. A single all-default
+// client delegates wholesale to GenSource, which makes the degenerate
+// configuration byte-identical to the single-population stream.
+type MultiSource struct {
+	cfg      Config
+	names    []string
+	arrivals []string
+	counts   []int
+
+	single *GenSource // set iff one all-default client
+
+	subs     []*clientStream
+	heads    []swf.Job
+	live     []bool
+	userOff  []int64
+	classOff []int64
+	emitted  int
+}
+
+// NewMultiSource validates the base config and the clients block,
+// apportions the job budget, calibrates a shared trace duration from
+// every client's measured work, and returns the ready-to-pull merged
+// source.
+func NewMultiSource(cfg Config, clients []Client) (*MultiSource, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateClients(clients); err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", cfg.Name, err)
+	}
+
+	m := &MultiSource{
+		cfg:      cfg,
+		names:    make([]string, len(clients)),
+		arrivals: make([]string, len(clients)),
+	}
+	var fracSum float64
+	for i := range clients {
+		m.names[i] = clientName(&clients[i], i)
+		kind, _ := parseArrival(clients[i].Arrival)
+		m.arrivals[i] = kind.String()
+		fracSum += clients[i].Fraction
+	}
+
+	if len(clients) == 1 && defaultPopulation(&clients[0]) {
+		g, err := NewGenSource(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.single = g
+		m.counts = []int{cfg.Jobs}
+		return m, nil
+	}
+
+	fractions := make([]float64, len(clients))
+	for i := range clients {
+		fractions[i] = clients[i].Fraction
+	}
+	m.counts = apportion(cfg.Jobs, fractions)
+
+	// Per-client sub-configurations: derived child seed, apportioned (or
+	// overridden) user population, distribution overrides.
+	subCfgs := make([]Config, len(clients))
+	m.userOff = make([]int64, len(clients))
+	m.classOff = make([]int64, len(clients))
+	var userBase, classBase int64
+	for i := range clients {
+		c := &clients[i]
+		sub := cfg
+		sub.Name = cfg.Name + "/" + m.names[i]
+		sub.Jobs = m.counts[i]
+		sub.Seed = rng.DeriveSeed(cfg.Seed, streamClients, uint64(i))
+		users := c.Users
+		if users == 0 {
+			users = int(math.Round(float64(cfg.Users) * c.Fraction / fracSum))
+		}
+		if users < 1 {
+			users = 1
+		}
+		sub.Users = users
+		if c.RuntimeLogMean != nil {
+			sub.RuntimeLogMean = *c.RuntimeLogMean
+		}
+		if c.RuntimeLogSigma != nil {
+			sub.RuntimeLogSigma = *c.RuntimeLogSigma
+		}
+		if c.ClassSigma != nil {
+			sub.ClassSigma = *c.ClassSigma
+		}
+		if c.SerialFraction != nil {
+			sub.SerialFraction = *c.SerialFraction
+		}
+		if c.MaxJobProcsFraction != nil {
+			sub.MaxJobProcsFraction = *c.MaxJobProcsFraction
+		}
+		subCfgs[i] = sub
+		m.userOff[i] = userBase
+		m.classOff[i] = classBase
+		userBase += int64(users)
+		classBase += int64(users) * int64(cfg.ClassesPerUser)
+	}
+
+	// Measure pass: replay every active client's proto stream once to
+	// sum total work, then calibrate one shared duration against the
+	// base machine — the merged stream, not each client alone, must hit
+	// the target offered load.
+	var totalWork float64
+	for i := range subCfgs {
+		if m.counts[i] == 0 {
+			continue
+		}
+		if err := subCfgs[i].Validate(); err != nil {
+			return nil, err
+		}
+		measure := newProtoStream(subCfgs[i])
+		for k := 0; k < m.counts[i]; k++ {
+			p := measure.next()
+			totalWork += float64(p.runtime) * float64(p.procs)
+		}
+	}
+	duration := calibratedDuration(&cfg, totalWork)
+
+	m.subs = make([]*clientStream, len(clients))
+	m.heads = make([]swf.Job, len(clients))
+	m.live = make([]bool, len(clients))
+	for i := range clients {
+		if m.counts[i] == 0 {
+			continue
+		}
+		cs, err := newClientStream(subCfgs[i], &clients[i], duration)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s: clients[%d] (%s): %w", cfg.Name, i, m.names[i], err)
+		}
+		m.subs[i] = cs
+		m.heads[i] = cs.next()
+		m.live[i] = true
+	}
+	return m, nil
+}
+
+// MaxProcs returns the machine size of the generated workload.
+func (m *MultiSource) MaxProcs() int64 { return m.cfg.MaxProcs }
+
+// Name returns the workload's name.
+func (m *MultiSource) Name() string { return m.cfg.Name }
+
+// Jobs returns the total number of jobs the merged stream will emit.
+func (m *MultiSource) Jobs() int { return m.cfg.Jobs }
+
+// ClientNames returns the effective (defaulted) client names in index
+// order.
+func (m *MultiSource) ClientNames() []string {
+	out := make([]string, len(m.names))
+	copy(out, m.names)
+	return out
+}
+
+// Counts returns the per-client job apportionment in index order.
+func (m *MultiSource) Counts() []int {
+	out := make([]int, len(m.counts))
+	copy(out, m.counts)
+	return out
+}
+
+// Header returns an SWF header describing the stream, with one
+// Partition comment per client (name, job count, realized rate share,
+// arrival process) so written traces are self-describing.
+func (m *MultiSource) Header() swf.Header {
+	fields := []swf.HeaderField{
+		{Key: "Version", Value: "2.2"},
+		{Key: "Computer", Value: "synthetic " + m.cfg.Name},
+		{Key: "MaxProcs", Value: fmt.Sprint(m.cfg.MaxProcs)},
+		{Key: "MaxJobs", Value: fmt.Sprint(m.cfg.Jobs)},
+	}
+	for i, name := range m.names {
+		share := 0.0
+		if m.cfg.Jobs > 0 {
+			share = 100 * float64(m.counts[i]) / float64(m.cfg.Jobs)
+		}
+		fields = append(fields, swf.HeaderField{
+			Key: "Partition",
+			Value: fmt.Sprintf("%d: client %s (%d jobs, %.1f%% of the stream, %s arrivals)",
+				i+1, name, m.counts[i], share, m.arrivals[i]),
+		})
+	}
+	fields = append(fields, swf.HeaderField{
+		Key: "Note", Value: "generated by repro/internal/workload (multi-client)",
+	})
+	return swf.Header{
+		MaxProcs: m.cfg.MaxProcs,
+		MaxJobs:  int64(m.cfg.Jobs),
+		Fields:   fields,
+	}
+}
+
+// NextJob implements Source: the smallest live head by (submit time,
+// client index) is emitted, renumbered globally, stamped with its
+// client's partition and identifier offsets, and replaced from its
+// sub-stream.
+func (m *MultiSource) NextJob() (swf.Job, error) {
+	if m.single != nil {
+		return m.single.NextJob()
+	}
+	best := -1
+	for i := range m.heads {
+		if !m.live[i] {
+			continue
+		}
+		if best < 0 || m.heads[i].SubmitTime < m.heads[best].SubmitTime {
+			best = i
+		}
+	}
+	if best < 0 {
+		return swf.Job{}, io.EOF
+	}
+	j := m.heads[best]
+	if m.subs[best].done() {
+		m.live[best] = false
+	} else {
+		m.heads[best] = m.subs[best].next()
+	}
+	m.emitted++
+	j.JobNumber = int64(m.emitted)
+	j.Partition = int64(best + 1)
+	j.UserID += m.userOff[best]
+	j.Executable += m.classOff[best]
+	return j, nil
+}
+
+// GenerateMulti is the preloading form of NewMultiSource: it collects
+// the merged stream into a trace.Workload with the client names
+// attached. There is no separate batch generator for multi-client
+// workloads — the stream is the definition — so preloaded and streamed
+// runs see identical jobs by construction.
+func GenerateMulti(cfg Config, clients []Client) (*trace.Workload, error) {
+	m, err := NewMultiSource(cfg, clients)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := Collect(m)
+	if err != nil {
+		return nil, err
+	}
+	tr := &swf.Trace{Header: m.Header(), Jobs: jobs}
+	w, err := trace.FromSWF(cfg.Name, tr, cfg.MaxProcs)
+	if err != nil {
+		return nil, err
+	}
+	w.Clients = m.ClientNames()
+	return w, nil
+}

@@ -1,0 +1,382 @@
+package workload
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func fptr(v float64) *float64 { return &v }
+
+// TestMultiSourceSingleClientByteIdentity: the degenerate decomposition
+// — one client, no overrides — must be byte-for-byte the
+// single-population stream, so turning a spec multi-client changes
+// nothing until a second client appears.
+func TestMultiSourceSingleClientByteIdentity(t *testing.T) {
+	cfg := streamCfg(500)
+	m, err := NewMultiSource(cfg, []Client{{Name: "all", Fraction: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm, err := Collect(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jg, err := Collect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jm, jg) {
+		t.Fatal("single-default-client MultiSource diverged from GenSource")
+	}
+	if got := m.Counts(); len(got) != 1 || got[0] != cfg.Jobs {
+		t.Fatalf("counts %v, want [%d]", got, cfg.Jobs)
+	}
+}
+
+// TestMultiSourceZeroFraction: a zero rate share is an empty stream —
+// no jobs, no leftover from the largest-remainder rounding.
+func TestMultiSourceZeroFraction(t *testing.T) {
+	cfg := streamCfg(401)
+	m, err := NewMultiSource(cfg, []Client{
+		{Name: "on", Fraction: 1, Arrival: "poisson"},
+		{Name: "off", Fraction: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counts(); got[0] != cfg.Jobs || got[1] != 0 {
+		t.Fatalf("counts %v, want [%d 0]", got, cfg.Jobs)
+	}
+	n := 0
+	for {
+		j, err := m.NextJob()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if j.Partition != 1 {
+			t.Fatalf("job %d carries partition %d; the zero-fraction client must stay silent", j.JobNumber, j.Partition)
+		}
+	}
+	if n != cfg.Jobs {
+		t.Fatalf("stream emitted %d jobs, want %d", n, cfg.Jobs)
+	}
+}
+
+// TestMultiSourceIdenticalClients: k identically-configured clients are
+// deterministic (two sources agree byte-for-byte) and the merge
+// respects every structural invariant — apportioned counts, global
+// renumbering, nondecreasing submit times, in-range partitions, and
+// disjoint per-client user populations.
+func TestMultiSourceIdenticalClients(t *testing.T) {
+	cfg := streamCfg(1000)
+	clients := []Client{
+		{Name: "a", Fraction: 1, Arrival: "profile"},
+		{Name: "b", Fraction: 1, Arrival: "profile"},
+		{Name: "c", Fraction: 1, Arrival: "profile"},
+	}
+	m1, err := NewMultiSource(cfg, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMultiSource(cfg, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := Collect(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Collect(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(j1, j2) {
+		t.Fatal("same clients block produced different merged streams")
+	}
+	if got := m1.Counts(); got[0] != 334 || got[1] != 333 || got[2] != 333 {
+		t.Fatalf("apportionment %v, want [334 333 333]", got)
+	}
+	var prev int64
+	perPart := map[int64]int{}
+	minUID := map[int64]int64{}
+	maxUID := map[int64]int64{}
+	for i, j := range j1 {
+		if j.JobNumber != int64(i+1) {
+			t.Fatalf("job %d renumbered as %d", i+1, j.JobNumber)
+		}
+		if j.SubmitTime < prev {
+			t.Fatalf("job %d: submit %d before previous %d", j.JobNumber, j.SubmitTime, prev)
+		}
+		prev = j.SubmitTime
+		if j.Partition < 1 || j.Partition > 3 {
+			t.Fatalf("job %d: partition %d outside [1,3]", j.JobNumber, j.Partition)
+		}
+		perPart[j.Partition]++
+		if _, ok := minUID[j.Partition]; !ok || j.UserID < minUID[j.Partition] {
+			minUID[j.Partition] = j.UserID
+		}
+		if j.UserID > maxUID[j.Partition] {
+			maxUID[j.Partition] = j.UserID
+		}
+	}
+	for p, want := range map[int64]int{1: 334, 2: 333, 3: 333} {
+		if perPart[p] != want {
+			t.Fatalf("partition %d emitted %d jobs, want %d", p, perPart[p], want)
+		}
+	}
+	// Client user populations are offset to stay disjoint, in index order.
+	for p := int64(1); p < 3; p++ {
+		if maxUID[p] >= minUID[p+1] {
+			t.Fatalf("user IDs overlap: client %d ends at %d, client %d starts at %d",
+				p, maxUID[p], p+1, minUID[p+1])
+		}
+	}
+}
+
+// TestMultiSourceShortEnvelopePeriod: an envelope whose window is far
+// shorter than the mean interarrival must still complete (the walker
+// crosses many zero-weight windows per arrival), keep the stream
+// ordered, and concentrate arrivals in the live windows.
+func TestMultiSourceShortEnvelopePeriod(t *testing.T) {
+	cfg := streamCfg(300)
+	cfg.BurstFraction = 0 // bursts bypass the envelope; isolate the base process
+	m, err := NewMultiSource(cfg, []Client{
+		{Name: "gated", Fraction: 1, Arrival: "poisson", Envelope: []float64{1, 0}, EnvelopePeriod: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := Collect(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != cfg.Jobs {
+		t.Fatalf("emitted %d jobs, want %d", len(jobs), cfg.Jobs)
+	}
+	inWindow := 0
+	var prev int64
+	for _, j := range jobs {
+		if j.SubmitTime < prev {
+			t.Fatalf("job %d: submit %d before previous %d", j.JobNumber, j.SubmitTime, prev)
+		}
+		prev = j.SubmitTime
+		if (j.SubmitTime/60)%2 == 0 {
+			inWindow++
+		}
+	}
+	// Window-boundary rounding can land a handful of arrivals on the
+	// first instant of a zero-weight window; the mass must still be
+	// overwhelmingly in the live windows.
+	if frac := float64(inWindow) / float64(len(jobs)); frac < 0.95 {
+		t.Fatalf("only %.0f%% of arrivals landed in live envelope windows", 100*frac)
+	}
+}
+
+// TestMultiSourceZeroIntensityEnvelope: an envelope whose only nonzero
+// window never fits inside the trace is a construction-time error, not
+// a hang.
+func TestMultiSourceZeroIntensityEnvelope(t *testing.T) {
+	cfg := streamCfg(200)
+	_, err := NewMultiSource(cfg, []Client{
+		{Name: "never", Fraction: 1, Arrival: "poisson",
+			Envelope: []float64{0, 1}, EnvelopePeriod: 1 << 40},
+	})
+	if err == nil {
+		t.Fatal("zero-intensity envelope must fail construction")
+	}
+	if !strings.Contains(err.Error(), "intensity is zero") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// TestMultiSourceOverrides: per-client distribution overrides apply —
+// a client with a shifted runtime distribution emits a different job
+// mix than the inherited one.
+func TestMultiSourceOverrides(t *testing.T) {
+	cfg := streamCfg(400)
+	base := []Client{
+		{Name: "a", Fraction: 1, Arrival: "gamma", Shape: 0.5},
+		{Name: "b", Fraction: 1, Arrival: "weibull"},
+	}
+	overridden := []Client{
+		{Name: "a", Fraction: 1, Arrival: "gamma", Shape: 0.5,
+			RuntimeLogMean: fptr(9.0), RuntimeLogSigma: fptr(0.5),
+			ClassSigma: fptr(0.1), SerialFraction: fptr(1.0), MaxJobProcsFraction: fptr(1.0)},
+		{Name: "b", Fraction: 1, Arrival: "weibull", Users: 3},
+	}
+	mb, err := NewMultiSource(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo, err := NewMultiSource(cfg, overridden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := Collect(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jo, err := Collect(mo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(jb, jo) {
+		t.Fatal("distribution overrides had no effect on the stream")
+	}
+	for _, j := range jo {
+		if j.Partition == 1 && j.Procs() != 1 {
+			t.Fatalf("client a is all-serial by override, yet job %d has width %d", j.JobNumber, j.Procs())
+		}
+	}
+}
+
+// TestValidateClients: the validation vocabulary, one rejection per
+// rule, and a fully-loaded valid block.
+func TestValidateClients(t *testing.T) {
+	valid := []Client{
+		{Name: "x", Fraction: 0.7},
+		{Fraction: 0.3, Arrival: "gamma", Shape: 0.4,
+			Envelope: []float64{1, 0.5}, EnvelopePeriod: 3600, Users: 5,
+			RuntimeLogMean: fptr(7), RuntimeLogSigma: fptr(1),
+			ClassSigma: fptr(0.2), SerialFraction: fptr(0.5), MaxJobProcsFraction: fptr(0.5)},
+	}
+	if err := ValidateClients(valid); err != nil {
+		t.Fatalf("valid block rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		clients []Client
+		want    string
+	}{
+		{"empty", nil, "at least one client"},
+		{"dup names", []Client{{Name: "x", Fraction: 1}, {Name: "x", Fraction: 1}}, "duplicate"},
+		{"dup default names", []Client{{Fraction: 1, Name: "c1"}, {Fraction: 1}}, "duplicate"},
+		{"negative fraction", []Client{{Fraction: -0.1}}, "fraction"},
+		{"all-zero fractions", []Client{{Fraction: 0}, {Name: "y", Fraction: 0}}, "sum"},
+		{"bad arrival", []Client{{Fraction: 1, Arrival: "lognormal"}}, "arrival"},
+		{"shape on poisson", []Client{{Fraction: 1, Arrival: "poisson", Shape: 2}}, "shape"},
+		{"negative shape", []Client{{Fraction: 1, Arrival: "gamma", Shape: -1}}, "shape"},
+		{"envelope no period", []Client{{Fraction: 1, Envelope: []float64{1}}}, "envelope_period"},
+		{"period no envelope", []Client{{Fraction: 1, EnvelopePeriod: 60}}, "envelope_period without"},
+		{"negative weight", []Client{{Fraction: 1, Envelope: []float64{-1}, EnvelopePeriod: 60}}, "weight"},
+		{"zero weights", []Client{{Fraction: 1, Envelope: []float64{0, 0}, EnvelopePeriod: 60}}, "not all be zero"},
+		{"negative users", []Client{{Fraction: 1, Users: -1}}, "users"},
+		{"bad sigma", []Client{{Fraction: 1, RuntimeLogSigma: fptr(-1)}}, "runtime_log_sigma"},
+		{"bad class sigma", []Client{{Fraction: 1, ClassSigma: fptr(-1)}}, "class_sigma"},
+		{"bad serial", []Client{{Fraction: 1, SerialFraction: fptr(1.5)}}, "serial_fraction"},
+		{"bad width cap", []Client{{Fraction: 1, MaxJobProcsFraction: fptr(0)}}, "max_job_procs_fraction"},
+	}
+	for _, tc := range cases {
+		err := ValidateClients(tc.clients)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestApportion: largest-remainder splitting — exact totals, ties to
+// the lower index, zero fractions excluded even from leftovers.
+func TestApportion(t *testing.T) {
+	cases := []struct {
+		total int
+		fracs []float64
+		want  []int
+	}{
+		{10, []float64{1, 1, 1}, []int{4, 3, 3}},
+		{7, []float64{0.5, 0.5}, []int{4, 3}},
+		{5, []float64{1, 0, 1}, []int{3, 0, 2}},
+		{1, []float64{0.2, 0.3}, []int{0, 1}},
+		{0, []float64{1, 1}, []int{0, 0}},
+		{2, []float64{0, 1, 0}, []int{0, 2, 0}},
+	}
+	for _, tc := range cases {
+		got := apportion(tc.total, tc.fracs)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("apportion(%d, %v) = %v, want %v", tc.total, tc.fracs, got, tc.want)
+		}
+		sum := 0
+		for _, c := range got {
+			sum += c
+		}
+		if sum != tc.total {
+			t.Errorf("apportion(%d, %v) sums to %d", tc.total, tc.fracs, sum)
+		}
+	}
+}
+
+// TestMultiSourceHeader: the written header names every client with its
+// partition, share and arrival process.
+func TestMultiSourceHeader(t *testing.T) {
+	cfg := streamCfg(200)
+	m, err := NewMultiSource(cfg, []Client{
+		{Name: "web", Fraction: 3, Arrival: "poisson"},
+		{Name: "batch", Fraction: 1, Arrival: "gamma"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.Header()
+	if h.MaxProcs != cfg.MaxProcs || h.MaxJobs != int64(cfg.Jobs) {
+		t.Fatalf("header %+v does not describe the stream", h)
+	}
+	var partitions []string
+	for _, f := range h.Fields {
+		if f.Key == "Partition" {
+			partitions = append(partitions, f.Value)
+		}
+	}
+	if len(partitions) != 2 {
+		t.Fatalf("header has %d Partition fields, want 2: %v", len(partitions), h.Fields)
+	}
+	if !strings.Contains(partitions[0], "client web") || !strings.Contains(partitions[0], "poisson") {
+		t.Fatalf("partition 1 field %q misses the client description", partitions[0])
+	}
+	if !strings.Contains(partitions[1], "client batch") || !strings.Contains(partitions[1], "25.0%") {
+		t.Fatalf("partition 2 field %q misses the realized share", partitions[1])
+	}
+}
+
+// TestGenerateMulti: the preloading wrapper attaches the client names
+// and produces exactly the merged stream's jobs with client indices
+// recovered from the Partition field.
+func TestGenerateMulti(t *testing.T) {
+	cfg := streamCfg(300)
+	clients := []Client{
+		{Name: "a", Fraction: 2},
+		{Name: "b", Fraction: 1, Arrival: "gamma"},
+	}
+	w, err := GenerateMulti(cfg, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w.Clients, []string{"a", "b"}) {
+		t.Fatalf("workload clients %v, want [a b]", w.Clients)
+	}
+	if len(w.Jobs) != cfg.Jobs {
+		t.Fatalf("generated %d jobs, want %d", len(w.Jobs), cfg.Jobs)
+	}
+	seen := map[int64]int{}
+	for _, j := range w.Jobs {
+		if j.Partition < 1 || j.Partition > 2 {
+			t.Fatalf("job %d: partition %d outside [1,2]", j.JobNumber, j.Partition)
+		}
+		seen[j.Partition]++
+	}
+	if seen[1] != 200 || seen[2] != 100 {
+		t.Fatalf("client job counts %v, want 200/100", seen)
+	}
+}

@@ -7,14 +7,8 @@ import (
 
 // presets maps the six paper logs (Table 4) to generator configurations.
 // Machine sizes and full job counts come straight from Table 4; the
-// qualitative knobs are set from the paper's per-log observations:
-//
-//   - Curie: enormous clairvoyant gain (65 %), so its requested times are
-//     dominated by a site default walltime (24 h) regardless of the true
-//     runtime, and many jobs are short;
-//   - Metacentrum / SDSC-BLUE: modest gains (16 %), so estimates are
-//     comparatively tight;
-//   - the SP2 logs sit in between, with classic ~5x over-estimation.
+// calibration rationale behind every qualitative knob is documented in
+// docs/WORKLOADS.md ("Preset catalogue").
 var presets = map[string]Config{
 	"KTH-SP2": {
 		Name: "KTH-SP2", MaxProcs: 100, Jobs: 28000, Users: 214,
@@ -76,14 +70,8 @@ var presets = map[string]Config{
 // deliberately excluded from PresetNames, so campaigns over "all presets"
 // stay the six-log Table-4 grid.
 var extraPresets = map[string]Config{
-	// huge-synthetic is the million-job streaming benchmark: long enough
-	// that the in-memory path costs hundreds of megabytes while the
-	// streaming path stays within the live-job window. The operating
-	// point (moderate machine, load 0.85, mid-length runtimes) keeps
-	// queue backlogs bounded so the whole trace replays in minutes —
-	// it stresses trace *length*, not pathological congestion. Intended
-	// for GenSource / sim.RunStream; Generate works too but defeats the
-	// point.
+	// huge-synthetic is the million-job streaming benchmark; its operating
+	// point is explained in docs/WORKLOADS.md ("Preset catalogue").
 	"huge-synthetic": {
 		Name: "huge-synthetic", MaxProcs: 1024, Jobs: 1_000_000, Users: 1200,
 		UserZipfExponent: 1.15, ClassesPerUser: 4,

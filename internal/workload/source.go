@@ -15,14 +15,17 @@ import (
 // fatal to the consuming simulation. Implementations exist for in-memory
 // slices (SliceSource), SWF files read incrementally (ScanSource, usually
 // wrapped in CleanSource/StatusSource), and the streaming synthetic
-// generator (GenSource, stream.go).
+// generators (GenSource, stream.go; MultiSource, clients.go). Every
+// implementation documents its memory bound — the property that makes
+// million-job runs affordable.
 type Source interface {
 	NextJob() (swf.Job, error)
 }
 
 // SliceSource streams an in-memory job slice. It is how a preloaded
-// trace.Workload is fed to the streaming engine — memory is already
-// spent, but the engine still avoids retaining per-job runtime state.
+// trace.Workload is fed to the streaming engine — memory is O(len(jobs)),
+// already spent by the caller, but the engine still avoids retaining
+// per-job runtime state.
 type SliceSource struct {
 	jobs []swf.Job
 	next int
@@ -52,7 +55,8 @@ func (s *SliceSource) NextJob() (swf.Job, error) {
 // ScanSource adapts an swf.Scanner to the Source interface. The raw
 // records are passed through untouched: archive logs should normally be
 // wrapped in StatusSource and/or CleanSource before simulation, exactly
-// as the preloading path applies swf.ApplyStatus and swf.Clean.
+// as the preloading path applies swf.ApplyStatus and swf.Clean. Memory
+// is O(1) beyond the scanner's line buffer.
 type ScanSource struct {
 	sc *swf.Scanner
 }
@@ -140,9 +144,9 @@ func (c *CleanSource) fill() error {
 }
 
 // StatusSource applies an swf.StatusMode on the fly. Keep, skip and
-// truncate are per-job decisions and stream exactly as swf.ApplyStatus;
-// replay is rejected because deriving the cancellation script needs the
-// whole log (use the preloading path for replay).
+// truncate are per-job decisions and stream exactly as swf.ApplyStatus
+// in O(1) memory; replay is rejected because deriving the cancellation
+// script needs the whole log (use the preloading path for replay).
 type StatusSource struct {
 	src  Source
 	mode swf.StatusMode
@@ -179,7 +183,7 @@ type prependSource struct {
 // Prepend returns a Source yielding the given records first, then
 // everything from src. It is how a consumer that had to peek (e.g. to
 // read an SWF header before choosing a machine size) puts the peeked
-// records back.
+// records back. Memory is O(len(head)).
 func Prepend(head []swf.Job, src Source) Source {
 	return &prependSource{head: head, tail: src}
 }

@@ -17,7 +17,33 @@
 // Each preset fixes the machine size and job count from Table 4 and the
 // qualitative knobs (estimate quality, load) from the paper's per-log
 // results: Curie's requested times are near-useless (65 % clairvoyant
-// gain), Metacentrum's comparatively decent (16 %).
+// gain), Metacentrum's comparatively decent (16 %). The full model —
+// preset calibration rationale, the two-pass streaming design, and the
+// multi-client decomposition — is documented in docs/WORKLOADS.md.
+//
+// # Determinism invariants
+//
+// Every generator in this package is a pure function of its Config (and,
+// for multi-client workloads, the clients block): same inputs, same job
+// sequence, byte for byte, on every run and platform. Three rules keep
+// that true:
+//
+//   - All randomness flows through rng.Stream(cfg.Seed, label) child
+//     streams with the named stream* labels below; no generator may draw
+//     from an unlabeled or shared source, and the preloading and
+//     streaming paths must consume identical (seed, label) sequences.
+//   - Multi-client sub-streams are seeded with
+//     rng.DeriveSeed(cfg.Seed, streamClients, clientIndex), so adding,
+//     removing or reordering one client never perturbs another client's
+//     draws.
+//   - The k-way merge in MultiSource orders jobs by (submit time, client
+//     index) — a total order over heads of monotone sub-streams — so the
+//     merged stream is submit-ordered and reproducible without buffering.
+//
+// Iteration-order sources that Go randomizes (maps) are never used in
+// job generation. The differential tests in clients_test.go and
+// internal/sim pin the single-population equivalence: one all-default
+// client is byte-identical to GenSource.
 package workload
 
 import (
@@ -195,6 +221,7 @@ const (
 	streamJobs     = 2  // per-job size/runtime/request draws
 	streamZipf     = 99 // user-activity Zipf sampler (child of the user stream)
 	streamArrivals = 3  // arrival-time scatter over the calibrated duration
+	streamClients  = 4  // per-client child seeds of a multi-client decomposition
 )
 
 // newProtoStream builds the user population and draw state from scratch.
