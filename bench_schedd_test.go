@@ -1,0 +1,60 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/schedd"
+)
+
+// BenchmarkScheddIntake measures the live daemon's submission path:
+// one op is a full HTTP round trip — JSON encode, POST /v1/jobs,
+// validate, enqueue into the sequencer — against an in-process server.
+// This is the daemon's intake ceiling; the scheduling work itself is
+// deferred to the engine goroutine and measured by the sim benchmarks.
+func BenchmarkScheddIntake(b *testing.B) {
+	d, err := schedd.New(schedd.Options{Workload: "bench", MaxProcs: 1 << 20, Triple: core.EASYPlusPlus()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	defer d.Shutdown()
+	hc := srv.Client()
+
+	scheddPost(b, hc, srv.URL+"/v1/sessions", map[string]string{"session": "bench"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := int64(i + 1)
+		scheddPost(b, hc, srv.URL+"/v1/jobs", schedd.SubmitRequest{Session: "bench", Job: schedd.JobSpec{
+			Number: t, Submit: t, Procs: 1, Request: 100, Runtime: 50,
+		}})
+	}
+	b.StopTimer()
+}
+
+func scheddPost(b *testing.B, hc *http.Client, url string, body any) {
+	b.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		b.Fatal(fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, msg))
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

@@ -133,6 +133,9 @@ func run() {
 	if *memLimit < 0 {
 		usageError("-memlimit must be >= 0 MiB, got %d", *memLimit)
 	}
+	if msg := traceConflict(*traceFile, *cpuProfile, *memProfile); msg != "" {
+		usageError("%s", msg)
+	}
 	if *routingFlag != "" && *clustersFlag == "" && *specPath == "" {
 		usageError("-routing needs -clusters (a single-machine grid has nothing to route)")
 	}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTraceConflict pins the -trace destination validation main feeds
+// to usageError (exit 2): stdout is owned by the tables, and the
+// profile files cannot share the trace's path. The check lives in a
+// plain function because usageError os.Exits.
+func TestTraceConflict(t *testing.T) {
+	cases := []struct {
+		name                  string
+		trace, cpu, mem, want string
+	}{
+		{"off", "", "cpu.pprof", "mem.pprof", ""},
+		{"plain file", "trace.jsonl", "", "", ""},
+		{"distinct files", "trace.jsonl", "cpu.pprof", "mem.pprof", ""},
+		{"dash stdout", "-", "", "", "cannot write to stdout"},
+		{"dev stdout", "/dev/stdout", "", "", "cannot write to stdout"},
+		{"cpu collision", "out.x", "out.x", "", "-trace and -cpuprofile both write out.x"},
+		{"mem collision", "out.x", "", "out.x", "-trace and -memprofile both write out.x"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := traceConflict(tc.trace, tc.cpu, tc.mem)
+			if tc.want == "" && got != "" {
+				t.Fatalf("unexpected conflict: %q", got)
+			}
+			if tc.want != "" && !strings.Contains(got, tc.want) {
+				t.Fatalf("conflict %q does not mention %q", got, tc.want)
+			}
+		})
+	}
+}

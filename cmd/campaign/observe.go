@@ -19,6 +19,26 @@ import (
 	"repro/internal/obs"
 )
 
+// traceConflict reports a usage conflict on the -trace destination:
+// the tables own stdout, so a trace aimed there would interleave JSONL
+// with the report; and the profile writers cannot share the trace's
+// file. Empty means no conflict.
+func traceConflict(trace, cpuProfile, memProfile string) string {
+	if trace == "" {
+		return ""
+	}
+	if trace == "-" || trace == "/dev/stdout" {
+		return "-trace cannot write to stdout (the tables own it); give it a file path"
+	}
+	if trace == cpuProfile {
+		return "-trace and -cpuprofile both write " + trace
+	}
+	if trace == memProfile {
+		return "-trace and -memprofile both write " + trace
+	}
+	return ""
+}
+
 var atExitFns []func()
 
 // atExit schedules fn to run on every exit path, LIFO like defer.

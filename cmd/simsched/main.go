@@ -52,6 +52,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/obs"
 	"repro/internal/platform"
+	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/scenario"
 	"repro/internal/sched"
@@ -186,6 +187,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if !o.stream {
 			return usage("-shards needs -stream (the sharded driver is the streaming engine)")
 		}
+	}
+	if msg := traceConflict(o.traceFile, o.cpuProfile, o.memProfile); msg != "" {
+		return usage("%s", msg)
 	}
 	if *clustersFlag != "" {
 		var err error
@@ -448,15 +452,7 @@ func runStreaming(o options, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "workload      %s (streamed, %d jobs finished, %d procs)\n", name, res.Finished, mp)
-	fmt.Fprintf(stdout, "triple        %s\n", res.Triple)
-	fmt.Fprintf(stdout, "AVEbsld       %.2f\n", col.AVEbsld())
-	fmt.Fprintf(stdout, "max bsld      %.1f\n", col.MaxBsld())
-	fmt.Fprintf(stdout, "mean wait     %.0f s (p50 %.0f, p95 %.0f, p99 %.0f)\n", col.MeanWait(),
-		col.WaitSketch().Quantile(0.50), col.WaitSketch().Quantile(0.95), col.WaitSketch().Quantile(0.99))
-	fmt.Fprintf(stdout, "utilization   %.3f\n", col.Utilization(res.Makespan, res.MaxProcs))
-	fmt.Fprintf(stdout, "corrections   %d\n", res.Corrections)
-	fmt.Fprintf(stdout, "prediction MAE %.0f s, mean E-Loss %.3g\n", col.MAE(), col.MeanELoss())
+	report.StreamSummary(stdout, report.CollectStreamRun(name, res.MaxProcs, res.Triple, res.Makespan, res.Corrections, col))
 	if pc != nil {
 		printClientSplit(stdout, pc)
 	}
@@ -464,18 +460,10 @@ func runStreaming(o options, stdout io.Writer) error {
 }
 
 // printClientSplit renders the per-client lines of a multi-client run,
-// mirroring printClusterSplit's shape for federated runs.
+// mirroring printClusterSplit's shape for federated runs. The format
+// lives in report.ClientSplit so cmd/schedd's summary matches.
 func printClientSplit(stdout io.Writer, pc *metrics.PerClient) {
-	total := pc.Overall().Finished()
-	for i, name := range pc.Names() {
-		c := pc.Client(i)
-		share := 0.0
-		if total > 0 {
-			share = float64(c.Finished()) / float64(total)
-		}
-		fmt.Fprintf(stdout, "client %-10s finished %6d (%4.1f%%)  AVEbsld %6.2f  mean wait %6.0f s\n",
-			name, c.Finished(), 100*share, c.AVEbsld(), c.MeanWait())
-	}
+	report.ClientSplit(stdout, pc)
 }
 
 // buildStreamSource assembles the lazy job pipeline and resolves the

@@ -33,6 +33,10 @@ func TestUsageErrors(t *testing.T) {
 		{"routing-without-clusters", []string{"-routing", "spillover"}, "needs -clusters"},
 		{"bad-clusters", []string{"-clusters", "100,zero"}, "bad processor count"},
 		{"bad-routing", []string{"-clusters", "100", "-routing", "random"}, "unknown router"},
+		{"trace-to-stdout", []string{"-trace", "-"}, "cannot write to stdout"},
+		{"trace-to-dev-stdout", []string{"-trace", "/dev/stdout"}, "cannot write to stdout"},
+		{"trace-cpuprofile-collision", []string{"-trace", "out.x", "-cpuprofile", "out.x"}, "-trace and -cpuprofile both write out.x"},
+		{"trace-memprofile-collision", []string{"-trace", "out.x", "-memprofile", "out.x"}, "-trace and -memprofile both write out.x"},
 		{"unknown-flag", []string{"-flood", "everything"}, ""},
 	}
 	for _, tc := range cases {

@@ -18,6 +18,26 @@ import (
 	"repro/internal/obs"
 )
 
+// traceConflict reports a usage conflict on the -trace destination:
+// the metric summary owns stdout, so a trace aimed there would
+// interleave JSONL with the report; and the profile writers cannot
+// share the trace's file. Empty means no conflict.
+func traceConflict(trace, cpuProfile, memProfile string) string {
+	if trace == "" {
+		return ""
+	}
+	if trace == "-" || trace == "/dev/stdout" {
+		return "-trace cannot write to stdout (the metric summary owns it); give it a file path"
+	}
+	if trace == cpuProfile {
+		return "-trace and -cpuprofile both write " + trace
+	}
+	if trace == memProfile {
+		return "-trace and -memprofile both write " + trace
+	}
+	return ""
+}
+
 // observer holds the live observability state of one run.
 type observer struct {
 	cpuFile *os.File

@@ -262,6 +262,18 @@ func ValidateEvent(ev *Event) error {
 	return nil
 }
 
+// MarshalLine renders one event as a JSONL line — the exact bytes
+// JSONL appends and ReadFile decodes, newline included. The live event
+// stream (internal/schedd) uses it so daemon output round-trips
+// through cmd/tracestat's reader, a property FuzzEventStream pins.
+func MarshalLine(ev *Event) ([]byte, error) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return nil, fmt.Errorf("obs: marshal %s event: %w", ev.Kind, err)
+	}
+	return append(b, '\n'), nil
+}
+
 // ReadFile streams the trace at path line by line, strictly decoding
 // each (unknown JSON fields are an error) and calling fn with the line
 // number and event. fn returning an error stops the read. The final

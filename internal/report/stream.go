@@ -1,0 +1,77 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+)
+
+// StreamRun carries the values of a completed streaming run — the
+// fields StreamSummary prints. Both cmd/simsched's -stream path and
+// cmd/schedd's replay client fill one, so a live daemon run and an
+// offline streamed run of the same trace render byte-identical summary
+// blocks (the CI smoke job diffs them).
+type StreamRun struct {
+	Workload    string
+	Finished    int
+	MaxProcs    int64
+	Triple      string
+	AVEbsld     float64
+	MaxBsld     float64
+	MeanWait    float64
+	WaitP50     float64
+	WaitP95     float64
+	WaitP99     float64
+	Utilization float64
+	Corrections int
+	MAE         float64
+	MeanELoss   float64
+}
+
+// CollectStreamRun folds a finished collector into a StreamRun.
+func CollectStreamRun(name string, maxProcs int64, triple string, makespan int64, corrections int, col *metrics.Collector) StreamRun {
+	return StreamRun{
+		Workload:    name,
+		Finished:    col.Finished(),
+		MaxProcs:    maxProcs,
+		Triple:      triple,
+		AVEbsld:     col.AVEbsld(),
+		MaxBsld:     col.MaxBsld(),
+		MeanWait:    col.MeanWait(),
+		WaitP50:     col.WaitSketch().Quantile(0.50),
+		WaitP95:     col.WaitSketch().Quantile(0.95),
+		WaitP99:     col.WaitSketch().Quantile(0.99),
+		Utilization: col.Utilization(makespan, maxProcs),
+		Corrections: corrections,
+		MAE:         col.MAE(),
+		MeanELoss:   col.MeanELoss(),
+	}
+}
+
+// ClientSplit renders the per-client lines of a multi-client run, one
+// line per client in client-index order.
+func ClientSplit(w io.Writer, pc *metrics.PerClient) {
+	total := pc.Overall().Finished()
+	for i, name := range pc.Names() {
+		c := pc.Client(i)
+		share := 0.0
+		if total > 0 {
+			share = float64(c.Finished()) / float64(total)
+		}
+		fmt.Fprintf(w, "client %-10s finished %6d (%4.1f%%)  AVEbsld %6.2f  mean wait %6.0f s\n",
+			name, c.Finished(), 100*share, c.AVEbsld(), c.MeanWait())
+	}
+}
+
+// StreamSummary renders the one-pass metric block of a streaming run.
+func StreamSummary(w io.Writer, r StreamRun) {
+	fmt.Fprintf(w, "workload      %s (streamed, %d jobs finished, %d procs)\n", r.Workload, r.Finished, r.MaxProcs)
+	fmt.Fprintf(w, "triple        %s\n", r.Triple)
+	fmt.Fprintf(w, "AVEbsld       %.2f\n", r.AVEbsld)
+	fmt.Fprintf(w, "max bsld      %.1f\n", r.MaxBsld)
+	fmt.Fprintf(w, "mean wait     %.0f s (p50 %.0f, p95 %.0f, p99 %.0f)\n", r.MeanWait, r.WaitP50, r.WaitP95, r.WaitP99)
+	fmt.Fprintf(w, "utilization   %.3f\n", r.Utilization)
+	fmt.Fprintf(w, "corrections   %d\n", r.Corrections)
+	fmt.Fprintf(w, "prediction MAE %.0f s, mean E-Loss %.3g\n", r.MAE, r.MeanELoss)
+}

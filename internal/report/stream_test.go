@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/metrics"
+)
+
+// streamJob builds a finished job for the collector (Client selects the
+// per-client split bucket).
+func streamJob(id int64, client int, submit, start, runtime, procs int64) *job.Job {
+	return &job.Job{
+		ID: id, Submit: submit, Runtime: runtime, Procs: procs, Client: client,
+		Start: start, End: start + runtime, Started: true, Finished: true,
+		SubmitPrediction: runtime,
+	}
+}
+
+// TestStreamSummaryGolden pins the exact summary block: cmd/simsched's
+// -stream path and cmd/schedd both render through StreamSummary, and
+// the CI smoke job diffs their outputs byte for byte — so the format is
+// a contract, not a style choice.
+func TestStreamSummaryGolden(t *testing.T) {
+	col := metrics.NewCollector()
+	// One job with zero wait, one that waited 100s: AVEbsld = (1+2)/2.
+	col.Observe(streamJob(1, 0, 0, 0, 100, 4))
+	col.Observe(streamJob(2, 0, 0, 100, 100, 60))
+	r := CollectStreamRun("unit", 64, "EASY", 200, 3, col)
+
+	var b strings.Builder
+	StreamSummary(&b, r)
+	want := `workload      unit (streamed, 2 jobs finished, 64 procs)
+triple        EASY
+AVEbsld       1.50
+max bsld      2.0
+mean wait     50 s (p50 100, p95 100, p99 100)
+utilization   0.500
+corrections   3
+prediction MAE 0 s, mean E-Loss 0
+`
+	if b.String() != want {
+		t.Fatalf("summary block drifted:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestClientSplit pins the per-client lines, including the zero-traffic
+// client and the unattributed-job case (share computed over the overall
+// count, so the percentages need not sum to 100).
+func TestClientSplit(t *testing.T) {
+	pc := metrics.NewPerClient([]string{"batch", "idle"})
+	pc.Observe(streamJob(1, 0, 0, 0, 100, 4))
+	pc.Observe(streamJob(2, 0, 0, 100, 100, 4))
+	pc.Observe(streamJob(3, 7, 0, 0, 100, 4)) // outside the declared split
+
+	var b strings.Builder
+	ClientSplit(&b, pc)
+	want := `client batch      finished      2 (66.7%)  AVEbsld   1.50  mean wait     50 s
+client idle       finished      0 ( 0.0%)  AVEbsld   0.00  mean wait      0 s
+`
+	if b.String() != want {
+		t.Fatalf("client split drifted:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestClientSplitEmpty: with nothing observed the share divides by the
+// zero total without NaN.
+func TestClientSplitEmpty(t *testing.T) {
+	var b strings.Builder
+	ClientSplit(&b, metrics.NewPerClient([]string{"a"}))
+	if !strings.Contains(b.String(), "( 0.0%)") {
+		t.Fatalf("empty split should render 0.0%%, got:\n%s", b.String())
+	}
+}

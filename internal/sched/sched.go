@@ -39,6 +39,21 @@
 // router remains a global serialization point even when every cluster
 // runs on its own goroutine — which is what makes sharded runs
 // byte-identical to sequential ones (see the sim package comment).
+//
+// # Checkpointing versus replay
+//
+// Policy sessions are deliberately not snapshottable: the acceleration
+// structures hold pointers into live *job.Job values shared with the
+// machine and the engine's event queue, so a faithful deep copy would
+// have to remap every pointer across three layers in one consistent
+// cut — a copy contract each policy would then have to maintain
+// forever. Consumers that need a hypothetical fork (the schedd
+// daemon's what-if endpoint) instead rebuild a fresh policy session by
+// replaying the command history through a new engine: determinism
+// (above) guarantees the replica reaches the identical decision state,
+// the cost is O(history) compute instead of O(state) copying, and the
+// live session is never perturbed. That trade is why Policy has
+// lifecycle hooks but no Clone.
 package sched
 
 import (

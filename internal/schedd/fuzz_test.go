@@ -1,0 +1,139 @@
+package schedd_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/schedd"
+)
+
+// FuzzSubmitRequest fuzzes the HTTP submission decoder: it must never
+// panic, must reject structurally invalid requests (unknown fields,
+// trailing data, out-of-range values) with a typed 400, and every
+// accepted request must survive a marshal/parse round trip unchanged —
+// so nothing the daemon admits can differ from what the client sent.
+func FuzzSubmitRequest(f *testing.F) {
+	seeds := []string{
+		`{"session":"s0","job":{"number":1,"submit":0,"procs":4,"request":600,"runtime":300}}`,
+		`{"session":"s1","job":{"number":7,"submit":120,"procs":1,"request":60,"runtime":60,"user":3,"partition":2}}`,
+		`{"session":"","job":{"number":1,"procs":1,"request":1}}`,
+		`{"session":"s","job":{"number":-1,"procs":1,"request":1}}`,
+		`{"session":"s","job":{"number":1,"procs":0,"request":1}}`,
+		`{"session":"s","job":{"number":1,"procs":1,"request":1,"submit":-5}}`,
+		`{"session":"s","job":{"number":1,"procs":1,"request":1},"extra":true}`,
+		`{"session":"s","job":{"number":1,"procs":1,"request":1}}{"again":1}`,
+		`{"session":"s","job":{"number":9223372036854775807,"procs":9223372036854775807,"request":1}}`,
+		`not json at all`,
+		`null`,
+		`[]`,
+		`{}`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := schedd.ParseSubmitRequest(data)
+		if err != nil {
+			api, ok := err.(*schedd.Error)
+			if !ok {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			if api.Status != 400 {
+				t.Fatalf("decode rejection carried status %d: %v", api.Status, err)
+			}
+			return
+		}
+		// Accepted: the validated invariants must actually hold...
+		j := req.Job
+		if req.Session == "" || j.Number <= 0 || j.Procs <= 0 || j.Request <= 0 ||
+			j.Runtime < 0 || j.Submit < 0 || j.Partition < 0 {
+			t.Fatalf("accepted an invalid request: %+v", req)
+		}
+		// ...and the request must round-trip bit-stable.
+		re, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		req2, err := schedd.ParseSubmitRequest(re)
+		if err != nil {
+			t.Fatalf("round trip rejected %s: %v", re, err)
+		}
+		if *req2 != *req {
+			t.Fatalf("round trip changed the request:\nbefore %+v\nafter  %+v", req, req2)
+		}
+	})
+}
+
+// FuzzEventStream fuzzes the daemon's event-stream encoding against
+// cmd/tracestat's reader: any event the stream emits (obs.MarshalLine,
+// the exact bytes GET /v1/events writes per line) must decode through
+// obs.ReadFile — strict field checking included — back to the same
+// event. String fields take raw fuzz bytes, so JSON escaping of
+// control characters and invalid UTF-8 is on trial too.
+func FuzzEventStream(f *testing.F) {
+	f.Add(int64(0), "submit", int64(1), "", int64(4), int64(600), int64(300), "", int64(0), 3, int64(12), int64(100), int64(42))
+	f.Add(int64(7), "pick", int64(9), "cluster-a", int64(8), int64(0), int64(0), "EASY", int64(9), 2, int64(4), int64(96), int64(0))
+	f.Add(int64(1<<40), "capacity", int64(0), "c", int64(-64), int64(0), int64(0), "", int64(0), 0, int64(0), int64(0), int64(0))
+	f.Add(int64(-1), "finish", int64(2), "x\x00\x7f", int64(1), int64(1), int64(1), "p\xffq", int64(2), 1, int64(1), int64(1), int64(1))
+	f.Fuzz(func(t *testing.T, at int64, kind string, jobID int64, cluster string,
+		procs, request, prediction int64, policy string, picked int64,
+		queueLen int, free, eventual, nanos int64) {
+		ev := obs.Event{
+			T: at, Kind: kind, Job: jobID, Cluster: cluster,
+			Procs: procs, Request: request, Prediction: prediction,
+			Policy: policy, Picked: picked,
+			QueueLen: queueLen, Free: free, Eventual: eventual, Nanos: nanos,
+		}
+		line, err := obs.MarshalLine(&ev)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if !bytes.HasSuffix(line, []byte("\n")) || bytes.Count(line, []byte("\n")) != 1 {
+			t.Fatalf("not a single JSONL line: %q", line)
+		}
+
+		path := filepath.Join(t.TempDir(), "stream.jsonl")
+		if err := os.WriteFile(path, line, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got []obs.Event
+		if err := obs.ReadFile(path, func(_ int, ev obs.Event) error {
+			got = append(got, ev)
+			return nil
+		}); err != nil {
+			t.Fatalf("stream line does not round-trip through the trace reader: %v\nline: %q", err, line)
+		}
+		if len(got) != 1 {
+			t.Fatalf("one event in, %d out", len(got))
+		}
+		// JSON string round trips replace invalid UTF-8 with the
+		// replacement rune, so compare the JSON forms, which are
+		// already past that normalization.
+		want, _ := json.Marshal(normalizeThroughJSON(t, ev))
+		have, _ := json.Marshal(got[0])
+		if !bytes.Equal(want, have) {
+			t.Fatalf("event changed in flight:\nsent %s\ngot  %s", want, have)
+		}
+	})
+}
+
+// normalizeThroughJSON passes an event through one marshal/unmarshal so
+// the comparison baseline has the same UTF-8 normalization the wire
+// imposes.
+func normalizeThroughJSON(t *testing.T, ev obs.Event) obs.Event {
+	t.Helper()
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out obs.Event
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package schedd_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/schedd"
+	"repro/internal/swf"
+)
+
+// jobRecord builds a minimal submission for the load tests; scaled
+// mode stamps the submit instant, so it starts at zero.
+func jobRecord(id, procs, runtime int64) swf.Job {
+	return swf.Job{
+		JobNumber:      id,
+		RunTime:        runtime,
+		AllocatedProcs: procs,
+		RequestedProcs: procs,
+		RequestedTime:  runtime * 2,
+	}
+}
+
+// countingTracer tallies decision events without retaining them, so
+// the load tests can assert no decision was lost or duplicated at any
+// concurrency level without holding the full trace.
+type countingTracer struct {
+	submits  atomic.Int64
+	finishes atomic.Int64
+	cancels  atomic.Int64
+}
+
+func (c *countingTracer) Trace(ev *obs.Event) {
+	switch ev.Kind {
+	case obs.KindSubmit:
+		c.submits.Add(1)
+	case obs.KindFinish:
+		c.finishes.Add(1)
+	case obs.KindCancel:
+		c.cancels.Add(1)
+	}
+}
+
+// TestLoadGOMAXPROCS hammers a scaled-time daemon with thousands of
+// concurrent submitters and cancellers across a GOMAXPROCS matrix:
+// 1 forces full interleaving on one OS thread, 2 pits the intake
+// against the engine goroutine, 8 runs everything truly concurrently
+// (mirroring parallel_stress_test.go). Whatever the runtime's
+// schedule, no submission or decision may be lost or duplicated:
+// every accepted job is traced exactly once at submit and once at
+// finish, and the sink observes each exactly once. The cancellers
+// target an id range that is never submitted — the documented benign
+// case — so they stress the cancel intake concurrently without making
+// the accounting ambiguous (a cancel racing a finish in wall time can
+// legitimately land either way; the deterministic cancel/decision
+// identity is TestReplayDiffAPI's job). Under `go test -race` (the CI
+// race job) this doubles as the data-race stress for the sequencer,
+// hub, and metrics paths.
+func TestLoadGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("gomaxprocs-%d", procs), func(t *testing.T) {
+			runtime.GOMAXPROCS(procs)
+			loadOnce(t)
+		})
+	}
+}
+
+func loadOnce(t *testing.T) {
+	const (
+		nSubmitters = 1200
+		nCancellers = 300
+		jobsPer     = 3
+		nJobs       = nSubmitters * jobsPer
+	)
+	tracer := &countingTracer{}
+	d, err := schedd.New(schedd.Options{
+		Workload: "load",
+		MaxProcs: 512,
+		Triple:   core.EASYPlusPlus(),
+		Scale:    1e7, // virtual time outruns the wall clock: jobs drain as fast as the engine pops
+		Tracer:   tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < nSubmitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			session := fmt.Sprintf("sub-%d", i)
+			if err := d.OpenSession(session, ""); err != nil {
+				t.Error(err)
+				return
+			}
+			for k := 0; k < jobsPer; k++ {
+				id := int64(i*jobsPer+k) + 1
+				if err := d.Submit(session, jobRecord(id, 4, 60)); err != nil {
+					t.Error(err)
+					return
+				}
+				accepted.Add(1)
+			}
+			if err := d.CloseSession(session); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	for i := 0; i < nCancellers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			session := fmt.Sprintf("can-%d", i)
+			if err := d.OpenSession(session, ""); err != nil {
+				t.Error(err)
+				return
+			}
+			// Beyond the submitted range: always the benign absent-id
+			// cancel. Scaled mode stamps the instant; 0 is ignored.
+			if err := d.Cancel(session, 0, int64(nJobs+i+1)); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := d.CloseSession(session); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	res, err := d.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := accepted.Load()
+	if want != nJobs {
+		t.Fatalf("accepted %d of %d submissions", want, nJobs)
+	}
+	if int64(res.Finished) != want {
+		t.Fatalf("lost jobs: %d accepted, %d finished", want, res.Finished)
+	}
+	if res.Canceled != 0 {
+		t.Fatalf("absent-id cancels canceled %d jobs", res.Canceled)
+	}
+	if got := tracer.submits.Load(); got != want {
+		t.Fatalf("submit events %d != accepted %d", got, want)
+	}
+	if got := tracer.finishes.Load(); got != want {
+		t.Fatalf("finish events %d != accepted %d", got, want)
+	}
+	if got := int64(d.Overall().Finished()); got != want {
+		t.Fatalf("sink observed %d jobs, accepted %d", got, want)
+	}
+	if snap := d.Metrics(); snap.Finished != res.Finished {
+		t.Fatalf("metrics snapshot finished %d != result %d", snap.Finished, res.Finished)
+	}
+}
+
+// TestLoadShutdownCompletesInflight drains a daemon while submitters
+// are still running — the SIGTERM path, since cmd/schedd maps the
+// signal to Shutdown. Shutdown must let every command already accepted
+// run to completion, and late enqueues must fail cleanly with the
+// draining conflict rather than being silently dropped.
+func TestLoadShutdownCompletesInflight(t *testing.T) {
+	tracer := &countingTracer{}
+	d, err := schedd.New(schedd.Options{
+		Workload: "drain",
+		MaxProcs: 256,
+		Triple:   core.EASY(),
+		Scale:    1e7,
+		Tracer:   tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nSessions = 64
+	var accepted, rejected atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < nSessions; i++ {
+		if err := d.OpenSession(fmt.Sprintf("s%d", i), ""); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			for k := 0; k < 50; k++ {
+				id := int64(i*50+k) + 1
+				switch err := d.Submit(fmt.Sprintf("s%d", i), jobRecord(id, 2, 30)); {
+				case err == nil:
+					accepted.Add(1)
+				case isConflict(err):
+					rejected.Add(1)
+					return // the daemon is draining; stop submitting
+				default:
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	close(start)
+	res, err := d.Shutdown() // races the submitters by design
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Shutdown closed the intake at some arbitrary point; everything
+	// accepted before that point must have completed, everything after
+	// must have been rejected with a conflict.
+	if int64(res.Finished) != accepted.Load() {
+		t.Fatalf("in-flight work lost: %d accepted, %d finished", accepted.Load(), res.Finished)
+	}
+	if tracer.submits.Load() != accepted.Load() {
+		t.Fatalf("submit events %d != accepted %d", tracer.submits.Load(), accepted.Load())
+	}
+	if tracer.finishes.Load() != accepted.Load() {
+		t.Fatalf("finish events %d != accepted %d", tracer.finishes.Load(), accepted.Load())
+	}
+}
+
+// isConflict reports whether err is the daemon's draining/closed 409.
+func isConflict(err error) bool {
+	api, ok := err.(*schedd.Error)
+	return ok && api.Status == 409
+}

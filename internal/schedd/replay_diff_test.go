@@ -1,0 +1,412 @@
+package schedd_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+	"repro/internal/schedd"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// genWorkload generates a deterministic preset workload for the diffs.
+func genWorkload(t *testing.T, preset string, jobs int) *trace.Workload {
+	t.Helper()
+	cfg, err := workload.Scaled(preset, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// stampClients pre-stamps a round-robin client partition on the trace
+// so the daemon run (which splits by session client) and the reference
+// run (which splits by the Partition stamp) decompose identically.
+func stampClients(w *trace.Workload, n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("client-%d", i)
+	}
+	for i := range w.Jobs {
+		w.Jobs[i].Partition = int64(i%n) + 1
+	}
+	w.Clients = names
+	return names
+}
+
+// runStreamRef runs the offline reference: sim.RunStream over the
+// same trace, same triple, a per-client sink and a recording tracer.
+func runStreamRef(t *testing.T, w *trace.Workload, tr core.Triple) (*sim.Result, *metrics.PerClient, []obs.Event) {
+	t.Helper()
+	cfg := tr.Config()
+	per := metrics.NewPerClient(w.Clients)
+	cfg.Sink = per
+	rec := &obs.Collector{}
+	cfg.Tracer = rec
+	res, err := sim.RunStream(w.Name, w.MaxProcs, workload.FromWorkload(w), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, per, rec.Events()
+}
+
+// normalizeEvents strips the fields that legitimately differ between a
+// daemon trace and an offline one: the Tagged workload/triple stamps
+// and the wall-clock pick latencies. Everything else must be
+// byte-identical.
+func normalizeEvents(events []obs.Event) []obs.Event {
+	out := make([]obs.Event, len(events))
+	for i := range events {
+		ev := events[i]
+		ev.Workload, ev.Triple, ev.Nanos = "", "", 0
+		out[i] = ev
+	}
+	return out
+}
+
+// assertSameEvents compares two decision sequences exactly.
+func assertSameEvents(t *testing.T, want, got []obs.Event) {
+	t.Helper()
+	want, got = normalizeEvents(want), normalizeEvents(got)
+	if len(want) != len(got) {
+		t.Fatalf("decision sequence diverged: %d events offline, %d via daemon", len(want), len(got))
+	}
+	for i := range want {
+		wj, _ := json.Marshal(want[i])
+		gj, _ := json.Marshal(got[i])
+		if !bytes.Equal(wj, gj) {
+			t.Fatalf("event %d diverged:\noffline %s\ndaemon  %s", i, wj, gj)
+		}
+	}
+}
+
+// assertSameCollector requires exact equality — same observations in
+// the same order make even the float sums bit-identical.
+func assertSameCollector(t *testing.T, label string, want, got *metrics.Collector, makespan, maxProcs int64) {
+	t.Helper()
+	if want.Finished() != got.Finished() {
+		t.Fatalf("%s: finished %d != %d", label, got.Finished(), want.Finished())
+	}
+	type pair struct {
+		name string
+		w, g float64
+	}
+	for _, p := range []pair{
+		{"AVEbsld", want.AVEbsld(), got.AVEbsld()},
+		{"MaxBsld", want.MaxBsld(), got.MaxBsld()},
+		{"MeanWait", want.MeanWait(), got.MeanWait()},
+		{"Utilization", want.Utilization(makespan, maxProcs), got.Utilization(makespan, maxProcs)},
+		{"MAE", want.MAE(), got.MAE()},
+		{"MeanELoss", want.MeanELoss(), got.MeanELoss()},
+	} {
+		if p.w != p.g {
+			t.Fatalf("%s: %s %v != %v", label, p.name, p.g, p.w)
+		}
+	}
+}
+
+func assertSameResult(t *testing.T, want, got *sim.Result) {
+	t.Helper()
+	if want.Makespan != got.Makespan {
+		t.Fatalf("makespan %d != %d", got.Makespan, want.Makespan)
+	}
+	if want.Finished != got.Finished {
+		t.Fatalf("finished %d != %d", got.Finished, want.Finished)
+	}
+	if want.Canceled != got.Canceled {
+		t.Fatalf("canceled %d != %d", got.Canceled, want.Canceled)
+	}
+	if want.Corrections != got.Corrections {
+		t.Fatalf("corrections %d != %d", got.Corrections, want.Corrections)
+	}
+	if want.Perf.Events != got.Perf.Events {
+		t.Fatalf("events %d != %d", got.Perf.Events, want.Perf.Events)
+	}
+	if want.Perf.PickCalls != got.Perf.PickCalls {
+		t.Fatalf("pick calls %d != %d", got.Perf.PickCalls, want.Perf.PickCalls)
+	}
+}
+
+// postJSON posts one request, returning an error on a non-2xx answer
+// (submitters run on their own goroutines, where t.Fatal is illegal).
+func postJSON(client *http.Client, url string, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("POST %s: %d: %s", url, resp.StatusCode, msg)
+	}
+	return nil
+}
+
+// TestReplayDiffHTTP is the headline differential guarantee: N
+// concurrent submitters replay a recorded trace through the real HTTP
+// surface (one session per client, each posting its partition of the
+// trace with stated virtual instants), and the daemon's decision
+// sequence, counters, per-client split and collector sums come out
+// byte-identical to sim.RunStream over the same trace — the PR 5/6/8
+// guarantee chain extended across a real concurrency boundary.
+func TestReplayDiffHTTP(t *testing.T) {
+	const nClients = 4
+	w := genWorkload(t, "SDSC-SP2", 300)
+	names := stampClients(w, nClients)
+	triple := core.EASYPlusPlus()
+
+	refRes, refPer, refEvents := runStreamRef(t, w, triple)
+
+	daemonTrace := &obs.Collector{}
+	d, err := schedd.New(schedd.Options{
+		Workload: w.Name,
+		MaxProcs: w.MaxProcs,
+		Triple:   triple,
+		Clients:  names,
+		Tracer:   daemonTrace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+
+	// Every session opens before any traffic: a session joining
+	// mid-run joins at the emission watermark and could no longer
+	// state the early instants its partition needs.
+	for i := 0; i < nClients; i++ {
+		if err := postJSON(ts.Client(), ts.URL+"/v1/sessions", map[string]string{
+			"session": fmt.Sprintf("s%d", i), "client": names[i],
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < nClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			session := fmt.Sprintf("s%d", i)
+			for k := i; k < len(w.Jobs); k += nClients {
+				rec := w.Jobs[k]
+				err := postJSON(ts.Client(), ts.URL+"/v1/jobs", schedd.SubmitRequest{
+					Session: session,
+					Job: schedd.JobSpec{
+						Number:    rec.JobNumber,
+						Submit:    rec.SubmitTime,
+						Procs:     rec.Procs(),
+						Request:   rec.Request(),
+						Runtime:   rec.RunTime,
+						User:      rec.UserID,
+						Partition: rec.Partition,
+					},
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := postJSON(ts.Client(), ts.URL+"/v1/sessions/close", map[string]string{"session": session}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	res, err := d.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assertSameResult(t, refRes, res)
+	assertSameEvents(t, refEvents, daemonTrace.Events())
+	assertSameCollector(t, "overall", refPer.Overall(), d.Overall(), refRes.Makespan, w.MaxProcs)
+	for i, name := range names {
+		assertSameCollector(t, name, refPer.Client(i), d.PerClient().Client(i), refRes.Makespan, w.MaxProcs)
+	}
+}
+
+// TestReplayDiffAPI sweeps the same differential guarantee across
+// policy/predictor configurations through the in-process API, with
+// concurrent submitter goroutines and interleaved cancellations.
+func TestReplayDiffAPI(t *testing.T) {
+	const nClients = 3
+	w := genWorkload(t, "CTC-SP2", 250)
+	names := stampClients(w, nClients)
+
+	// Cancel a deterministic set of long jobs one second after
+	// submission, issued by the same session that submits them.
+	cancelAfter := map[int64]int64{}
+	canceled := 0
+	for i := range w.Jobs {
+		j := &w.Jobs[i]
+		if j.RunTime >= 1000 && canceled < 20 {
+			cancelAfter[j.JobNumber] = j.SubmitTime + 1
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("workload produced no cancellable jobs")
+	}
+
+	script := &scenario.Script{Name: "cancels"}
+	for i := range w.Jobs {
+		if at, ok := cancelAfter[w.Jobs[i].JobNumber]; ok {
+			script.Events = append(script.Events, scenario.Event{
+				Time: at, Action: scenario.Cancel, JobID: w.Jobs[i].JobNumber,
+			})
+		}
+	}
+
+	for _, triple := range []core.Triple{
+		core.EASY(),
+		core.EASYPlusPlus(),
+		core.PaperBest(),
+		core.ConservativeBF(),
+	} {
+		t.Run(triple.Name(), func(t *testing.T) {
+			cfg := triple.Config()
+			per := metrics.NewPerClient(names)
+			cfg.Sink = per
+			rec := &obs.Collector{}
+			cfg.Tracer = rec
+			cfg.Script = script
+			refRes, err := sim.RunStream(w.Name, w.MaxProcs, workload.FromWorkload(w), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if refRes.Canceled == 0 {
+				t.Fatal("reference run canceled nothing")
+			}
+
+			daemonTrace := &obs.Collector{}
+			d, err := schedd.New(schedd.Options{
+				Workload: w.Name,
+				MaxProcs: w.MaxProcs,
+				Triple:   triple,
+				Clients:  names,
+				Tracer:   daemonTrace,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < nClients; i++ {
+				if err := d.OpenSession(fmt.Sprintf("s%d", i), names[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Cancellations ride a session of their own: a submitter
+			// issuing a cancel at submit+1 would raise its floor past a
+			// same-instant successor job.
+			if err := d.OpenSession("canceller", ""); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < nClients; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					session := fmt.Sprintf("s%d", i)
+					for k := i; k < len(w.Jobs); k += nClients {
+						if err := d.Submit(session, w.Jobs[k]); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					if err := d.CloseSession(session); err != nil {
+						t.Error(err)
+					}
+				}(i)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range w.Jobs {
+					if at, ok := cancelAfter[w.Jobs[i].JobNumber]; ok {
+						if err := d.Cancel("canceller", at, w.Jobs[i].JobNumber); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+				if err := d.CloseSession("canceller"); err != nil {
+					t.Error(err)
+				}
+			}()
+			wg.Wait()
+			if t.Failed() {
+				t.FailNow()
+			}
+			res, err := d.Shutdown()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			assertSameResult(t, refRes, res)
+			assertSameEvents(t, rec.Events(), daemonTrace.Events())
+			assertSameCollector(t, "overall", per.Overall(), d.Overall(), refRes.Makespan, w.MaxProcs)
+			for i, name := range names {
+				assertSameCollector(t, name, per.Client(i), d.PerClient().Client(i), refRes.Makespan, w.MaxProcs)
+			}
+		})
+	}
+}
+
+// TestReplayDiffSingleSession pins the degenerate case: one session
+// replaying the whole trace, arbitrary (non-canonical) tie order
+// preserved by the per-session FIFO.
+func TestReplayDiffSingleSession(t *testing.T) {
+	w := genWorkload(t, "KTH-SP2", 200)
+	w.Clients = nil
+	triple := core.EASYPlusPlus()
+	refRes, refPer, refEvents := runStreamRef(t, w, triple)
+
+	daemonTrace := &obs.Collector{}
+	d, err := schedd.New(schedd.Options{
+		Workload: w.Name, MaxProcs: w.MaxProcs, Triple: triple, Tracer: daemonTrace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.OpenSession("only", ""); err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Jobs {
+		if err := d.Submit("only", w.Jobs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.CloseSession("only"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, refRes, res)
+	assertSameEvents(t, refEvents, daemonTrace.Events())
+	assertSameCollector(t, "overall", refPer.Overall(), d.Overall(), refRes.Makespan, w.MaxProcs)
+}

@@ -1,0 +1,341 @@
+package schedd
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/swf"
+)
+
+// Options configures a daemon.
+type Options struct {
+	// Workload names the run (tags results and trace events).
+	Workload string
+	// MaxProcs is the machine size.
+	MaxProcs int64
+	// Triple selects the policy/predictor/corrector configuration; its
+	// Config method is also the what-if fork factory (fresh sessions
+	// per call).
+	Triple core.Triple
+	// Scale selects the time mode: 0 is virtual time (clients state
+	// instants and raise floors; deterministic), >0 is scaled wall time
+	// (Scale virtual seconds per wall second; the daemon stamps
+	// arrival instants).
+	Scale float64
+	// Clients names the traffic sources for the per-client metric
+	// split; a session opened with a client name outside this list
+	// still schedules, its jobs just skip the split.
+	Clients []string
+	// Tracer, when non-nil, receives every flight-recorder event in
+	// addition to the daemon's own event stream subscribers.
+	Tracer obs.Tracer
+	// TickEvery is the scaled-mode clock-advance period (default
+	// 10ms). Virtual mode ignores it.
+	TickEvery time.Duration
+}
+
+// Daemon is an in-process scheduling service: concurrent producers
+// call Submit/Cancel/Drain/Restore/Advance (directly or through the
+// HTTP surface in server.go), one engine goroutine consumes the
+// sequenced command stream through sim.RunLive, and observers read
+// metrics snapshots, subscribe to the event stream, and fork what-if
+// projections. See the package comment for the determinism invariants.
+type Daemon struct {
+	opts Options
+	seq  *sequencer
+	log  *commandLog
+	hub  *hub
+
+	// mu guards the observation state fed by the engine goroutine
+	// (through Observe) and read by Metrics.
+	mu       sync.Mutex
+	per      *metrics.PerClient
+	maxEnd   int64
+	finished int
+
+	done   chan struct{}
+	res    *sim.Result
+	runErr error
+
+	stopTick  chan struct{}
+	tickerWG  sync.WaitGroup
+	shutdown  sync.Once
+	clientIdx map[string]int
+}
+
+// New starts a daemon: the engine goroutine launches immediately and
+// blocks on the sequencer for traffic.
+func New(opts Options) (*Daemon, error) {
+	if opts.MaxProcs <= 0 {
+		return nil, fmt.Errorf("schedd: machine size %d must be positive", opts.MaxProcs)
+	}
+	if opts.Scale < 0 {
+		return nil, fmt.Errorf("schedd: time scale %g must not be negative", opts.Scale)
+	}
+	if opts.Workload == "" {
+		opts.Workload = "live"
+	}
+	var clock *vclock
+	if opts.Scale > 0 {
+		clock = &vclock{epoch: time.Now(), scale: opts.Scale}
+	}
+	d := &Daemon{
+		opts:      opts,
+		seq:       newSequencer(clock),
+		log:       &commandLog{},
+		hub:       newHub(),
+		per:       metrics.NewPerClient(opts.Clients),
+		done:      make(chan struct{}),
+		clientIdx: make(map[string]int, len(opts.Clients)),
+	}
+	for i, name := range opts.Clients {
+		d.clientIdx[name] = i
+	}
+
+	cfg := opts.Triple.Config()
+	cfg.Sink = d
+	cfg.Tracer = d.tracer()
+
+	if clock != nil {
+		every := opts.TickEvery
+		if every <= 0 {
+			every = 10 * time.Millisecond
+		}
+		d.stopTick = make(chan struct{})
+		d.tickerWG.Add(1)
+		go func() {
+			defer d.tickerWG.Done()
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					d.seq.wake()
+				case <-d.stopTick:
+					return
+				}
+			}
+		}()
+	}
+
+	go func() {
+		src := &loggingSource{next: d.seq, log: d.log}
+		res, err := sim.RunLive(opts.Workload, opts.MaxProcs, src, cfg)
+		d.res, d.runErr = res, err
+		d.hub.closeAll()
+		close(d.done)
+	}()
+	return d, nil
+}
+
+// tracer composes the event-stream hub with the configured tracer.
+func (d *Daemon) tracer() obs.Tracer {
+	if d.opts.Tracer == nil {
+		return tagged(d.hub, d.opts)
+	}
+	return tagged(teeTracer{d.hub, d.opts.Tracer}, d.opts)
+}
+
+func tagged(t obs.Tracer, opts Options) obs.Tracer {
+	return obs.Tagged{Tracer: t, Workload: opts.Workload, Triple: opts.Triple.Name()}
+}
+
+// teeTracer forwards each event to both tracers in order.
+type teeTracer [2]obs.Tracer
+
+func (t teeTracer) Trace(ev *obs.Event) {
+	t[0].Trace(ev)
+	t[1].Trace(ev)
+}
+
+// Observe implements sim.JobSink: the engine goroutine retires each
+// finished job into the per-client collectors and the makespan bound.
+func (d *Daemon) Observe(j *job.Job) {
+	d.mu.Lock()
+	d.per.Observe(j)
+	d.finished++
+	if j.End > d.maxEnd {
+		d.maxEnd = j.End
+	}
+	d.mu.Unlock()
+}
+
+// OpenSession registers a client session. The client name selects the
+// metric split (Options.Clients); unknown names schedule but stay out
+// of the split.
+func (d *Daemon) OpenSession(session, client string) error {
+	idx, ok := d.clientIdx[client]
+	if !ok {
+		idx = -1
+	}
+	return d.seq.open(session, idx)
+}
+
+// CloseSession ends a session: its queued commands still drain, its
+// floor stops constraining emission.
+func (d *Daemon) CloseSession(session string) error {
+	return d.seq.close(session)
+}
+
+// Submit enqueues one job submission on a session. In virtual mode
+// rec.SubmitTime is the instant and must respect the session floor; in
+// scaled mode the daemon stamps it.
+func (d *Daemon) Submit(session string, rec swf.Job) error {
+	if rec.JobNumber <= 0 {
+		return errf(400, "schedd: job number %d must be positive", rec.JobNumber)
+	}
+	if rec.Procs() <= 0 {
+		return errf(400, "schedd: job %d requests %d processors", rec.JobNumber, rec.Procs())
+	}
+	if rec.Procs() > d.opts.MaxProcs {
+		return errf(400, "schedd: job %d wider (%d) than machine (%d)", rec.JobNumber, rec.Procs(), d.opts.MaxProcs)
+	}
+	if rec.Request() <= 0 {
+		return errf(400, "schedd: job %d has no requested time", rec.JobNumber)
+	}
+	if rec.SubmitTime < 0 {
+		return errf(400, "schedd: job %d submits at negative instant %d", rec.JobNumber, rec.SubmitTime)
+	}
+	if rec.RunTime < 0 {
+		return errf(400, "schedd: job %d has negative runtime %d", rec.JobNumber, rec.RunTime)
+	}
+	return d.seq.enqueue(session, sim.SubmitCommand(rec))
+}
+
+// Cancel enqueues a cancellation of job id at instant t (scaled mode
+// stamps its own instant).
+func (d *Daemon) Cancel(session string, t, id int64) error {
+	if id <= 0 {
+		return errf(400, "schedd: cancel of job %d", id)
+	}
+	return d.seq.enqueue(session, sim.CancelCommand(t, id))
+}
+
+// Drain announces procs processors leaving service at instant t.
+func (d *Daemon) Drain(session string, t, procs int64) error {
+	if procs <= 0 {
+		return errf(400, "schedd: drain of %d processors", procs)
+	}
+	return d.seq.enqueue(session, sim.DrainCommand(t, procs))
+}
+
+// Restore announces procs processors returning to service at instant t.
+func (d *Daemon) Restore(session string, t, procs int64) error {
+	if procs <= 0 {
+		return errf(400, "schedd: restore of %d processors", procs)
+	}
+	return d.seq.enqueue(session, sim.RestoreCommand(t, procs))
+}
+
+// Advance raises a session's floor to t: the promise that no later
+// command of this session carries an earlier instant, which lets the
+// engine retire queued events up to the slowest open floor.
+func (d *Daemon) Advance(session string, t int64) error {
+	return d.seq.advance(session, t)
+}
+
+// ClientMetrics is one row of a metrics snapshot.
+type ClientMetrics struct {
+	Client   string  `json:"client"`
+	Finished int     `json:"finished"`
+	AVEbsld  float64 `json:"avebsld"`
+	MaxBsld  float64 `json:"max_bsld"`
+	MeanWait float64 `json:"mean_wait"`
+}
+
+// MetricsSnapshot is the live view of the run so far.
+type MetricsSnapshot struct {
+	Workload    string          `json:"workload"`
+	Triple      string          `json:"triple"`
+	MaxProcs    int64           `json:"max_procs"`
+	Finished    int             `json:"finished"`
+	AVEbsld     float64         `json:"avebsld"`
+	MaxBsld     float64         `json:"max_bsld"`
+	MeanWait    float64         `json:"mean_wait"`
+	WaitP50     float64         `json:"wait_p50"`
+	WaitP95     float64         `json:"wait_p95"`
+	WaitP99     float64         `json:"wait_p99"`
+	Utilization float64         `json:"utilization"`
+	MAE         float64         `json:"mae"`
+	MeanELoss   float64         `json:"mean_eloss"`
+	Makespan    int64           `json:"makespan"`
+	Watermark   int64           `json:"watermark"`
+	Sessions    int             `json:"sessions"`
+	Draining    bool            `json:"draining"`
+	Clients     []ClientMetrics `json:"clients,omitempty"`
+}
+
+// Metrics snapshots the collectors mid-run: every job retired so far,
+// split per client.
+func (d *Daemon) Metrics() MetricsSnapshot {
+	watermark, open, draining := d.seq.snapshot()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	o := d.per.Overall()
+	snap := MetricsSnapshot{
+		Workload:    d.opts.Workload,
+		Triple:      d.opts.Triple.Name(),
+		MaxProcs:    d.opts.MaxProcs,
+		Finished:    o.Finished(),
+		AVEbsld:     o.AVEbsld(),
+		MaxBsld:     o.MaxBsld(),
+		MeanWait:    o.MeanWait(),
+		WaitP50:     o.WaitSketch().Quantile(0.50),
+		WaitP95:     o.WaitSketch().Quantile(0.95),
+		WaitP99:     o.WaitSketch().Quantile(0.99),
+		Utilization: o.Utilization(d.maxEnd, d.opts.MaxProcs),
+		MAE:         o.MAE(),
+		MeanELoss:   o.MeanELoss(),
+		Makespan:    d.maxEnd,
+		Watermark:   watermark,
+		Sessions:    open,
+		Draining:    draining,
+	}
+	for i, name := range d.per.Names() {
+		c := d.per.Client(i)
+		snap.Clients = append(snap.Clients, ClientMetrics{
+			Client:   name,
+			Finished: c.Finished(),
+			AVEbsld:  c.AVEbsld(),
+			MaxBsld:  c.MaxBsld(),
+			MeanWait: c.MeanWait(),
+		})
+	}
+	return snap
+}
+
+// Overall exposes the overall collector for differential tests; the
+// returned collector must only be read after Shutdown returns.
+func (d *Daemon) Overall() *metrics.Collector { return d.per.Overall() }
+
+// PerClient exposes the per-client sink under the same discipline.
+func (d *Daemon) PerClient() *metrics.PerClient { return d.per }
+
+// Subscribe attaches a new event-stream subscriber; see hub.
+func (d *Daemon) Subscribe() *subscriber { return d.hub.subscribe() }
+
+// Done is closed when the engine goroutine exits.
+func (d *Daemon) Done() <-chan struct{} { return d.done }
+
+// Shutdown drains the daemon gracefully: intake closes (in-flight
+// enqueues fail with 409, queued commands still run), the engine
+// retires every remaining event, and the final result returns.
+// Idempotent; every caller gets the same result.
+func (d *Daemon) Shutdown() (*sim.Result, error) {
+	d.shutdown.Do(func() {
+		d.seq.drain()
+		<-d.done
+		if d.stopTick != nil {
+			close(d.stopTick)
+			d.tickerWG.Wait()
+		}
+	})
+	<-d.done
+	return d.res, d.runErr
+}

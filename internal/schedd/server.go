@@ -1,0 +1,320 @@
+package schedd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/swf"
+)
+
+// maxBodyBytes bounds every request body; the largest legitimate
+// request is a what-if script, far below this.
+const maxBodyBytes = 1 << 20
+
+// JobSpec is the wire form of a submission: the SWF fields a live
+// client states. Runtime is the simulated job's actual running time —
+// the oracle the event core needs to schedule its finish; a real
+// deployment would learn it at completion instead.
+type JobSpec struct {
+	Number  int64 `json:"number"`
+	Submit  int64 `json:"submit"`
+	Procs   int64 `json:"procs"`
+	Request int64 `json:"request"`
+	Runtime int64 `json:"runtime"`
+	User    int64 `json:"user,omitempty"`
+	// Partition overrides the session's client stamp (1-based client
+	// index; 0 means inherit).
+	Partition int64 `json:"partition,omitempty"`
+}
+
+func (s *JobSpec) record() swf.Job {
+	return swf.Job{
+		JobNumber:      s.Number,
+		SubmitTime:     s.Submit,
+		RunTime:        s.Runtime,
+		AllocatedProcs: s.Procs,
+		RequestedProcs: s.Procs,
+		RequestedTime:  s.Request,
+		UserID:         s.User,
+		Partition:      s.Partition,
+	}
+}
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	Session string  `json:"session"`
+	Job     JobSpec `json:"job"`
+}
+
+type sessionRequest struct {
+	Session string `json:"session"`
+	Client  string `json:"client,omitempty"`
+}
+
+type cancelRequest struct {
+	Session string `json:"session"`
+	T       int64  `json:"t"`
+	Job     int64  `json:"job"`
+}
+
+type capacityRequest struct {
+	Session string `json:"session"`
+	T       int64  `json:"t"`
+	Procs   int64  `json:"procs"`
+}
+
+type advanceRequest struct {
+	Session string `json:"session"`
+	T       int64  `json:"t"`
+}
+
+type whatIfRequest struct {
+	Events []WhatIfEvent `json:"events"`
+}
+
+// decodeStrict decodes one JSON value from r, rejecting unknown
+// fields, trailing data, and oversized bodies — the contract
+// FuzzSubmitRequest pins on the submission decoder.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxBodyBytes+1))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errf(http.StatusBadRequest, "schedd: bad request body: %v", err)
+	}
+	if dec.More() {
+		return errf(http.StatusBadRequest, "schedd: trailing data after request body")
+	}
+	return nil
+}
+
+// ParseSubmitRequest decodes and validates a POST /v1/jobs body: the
+// fuzz entry point. A nil error means the request would enqueue
+// (session permitting): positive job number, width, and requested
+// time, nonnegative instants.
+func ParseSubmitRequest(body []byte) (*SubmitRequest, error) {
+	var req SubmitRequest
+	if err := decodeStrict(bytes.NewReader(body), &req); err != nil {
+		return nil, err
+	}
+	if req.Session == "" {
+		return nil, errf(http.StatusBadRequest, "schedd: submit without a session")
+	}
+	j := &req.Job
+	if j.Number <= 0 {
+		return nil, errf(http.StatusBadRequest, "schedd: job number %d must be positive", j.Number)
+	}
+	if j.Procs <= 0 {
+		return nil, errf(http.StatusBadRequest, "schedd: job %d requests %d processors", j.Number, j.Procs)
+	}
+	if j.Request <= 0 {
+		return nil, errf(http.StatusBadRequest, "schedd: job %d has no requested time", j.Number)
+	}
+	if j.Runtime < 0 {
+		return nil, errf(http.StatusBadRequest, "schedd: job %d has negative runtime %d", j.Number, j.Runtime)
+	}
+	if j.Submit < 0 {
+		return nil, errf(http.StatusBadRequest, "schedd: job %d submits at negative instant %d", j.Number, j.Submit)
+	}
+	if j.Partition < 0 {
+		return nil, errf(http.StatusBadRequest, "schedd: job %d has negative partition %d", j.Number, j.Partition)
+	}
+	return &req, nil
+}
+
+// writeError renders an error on the wire: typed *Error with its
+// status, anything else as a 500.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var api *Error
+	if errors.As(err, &api) {
+		status = api.Status
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// Handler returns the daemon's HTTP surface. All state lives in the
+// daemon; the handler is stateless and safe for concurrent use.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	post := func(pattern string, fn func(body []byte) error) {
+		mux.HandleFunc("POST "+pattern, func(w http.ResponseWriter, r *http.Request) {
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+			if err != nil {
+				writeError(w, errf(http.StatusRequestEntityTooLarge, "schedd: %v", err))
+				return
+			}
+			if err := fn(body); err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, map[string]bool{"ok": true})
+		})
+	}
+
+	post("/v1/sessions", func(body []byte) error {
+		var req sessionRequest
+		if err := decodeStrict(bytes.NewReader(body), &req); err != nil {
+			return err
+		}
+		return d.OpenSession(req.Session, req.Client)
+	})
+	post("/v1/sessions/close", func(body []byte) error {
+		var req sessionRequest
+		if err := decodeStrict(bytes.NewReader(body), &req); err != nil {
+			return err
+		}
+		return d.CloseSession(req.Session)
+	})
+	post("/v1/jobs", func(body []byte) error {
+		req, err := ParseSubmitRequest(body)
+		if err != nil {
+			return err
+		}
+		return d.Submit(req.Session, req.Job.record())
+	})
+	post("/v1/cancel", func(body []byte) error {
+		var req cancelRequest
+		if err := decodeStrict(bytes.NewReader(body), &req); err != nil {
+			return err
+		}
+		return d.Cancel(req.Session, req.T, req.Job)
+	})
+	post("/v1/drain", func(body []byte) error {
+		var req capacityRequest
+		if err := decodeStrict(bytes.NewReader(body), &req); err != nil {
+			return err
+		}
+		return d.Drain(req.Session, req.T, req.Procs)
+	})
+	post("/v1/restore", func(body []byte) error {
+		var req capacityRequest
+		if err := decodeStrict(bytes.NewReader(body), &req); err != nil {
+			return err
+		}
+		return d.Restore(req.Session, req.T, req.Procs)
+	})
+	post("/v1/advance", func(body []byte) error {
+		var req advanceRequest
+		if err := decodeStrict(bytes.NewReader(body), &req); err != nil {
+			return err
+		}
+		return d.Advance(req.Session, req.T)
+	})
+
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, d.Metrics())
+	})
+
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		watermark, open, draining := d.seq.snapshot()
+		writeJSON(w, map[string]any{
+			"workload":  d.opts.Workload,
+			"triple":    d.opts.Triple.Name(),
+			"max_procs": d.opts.MaxProcs,
+			"scale":     d.opts.Scale,
+			"watermark": watermark,
+			"sessions":  open,
+			"draining":  draining,
+		})
+	})
+
+	mux.HandleFunc("POST /v1/whatif", func(w http.ResponseWriter, r *http.Request) {
+		var req whatIfRequest
+		if err := decodeStrict(http.MaxBytesReader(w, r.Body, maxBodyBytes), &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		proj, err := d.WhatIf(req.Events)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, proj)
+	})
+
+	mux.HandleFunc("GET /v1/events", func(w http.ResponseWriter, r *http.Request) {
+		d.serveEvents(w, r)
+	})
+
+	mux.HandleFunc("POST /v1/shutdown", func(w http.ResponseWriter, r *http.Request) {
+		res, err := d.Shutdown()
+		if err != nil {
+			writeError(w, errf(http.StatusInternalServerError, "schedd: run failed: %v", err))
+			return
+		}
+		writeJSON(w, map[string]any{
+			"finished":    res.Finished,
+			"canceled":    res.Canceled,
+			"makespan":    res.Makespan,
+			"corrections": res.Corrections,
+			"metrics":     d.Metrics(),
+		})
+	})
+
+	return mux
+}
+
+// serveEvents streams flight-recorder events live: JSONL by default
+// (one obs.Event per line, the schema cmd/tracestat reads), or SSE
+// ("data: <event-json>" frames) when the client asks for
+// text/event-stream. The stream ends when the engine exits or the
+// client disconnects.
+func (d *Daemon) serveEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errf(http.StatusNotImplemented, "schedd: event stream needs a flushing writer"))
+		return
+	}
+	sse := r.Header.Get("Accept") == "text/event-stream"
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+
+	// Subscribe before the response headers go out: a client that has
+	// seen the 200 is guaranteed to observe every event from then on.
+	sub := d.hub.subscribe()
+	stop := context.AfterFunc(r.Context(), func() { d.hub.unsubscribe(sub) })
+	defer stop()
+	defer d.hub.unsubscribe(sub)
+
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for {
+		batch, ok := sub.Next()
+		if !ok {
+			return
+		}
+		for i := range batch {
+			line, err := obs.MarshalLine(&batch[i])
+			if err != nil {
+				return
+			}
+			if sse {
+				if _, err := fmt.Fprintf(w, "data: %s\n", line); err != nil {
+					return
+				}
+			} else if _, err := w.Write(line); err != nil {
+				return
+			}
+		}
+		flusher.Flush()
+	}
+}

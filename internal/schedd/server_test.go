@@ -1,0 +1,327 @@
+package schedd_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/schedd"
+	"repro/internal/swf"
+)
+
+func newTestDaemon(t *testing.T) (*schedd.Daemon, *httptest.Server) {
+	t.Helper()
+	d, err := schedd.New(schedd.Options{
+		Workload: "wire", MaxProcs: 64, Triple: core.EASYPlusPlus(), Clients: []string{"a", "b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { d.Shutdown() })
+	return d, ts
+}
+
+// TestWireErrors pins the error contract of every endpoint: typed
+// statuses, named conflicts, strict decoding.
+func TestWireErrors(t *testing.T) {
+	_, ts := newTestDaemon(t)
+	if err := postJSON(ts.Client(), ts.URL+"/v1/sessions", map[string]string{"session": "s", "client": "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := postJSON(ts.Client(), ts.URL+"/v1/jobs", schedd.SubmitRequest{
+		Session: "s", Job: schedd.JobSpec{Number: 1, Submit: 100, Procs: 2, Request: 60, Runtime: 30},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name, path, body string
+		status           int
+		wantMsg          string
+	}{
+		{"garbage json", "/v1/jobs", `{"session":`, 400, "bad request body"},
+		{"unknown field", "/v1/jobs", `{"session":"s","job":{"number":2,"procs":1,"request":1},"x":1}`, 400, "bad request body"},
+		{"trailing data", "/v1/jobs", `{"session":"s","job":{"number":2,"submit":100,"procs":1,"request":1}}{}`, 400, "trailing data"},
+		{"no session", "/v1/jobs", `{"session":"nope","job":{"number":2,"submit":100,"procs":1,"request":1}}`, 404, "unknown session"},
+		{"wide job", "/v1/jobs", `{"session":"s","job":{"number":2,"submit":100,"procs":65,"request":1}}`, 400, "wider"},
+		{"floor regression", "/v1/jobs", `{"session":"s","job":{"number":2,"submit":99,"procs":1,"request":1}}`, 409, "behind the session floor"},
+		{"double open", "/v1/sessions", `{"session":"s"}`, 409, "already open"},
+		{"close unknown", "/v1/sessions/close", `{"session":"ghost"}`, 404, "unknown session"},
+		{"zero drain", "/v1/drain", `{"session":"s","t":200,"procs":0}`, 400, "drain of 0"},
+		{"bad cancel id", "/v1/cancel", `{"session":"s","t":200,"job":0}`, 400, "cancel of job 0"},
+		{"scaled advance only", "/v1/whatif", `{"events":[{"kind":"explode","t":1}]}`, 400, "unknown what-if event kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := ts.Client().Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var body struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, tc.status, body.Error)
+			}
+			if !strings.Contains(body.Error, tc.wantMsg) {
+				t.Fatalf("error %q does not name the conflict %q", body.Error, tc.wantMsg)
+			}
+		})
+	}
+
+	// Method and route misuse map to the mux's own statuses.
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/jobs: %d, want 405", resp.StatusCode)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/nope: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestWireMetricsAndStatus exercises the observation endpoints against
+// a drained run.
+func TestWireMetricsAndStatus(t *testing.T) {
+	d, ts := newTestDaemon(t)
+	if err := d.OpenSession("s", "a"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 8; i++ {
+		if err := d.Submit("s", jobRecordAt(i, (i-1)*10, 4, 120)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Advance("s", 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	waitFinished(t, d, 8)
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap schedd.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Finished != 8 || snap.Workload != "wire" || len(snap.Clients) != 2 {
+		t.Fatalf("unexpected snapshot: %+v", snap)
+	}
+	if snap.Clients[0].Finished != 8 || snap.Clients[1].Finished != 0 {
+		t.Fatalf("per-client split wrong: %+v", snap.Clients)
+	}
+
+	sresp, err := ts.Client().Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var status map[string]any
+	if err := json.NewDecoder(sresp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status["workload"] != "wire" || status["sessions"].(float64) != 1 {
+		t.Fatalf("unexpected status: %+v", status)
+	}
+}
+
+// jobRecordAt is jobRecord with a stated submit instant (virtual mode).
+func jobRecordAt(id, submit, procs, runtime int64) swf.Job {
+	rec := jobRecord(id, procs, runtime)
+	rec.SubmitTime = submit
+	return rec
+}
+
+// TestWireEventStream subscribes to GET /v1/events before traffic and
+// checks the JSONL stream: every line decodes through obs.ReadFile
+// (cmd/tracestat's reader), validates against the trace schema, and
+// the stream carries each job's submit.
+func TestWireEventStream(t *testing.T) {
+	d, ts := newTestDaemon(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// The 200 is out, so the subscription is active: traffic from here
+	// on must appear on the stream.
+	if err := d.OpenSession("s", "a"); err != nil {
+		t.Fatal(err)
+	}
+	const nJobs = 5
+	for i := int64(1); i <= nJobs; i++ {
+		if err := d.Submit("s", jobRecordAt(i, i*10, 2, 30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Advance("s", 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	waitFinished(t, d, nJobs)
+
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.AfterFunc(20*time.Second, cancel)
+	defer deadline.Stop()
+	submits := 0
+	for submits < nJobs && sc.Scan() {
+		lines = append(lines, sc.Text())
+		if strings.Contains(sc.Text(), `"kind":"submit"`) {
+			submits++
+		}
+	}
+	cancel()
+	if submits != nJobs {
+		t.Fatalf("stream carried %d submit events, want %d", submits, nJobs)
+	}
+
+	// The stream's bytes are a valid trace file: tracestat's reader
+	// must accept every line and the schema checker every event.
+	path := filepath.Join(t.TempDir(), "stream.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	read := 0
+	if err := obs.ReadFile(path, func(line int, ev obs.Event) error {
+		read++
+		if ev.Workload != "wire" {
+			t.Fatalf("line %d: untagged event %+v", line, ev)
+		}
+		return obs.ValidateEvent(&ev)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if read != len(lines) {
+		t.Fatalf("reader decoded %d of %d lines", read, len(lines))
+	}
+}
+
+// TestWireEventStreamSSE checks the Server-Sent-Events framing: the
+// same event JSON, one "data:" frame per event.
+func TestWireEventStreamSSE(t *testing.T) {
+	d, ts := newTestDaemon(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	if err := d.OpenSession("s", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit("s", jobRecordAt(1, 0, 2, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Advance("s", 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	waitFinished(t, d, 1)
+
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.AfterFunc(20*time.Second, cancel)
+	defer deadline.Stop()
+	frames := 0
+	for frames < 3 && sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			t.Fatalf("non-SSE line %q", line)
+		}
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("frame payload is not an event: %v", err)
+		}
+		frames++
+	}
+	if frames != 3 {
+		t.Fatalf("read %d SSE frames", frames)
+	}
+}
+
+// TestWireShutdown drains the daemon over the wire and checks the
+// final report plus the post-drain conflict.
+func TestWireShutdown(t *testing.T) {
+	d, ts := newTestDaemon(t)
+	if err := d.OpenSession("s", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit("s", jobRecordAt(1, 0, 2, 30)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/shutdown", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var report struct {
+		Finished int                    `json:"finished"`
+		Metrics  schedd.MetricsSnapshot `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Finished != 1 || report.Metrics.Finished != 1 {
+		t.Fatalf("shutdown report: %+v", report)
+	}
+
+	// Post-drain traffic gets the conflict, not a hang or a drop.
+	resp2, err := ts.Client().Post(ts.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"session":"late"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 409 {
+		t.Fatalf("post-drain open: %d, want 409", resp2.StatusCode)
+	}
+}

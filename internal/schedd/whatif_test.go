@@ -1,0 +1,281 @@
+package schedd_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/schedd"
+)
+
+// waitFinished polls the metrics snapshot until the daemon has retired
+// n jobs — the only way to detect quiescence from outside, since the
+// engine goroutine consumes asynchronously.
+func waitFinished(t *testing.T, d *schedd.Daemon, n int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if snap := d.Metrics(); snap.Finished == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reached %d finished jobs (at %d)", n, d.Metrics().Finished)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestWhatIfLeavesLiveUntouched is the fork-correctness guarantee: a
+// projection must share no mutable state with the serving path. The
+// daemon processes a full trace and stays live; what-if projections
+// run against empty, capacity, and cancellation hypotheses; and the
+// live metrics snapshot and decision trace must be bit-identical
+// before and after. The empty hypothesis must project exactly the
+// live run's own outcome.
+func TestWhatIfLeavesLiveUntouched(t *testing.T) {
+	w := genWorkload(t, "KTH-SP2", 150)
+	w.Clients = nil
+	triple := core.EASYPlusPlus()
+	refRes, refPer, _ := runStreamRef(t, w, triple)
+
+	daemonTrace := &obs.Collector{}
+	d, err := schedd.New(schedd.Options{
+		Workload: w.Name, MaxProcs: w.MaxProcs, Triple: triple, Tracer: daemonTrace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "keeper" holds the daemon live after "feed" closes; its advance
+	// promise lets the engine retire every queued event.
+	if err := d.OpenSession("keeper", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.OpenSession("feed", ""); err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Jobs {
+		if err := d.Submit("feed", w.Jobs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.CloseSession("feed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Advance("keeper", 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	waitFinished(t, d, len(w.Jobs))
+
+	snapBefore, err := json.Marshal(d.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventsBefore := daemonTrace.Events()
+
+	// Empty hypothesis: the projection is the live run's own outcome.
+	proj, err := d.WhatIf(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Finished != len(w.Jobs) {
+		t.Fatalf("empty projection finished %d, live %d", proj.Finished, len(w.Jobs))
+	}
+	live := d.Metrics()
+	if proj.AVEbsld != live.AVEbsld || proj.MaxBsld != live.MaxBsld || proj.MeanWait != live.MeanWait {
+		t.Fatalf("empty projection diverged from live metrics:\nproj %+v\nlive %+v", proj, live)
+	}
+	if proj.Makespan != refRes.Makespan {
+		t.Fatalf("empty projection makespan %d, reference %d", proj.Makespan, refRes.Makespan)
+	}
+	if proj.AVEbsld != refPer.Overall().AVEbsld() {
+		t.Fatalf("empty projection AVEbsld %v, reference %v", proj.AVEbsld, refPer.Overall().AVEbsld())
+	}
+
+	// Capacity hypothesis: drain half the machine across the whole
+	// run. The projection must complete (drain restored) and report.
+	half := w.MaxProcs / 2
+	capProj, err := d.WhatIf([]schedd.WhatIfEvent{
+		{Kind: "drain", T: 0, Procs: half},
+		{Kind: "restore", T: refRes.Makespan + 1, Procs: half},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capProj.Finished != len(w.Jobs) {
+		t.Fatalf("capacity projection finished %d of %d", capProj.Finished, len(w.Jobs))
+	}
+
+	// Cancellation hypothesis: dropping a job before submission must
+	// project exactly one cancellation.
+	victim := w.Jobs[len(w.Jobs)/2]
+	cancelProj, err := d.WhatIf([]schedd.WhatIfEvent{
+		{Kind: "cancel", T: 0, Job: victim.JobNumber},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cancelProj.Canceled != 1 || cancelProj.Finished != len(w.Jobs)-1 {
+		t.Fatalf("cancel projection: %d canceled, %d finished; want 1, %d",
+			cancelProj.Canceled, cancelProj.Finished, len(w.Jobs)-1)
+	}
+
+	// The serving path is bit-identical: same metrics snapshot, same
+	// decision trace, before and after three forks.
+	snapAfter, err := json.Marshal(d.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(snapBefore) != string(snapAfter) {
+		t.Fatalf("projections perturbed the live metrics:\nbefore %s\nafter  %s", snapBefore, snapAfter)
+	}
+	eventsAfter := daemonTrace.Events()
+	if len(eventsAfter) != len(eventsBefore) {
+		t.Fatalf("projections emitted %d live trace events", len(eventsAfter)-len(eventsBefore))
+	}
+	assertSameEvents(t, eventsBefore, eventsAfter)
+
+	if err := d.CloseSession("keeper"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, refRes, res)
+	assertSameCollector(t, "overall", refPer.Overall(), d.Overall(), refRes.Makespan, w.MaxProcs)
+}
+
+// TestWhatIfConcurrentWithTraffic forks projections while submitters
+// are still feeding the daemon: every projection must succeed (each
+// replays a consistent history prefix), and the completed run must
+// still match the offline reference byte for byte — proof the forks
+// never perturb an engine that is actively scheduling.
+func TestWhatIfConcurrentWithTraffic(t *testing.T) {
+	const nClients = 2
+	w := genWorkload(t, "SDSC-SP2", 200)
+	names := stampClients(w, nClients)
+	triple := core.EASY()
+	refRes, refPer, refEvents := runStreamRef(t, w, triple)
+
+	daemonTrace := &obs.Collector{}
+	d, err := schedd.New(schedd.Options{
+		Workload: w.Name, MaxProcs: w.MaxProcs, Triple: triple, Clients: names, Tracer: daemonTrace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nClients; i++ {
+		if err := d.OpenSession(fmt.Sprintf("s%d", i), names[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var submitters sync.WaitGroup
+	for i := 0; i < nClients; i++ {
+		submitters.Add(1)
+		go func(i int) {
+			defer submitters.Done()
+			for k := i; k < len(w.Jobs); k += nClients {
+				if err := d.Submit(fmt.Sprintf("s%d", i), w.Jobs[k]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := d.CloseSession(fmt.Sprintf("s%d", i)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	stop := make(chan struct{})
+	var forker sync.WaitGroup
+	forker.Add(1)
+	go func() {
+		defer forker.Done()
+		forks := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := d.WhatIf(nil); err != nil {
+				t.Error(err)
+				return
+			}
+			forks++
+		}
+	}()
+
+	submitters.Wait()
+	close(stop)
+	forker.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	res, err := d.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, refRes, res)
+	assertSameEvents(t, refEvents, daemonTrace.Events())
+	assertSameCollector(t, "overall", refPer.Overall(), d.Overall(), refRes.Makespan, w.MaxProcs)
+}
+
+// TestWhatIfRejects pins the projection surface's error contract.
+func TestWhatIfRejects(t *testing.T) {
+	d, err := schedd.New(schedd.Options{Workload: "w", MaxProcs: 16, Triple: core.EASY()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+
+	cases := []struct {
+		name   string
+		events []schedd.WhatIfEvent
+		status int
+	}{
+		{"unknown kind", []schedd.WhatIfEvent{{Kind: "explode", T: 1}}, 400},
+		{"negative instant", []schedd.WhatIfEvent{{Kind: "drain", T: -1, Procs: 4}}, 400},
+		{"zero-proc drain", []schedd.WhatIfEvent{{Kind: "drain", T: 1}}, 400},
+		{"zero-proc restore", []schedd.WhatIfEvent{{Kind: "restore", T: 1}}, 400},
+		{"zero-id cancel", []schedd.WhatIfEvent{{Kind: "cancel", T: 1}}, 400},
+		{"out of order", []schedd.WhatIfEvent{
+			{Kind: "drain", T: 10, Procs: 4},
+			{Kind: "restore", T: 5, Procs: 4},
+		}, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := d.WhatIf(tc.events)
+			api, ok := err.(*schedd.Error)
+			if !ok {
+				t.Fatalf("got %v, want *schedd.Error", err)
+			}
+			if api.Status != tc.status {
+				t.Fatalf("status %d, want %d: %v", api.Status, tc.status, err)
+			}
+		})
+	}
+
+	// An unrestored drain strands hypothetical jobs: the replay cannot
+	// complete, and the projection reports it as unprocessable.
+	if err := d.OpenSession("s", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit("s", jobRecord(1, 8, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Advance("s", 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	waitFinished(t, d, 1)
+	_, err = d.WhatIf([]schedd.WhatIfEvent{{Kind: "drain", T: 0, Procs: 16}})
+	api, ok := err.(*schedd.Error)
+	if !ok || api.Status != 422 {
+		t.Fatalf("unrestored drain: got %v, want 422", err)
+	}
+}

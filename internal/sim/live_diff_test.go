@@ -1,0 +1,339 @@
+package sim_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/swf"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The differential layer of the live driver: RunLive over a command
+// stream derived from (trace, script) must be decision- and
+// metrics-identical to RunStream over the same trace — the schedd
+// daemon's correctness argument reduces to this file plus the
+// sequencer's ordering guarantee (internal/schedd/replay_diff_test.go
+// re-proves the same identity across a real concurrency boundary).
+
+// commandRank orders commands within one instant: submissions first,
+// so a same-instant cancel binds the job it targets exactly as
+// RunStream's admit-before-pop discipline does, then the remaining
+// kinds in their event-queue order.
+func commandRank(k sim.CommandKind) int {
+	switch k {
+	case sim.CmdSubmit:
+		return 0
+	case sim.CmdCancel:
+		return 1
+	case sim.CmdDrain:
+		return 2
+	case sim.CmdRestore:
+		return 3
+	}
+	return 4
+}
+
+// traceCommands lowers a preloaded workload plus an optional script
+// into the equivalent ordered command stream. The sort is stable, so
+// same-instant same-kind commands keep trace/script order — the
+// insertion order RunStream's setup produces.
+func traceCommands(w *trace.Workload, script *scenario.Script) []sim.Command {
+	var cmds []sim.Command
+	for i := range w.Jobs {
+		cmds = append(cmds, sim.SubmitCommand(w.Jobs[i]))
+	}
+	if script != nil {
+		for _, ev := range script.Events {
+			switch ev.Action {
+			case scenario.Drain:
+				cmds = append(cmds, sim.DrainCommand(ev.Time, ev.Procs))
+			case scenario.Restore:
+				cmds = append(cmds, sim.RestoreCommand(ev.Time, ev.Procs))
+			case scenario.Cancel:
+				cmds = append(cmds, sim.CancelCommand(ev.Time, ev.JobID))
+			}
+		}
+	}
+	sort.SliceStable(cmds, func(i, j int) bool {
+		if cmds[i].Time != cmds[j].Time {
+			return cmds[i].Time < cmds[j].Time
+		}
+		return commandRank(cmds[i].Kind) < commandRank(cmds[j].Kind)
+	})
+	return cmds
+}
+
+// runLiveCommands drives RunLive over a fixed command slice under fresh
+// triple state.
+func runLiveCommands(t *testing.T, name string, maxProcs int64, cmds []sim.Command, tr core.Triple) (*sim.Result, *recordingSink) {
+	t.Helper()
+	sink := newRecordingSink()
+	cfg := tr.Config()
+	cfg.Sink = sink
+	res, err := sim.RunLive(name, maxProcs, sim.NewSliceCommands(cmds), cfg)
+	if err != nil {
+		t.Fatalf("RunLive(%s): %v", tr.Name(), err)
+	}
+	return res, sink
+}
+
+// runStreamRef is the reference run the live driver is held to.
+func runStreamRef(t *testing.T, w *trace.Workload, tr core.Triple, script *scenario.Script) (*sim.Result, *recordingSink) {
+	t.Helper()
+	sink := newRecordingSink()
+	cfg := tr.Config()
+	cfg.Script = script
+	cfg.Sink = sink
+	res, err := sim.RunStream(w.Name, w.MaxProcs, workload.FromWorkload(w), cfg)
+	if err != nil {
+		t.Fatalf("RunStream(%s): %v", tr.Name(), err)
+	}
+	return res, sink
+}
+
+// TestLiveIdenticalAcrossPresets sweeps every preset across the full
+// policy-triple grid: the command-driven loop must reproduce the
+// streaming driver exactly, Perf counters included.
+func TestLiveIdenticalAcrossPresets(t *testing.T) {
+	triples := diffConfigs()
+	for _, preset := range workload.PresetNames() {
+		cfg, err := workload.Scaled(preset, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmds := traceCommands(w, nil)
+		for _, tr := range triples {
+			label := fmt.Sprintf("%s/%s", preset, tr.Name())
+			ref, refSink := runStreamRef(t, w, tr, nil)
+			liv, livSink := runLiveCommands(t, w.Name, w.MaxProcs, cmds, tr)
+			assertIdentical(t, label, ref, liv, refSink, livSink)
+		}
+	}
+}
+
+// TestLiveIdenticalUnderCapacityCommands replays generated disruption
+// scripts with their cancellations stripped (capacity changes only —
+// cancel timing equivalence has its own tests below) as drain/restore
+// commands, across intensities and seeds.
+func TestLiveIdenticalUnderCapacityCommands(t *testing.T) {
+	cfg, err := workload.Scaled("SDSC-SP2", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triples := []core.Triple{core.EASYPlusPlus(), core.ClairvoyantSJBF(), core.ConservativeBF()}
+	src := rng.New(0x11fe)
+	for _, in := range scenario.Intensities {
+		if in.Name == "none" {
+			continue
+		}
+		seed := src.Uint64()
+		script := scenario.Generate(w, in, seed)
+		capOnly := &scenario.Script{Name: script.Name}
+		for _, ev := range script.Events {
+			if ev.Action != scenario.Cancel {
+				capOnly.Events = append(capOnly.Events, ev)
+			}
+		}
+		cmds := traceCommands(w, capOnly)
+		for _, tr := range triples {
+			label := fmt.Sprintf("%s/seed%x/%s", in.Name, seed, tr.Name())
+			ref, refSink := runStreamRef(t, w, tr, capOnly)
+			liv, livSink := runLiveCommands(t, w.Name, w.MaxProcs, cmds, tr)
+			assertIdentical(t, label, ref, liv, refSink, livSink)
+		}
+	}
+}
+
+// TestLiveCancelCommandsIdentical pins the three cancellation paths a
+// live client can hit — cancel before submission, cancel at the submit
+// instant, cancel of a job that is queued or running — against the
+// streaming engine's script semantics. Targets are long jobs canceled
+// right after submission, so no tested policy can retire one before
+// its cancel fires (the one case the drivers are documented to
+// diverge on; see TestLiveRetiredCancelIsBenign).
+func TestLiveCancelCommandsIdentical(t *testing.T) {
+	cfg, err := workload.Scaled("CTC-SP2", 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []scenario.Event
+	long := 0
+	for i := range w.Jobs {
+		j := &w.Jobs[i]
+		if j.RunTime < 1000 {
+			continue
+		}
+		switch long % 3 {
+		case 0: // before submission
+			tc := j.SubmitTime - 5
+			if tc < 0 {
+				tc = 0
+			}
+			events = append(events, scenario.Event{Time: tc, Action: scenario.Cancel, JobID: j.JobNumber})
+		case 1: // at the submit instant
+			events = append(events, scenario.Event{Time: j.SubmitTime, Action: scenario.Cancel, JobID: j.JobNumber})
+		case 2: // queued or running, long before it can finish
+			events = append(events, scenario.Event{Time: j.SubmitTime + 1, Action: scenario.Cancel, JobID: j.JobNumber})
+		}
+		long++
+		if long == 30 {
+			break
+		}
+	}
+	if long < 10 {
+		t.Fatalf("workload too short on long jobs: %d", long)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	script := &scenario.Script{Name: "live-cancels", Events: events}
+	cmds := traceCommands(w, script)
+	for _, tr := range diffConfigs() {
+		label := "cancels/" + tr.Name()
+		ref, refSink := runStreamRef(t, w, tr, script)
+		liv, livSink := runLiveCommands(t, w.Name, w.MaxProcs, cmds, tr)
+		assertIdentical(t, label, ref, liv, refSink, livSink)
+		if ref.Canceled == 0 {
+			t.Fatalf("%s: script canceled nothing", label)
+		}
+	}
+}
+
+// TestLiveAdvanceIsPureLiveness interleaves advance promises through
+// the command stream — one per submission, plus a far-future promise
+// after the last — and requires byte-identical results: advances let
+// the loop retire events early but must never change a decision.
+func TestLiveAdvanceIsPureLiveness(t *testing.T) {
+	cfg, err := workload.Scaled("KTH-SP2", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := traceCommands(w, nil)
+	var paced []sim.Command
+	for _, c := range plain {
+		paced = append(paced, sim.AdvanceCommand(c.Time), c)
+	}
+	paced = append(paced, sim.AdvanceCommand(1<<40))
+	for _, tr := range []core.Triple{core.EASYPlusPlus(), core.ConservativeBF(), core.PaperBest()} {
+		ref, refSink := runStreamRef(t, w, tr, nil)
+		liv, livSink := runLiveCommands(t, w.Name, w.MaxProcs, paced, tr)
+		assertIdentical(t, "paced/"+tr.Name(), ref, liv, refSink, livSink)
+	}
+}
+
+// TestLiveRetiredCancelIsBenign pins the documented divergence: a
+// cancel command naming an already-retired job pops as a
+// cancel-before-submission — one benign extra scheduling pass against
+// unchanged state — so only PickCalls may exceed the reference.
+func TestLiveRetiredCancelIsBenign(t *testing.T) {
+	cfg, err := workload.Scaled("KTH-SP2", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := core.EASYPlusPlus()
+	ref, refSink := runStreamRef(t, w, tr, nil)
+
+	// Cancel the first job long after the whole trace has drained.
+	cmds := traceCommands(w, nil)
+	cmds = append(cmds, sim.CancelCommand(ref.Makespan+1000, w.Jobs[0].JobNumber))
+	liv, livSink := runLiveCommands(t, w.Name, w.MaxProcs, cmds, tr)
+
+	if len(refSink.seq) != len(livSink.seq) {
+		t.Fatalf("retirement counts differ: %d vs %d", len(refSink.seq), len(livSink.seq))
+	}
+	for i := range refSink.seq {
+		if refSink.seq[i] != livSink.seq[i] {
+			t.Fatalf("retirement %d differs: %+v vs %+v", i, refSink.seq[i], livSink.seq[i])
+		}
+	}
+	if liv.Canceled != ref.Canceled || liv.Finished != ref.Finished || liv.Makespan != ref.Makespan {
+		t.Fatalf("counters diverged: %+v vs %+v", liv, ref)
+	}
+	if liv.Perf.Events != ref.Perf.Events+1 {
+		t.Fatalf("expected exactly one extra pop, got %d vs %d", liv.Perf.Events, ref.Perf.Events)
+	}
+	if liv.Perf.PickCalls <= ref.Perf.PickCalls {
+		t.Fatalf("expected the benign extra pass to call Pick, got %d vs %d", liv.Perf.PickCalls, ref.Perf.PickCalls)
+	}
+}
+
+// TestLiveRejects pins the live loop's input validation.
+func TestLiveRejects(t *testing.T) {
+	rec := func(id, submit, run, procs int64) swf.Job {
+		return swf.Job{JobNumber: id, SubmitTime: submit, RunTime: run, RequestedProcs: procs, RequestedTime: run * 2}
+	}
+	cases := []struct {
+		name string
+		cmds []sim.Command
+		want string
+	}{
+		{"unordered", []sim.Command{sim.SubmitCommand(rec(1, 100, 10, 1)), sim.SubmitCommand(rec(2, 50, 10, 1))}, "not time-ordered"},
+		{"advance-regression", []sim.Command{sim.AdvanceCommand(100), sim.CancelCommand(50, 1)}, "not time-ordered"},
+		{"wide", []sim.Command{sim.SubmitCommand(rec(1, 0, 10, 64))}, "wider"},
+		{"mismatched-submit", []sim.Command{{Kind: sim.CmdSubmit, Time: 5, Job: rec(1, 9, 10, 1)}}, "submitting at"},
+		{"zero-drain", []sim.Command{sim.DrainCommand(10, 0)}, "drain of"},
+		{"zero-restore", []sim.Command{sim.RestoreCommand(10, 0)}, "restore of"},
+		{"unknown-kind", []sim.Command{{Kind: sim.CommandKind(99), Time: 1}}, "unknown command kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := core.EASY().Config()
+			_, err := sim.RunLive(tc.name, 4, sim.NewSliceCommands(tc.cmds), cfg)
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+
+	t.Run("script", func(t *testing.T) {
+		cfg := core.EASY().Config()
+		cfg.Script = &scenario.Script{Name: "s", Events: []scenario.Event{{Time: 1, Action: scenario.Drain, Procs: 1}}}
+		if _, err := sim.RunLive("script", 4, sim.NewSliceCommands(nil), cfg); err == nil {
+			t.Fatal("a live run with a Script must be rejected")
+		}
+	})
+	t.Run("nil-source", func(t *testing.T) {
+		cfg := core.EASY().Config()
+		if _, err := sim.RunLive("nil", 4, nil, cfg); err == nil {
+			t.Fatal("a nil source must be rejected")
+		}
+	})
+	t.Run("unrestored-drain", func(t *testing.T) {
+		cfg := core.EASY().Config()
+		cmds := []sim.Command{
+			sim.DrainCommand(0, 4),
+			sim.SubmitCommand(rec(1, 1, 10, 1)),
+		}
+		if _, err := sim.RunLive("stranded", 4, sim.NewSliceCommands(cmds), cfg); err == nil {
+			t.Fatal("a drained-out run with stranded jobs must error")
+		}
+	})
+}

@@ -23,7 +23,7 @@
 // running. The realized capacity timeline is recorded on the Result so
 // validation can check the schedule against it.
 //
-// The engine has four drivers over one shared event core (engine.go):
+// The engine has five drivers over one shared event core (engine.go):
 // Run preloads a trace.Workload and retains every job on the Result —
 // the validating, table-producing path — while RunStream (stream.go)
 // pulls submissions lazily from a workload.Source and retires finished
@@ -31,9 +31,13 @@
 // regardless of trace length; RunFederated and RunFederatedStream
 // (federated.go) drive N per-cluster states behind a sched.Router
 // consulted once per job at submission, with the single-machine drivers
-// being the 1-cluster special case. A differential test harness
-// (stream_diff_test.go, federated_diff_test.go) holds every driver to
-// decision-identical schedules.
+// being the 1-cluster special case; and RunLive (live.go) advances the
+// core under an externally produced command stream — submissions,
+// cancellations and capacity changes from live clients, sequenced by
+// internal/schedd — with advance promises standing in for the script's
+// complete knowledge of the future. A differential test harness
+// (stream_diff_test.go, federated_diff_test.go, live_diff_test.go)
+// holds every driver to decision-identical schedules.
 //
 // # Determinism invariants
 //

@@ -41,6 +41,9 @@ func FuzzSpecYAML(f *testing.F) {
 		"workloads:\n  - preset: KTH-SP2\n    clients:\n      - name: a\n        fraction: 0.5\n      - fraction: 0.5\n        arrival: gamma\n        shape: 0.7\n",
 		"workloads:\n  - preset: KTH-SP2\n    clients:\n      - fraction: 1\n        envelope: [1, 0]\n        envelope_period: 3600\n        users: 3\n        runtime_log_mean: 8\n",
 		"shards: 2\nstream: true\n",
+		"serve:\n  addr: 127.0.0.1:9090\n  max_procs: 128\n  scale: 100\n  triple: easy\n  clients: [batch, interactive]\n",
+		"serve:\n  max_procs: 64\n  triple:\n    predictor: ml\n    over: sq\n",
+		"serve:\n  max_procs: 0\n",
 		"a:\n - b\n -   c: [1, \"two\", 3]\n",
 		"include: other.yaml\n",
 		"\t\n: :\n- -\n",

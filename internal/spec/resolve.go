@@ -26,7 +26,7 @@ import (
 func (s *Spec) decode(tree *node) error {
 	if err := tree.checkKeys("kind", "seed", "repeats", "jobs", "parallelism",
 		"stream", "shards", "workloads", "triples", "scenarios", "clusters",
-		"routing", "output", "trace"); err != nil {
+		"routing", "output", "trace", "serve"); err != nil {
 		return err
 	}
 
@@ -149,6 +149,88 @@ func (s *Spec) decode(tree *node) error {
 			return err
 		}
 	}
+	if n := tree.at("serve"); n != nil {
+		if err := s.decodeServe(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeServe reads the serve section: the live-daemon configuration
+// cmd/schedd -spec consumes. The triple entry reuses the grid
+// vocabulary but must resolve to exactly one triple — a daemon
+// schedules with a single heuristic bundle.
+func (s *Spec) decodeServe(n *node) error {
+	if n.kind != kindMap {
+		return n.errf("serve must be a mapping")
+	}
+	if err := n.checkKeys("addr", "max_procs", "scale", "triple", "clients"); err != nil {
+		return err
+	}
+	srv := &Serve{Addr: "localhost:8080", Triple: core.EASYPlusPlus()}
+	var err error
+	if an := n.at("addr"); an != nil {
+		if srv.Addr, err = an.str(); err != nil {
+			return err
+		}
+	}
+	mp := n.at("max_procs")
+	if mp == nil {
+		return n.errf("serve needs max_procs (the machine size)")
+	}
+	if srv.MaxProcs, err = mp.toInt64(); err != nil {
+		return err
+	}
+	if srv.MaxProcs <= 0 {
+		return mp.errf("max_procs must be positive, got %d", srv.MaxProcs)
+	}
+	if sn := n.at("scale"); sn != nil {
+		if srv.Scale, err = sn.toFloat(); err != nil {
+			return err
+		}
+		if srv.Scale < 0 {
+			return sn.errf("scale must be >= 0 (0 = virtual time), got %v", srv.Scale)
+		}
+	}
+	if tn := n.at("triple"); tn != nil {
+		switch tn.kind {
+		case kindScalar:
+			set, ok := namedTripleSets[norm(tn.scalar)]
+			if !ok {
+				return tn.errf("unknown triple %q (have %s, or a structured mapping)", tn.scalar, tripleNames)
+			}
+			ts := set()
+			if len(ts) != 1 {
+				return tn.errf("triple %q expands to %d triples; serve needs exactly one", tn.scalar, len(ts))
+			}
+			srv.Triple = ts[0]
+		case kindMap:
+			if srv.Triple, err = decodeStructuredTriple(tn); err != nil {
+				return err
+			}
+		default:
+			return tn.errf("triple must be a name or a mapping")
+		}
+	}
+	if cn := n.at("clients"); cn != nil {
+		if cn.kind != kindList || len(cn.items) == 0 {
+			return cn.errf("clients must be a non-empty list of names (omit the key for no split)")
+		}
+		seen := map[string]bool{}
+		for _, item := range cn.items {
+			name, err := item.str()
+			if err != nil {
+				return err
+			}
+			if seen[name] {
+				return item.errf("duplicate client %q", name)
+			}
+			seen[name] = true
+			srv.Clients = append(srv.Clients, name)
+		}
+	}
+	s.Serve = srv
 	return nil
 }
 

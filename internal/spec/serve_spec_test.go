@@ -1,0 +1,88 @@
+package spec
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestServeSpec decodes a full serve section.
+func TestServeSpec(t *testing.T) {
+	path := writeSpec(t, t.TempDir(), "serve.yaml", `
+serve:
+  addr: 127.0.0.1:9090
+  max_procs: 128
+  scale: 100
+  triple: easy
+  clients: [batch, interactive]
+`)
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := s.Serve
+	if srv == nil {
+		t.Fatal("serve section not decoded")
+	}
+	if srv.Addr != "127.0.0.1:9090" || srv.MaxProcs != 128 || srv.Scale != 100 {
+		t.Fatalf("serve decoded wrong: %+v", srv)
+	}
+	if srv.Triple.Name() != core.EASY().Name() {
+		t.Fatalf("triple %q, want %q", srv.Triple.Name(), core.EASY().Name())
+	}
+	if !reflect.DeepEqual(srv.Clients, []string{"batch", "interactive"}) {
+		t.Fatalf("clients %v", srv.Clients)
+	}
+}
+
+// TestServeSpecDefaults checks the minimal section: only max_procs is
+// required.
+func TestServeSpecDefaults(t *testing.T) {
+	path := writeSpec(t, t.TempDir(), "serve.yaml", "serve:\n  max_procs: 64\n")
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := s.Serve
+	if srv.Addr != "localhost:8080" || srv.Scale != 0 || srv.Clients != nil {
+		t.Fatalf("defaults wrong: %+v", srv)
+	}
+	if srv.Triple.Name() != core.EASYPlusPlus().Name() {
+		t.Fatalf("default triple %q", srv.Triple.Name())
+	}
+}
+
+// TestServeSpecStructuredTriple reuses the structured-triple decoder.
+func TestServeSpecStructuredTriple(t *testing.T) {
+	path := writeSpec(t, t.TempDir(), "serve.yaml", `
+serve:
+  max_procs: 64
+  triple:
+    predictor: ml
+    over: sq
+    under: lin
+    weight: largearea
+    corrector: incremental
+    backfill: sjbf
+`)
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Serve.Triple.Name() != core.PaperBest().Name() {
+		t.Fatalf("structured triple %q, want %q", s.Serve.Triple.Name(), core.PaperBest().Name())
+	}
+}
+
+// TestServeSpecErrors pins the section's rejection surface.
+func TestServeSpecErrors(t *testing.T) {
+	loadErr(t, "serve:\n  addr: x\n", "serve needs max_procs", "")
+	loadErr(t, "serve:\n  max_procs: 0\n", "max_procs must be positive", "2")
+	loadErr(t, "serve:\n  max_procs: 64\n  scale: -1\n", "scale must be >= 0", "3")
+	loadErr(t, "serve:\n  max_procs: 64\n  triple: campaign-grid\n", "serve needs exactly one", "3")
+	loadErr(t, "serve:\n  max_procs: 64\n  triple: eazy\n", `unknown triple "eazy"`, "3")
+	loadErr(t, "serve:\n  max_procs: 64\n  clients: []\n", "clients must be a non-empty list", "3")
+	loadErr(t, "serve:\n  max_procs: 64\n  clients: [a, a]\n", `duplicate client "a"`, "3")
+	loadErr(t, "serve:\n  max_procs: 64\n  port: 80\n", `unknown field "port"`, "3")
+}

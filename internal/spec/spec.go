@@ -73,6 +73,25 @@ type Spec struct {
 	Output Output
 	// Trace carries the flight-recorder settings.
 	Trace Trace
+	// Serve carries the live-daemon settings (nil = no serve section).
+	Serve *Serve
+}
+
+// Serve is the spec's serve section: the configuration cmd/schedd
+// -spec reads to start a live scheduling daemon.
+type Serve struct {
+	// Addr is the HTTP listen address (default "localhost:8080").
+	Addr string
+	// MaxProcs is the machine size (required).
+	MaxProcs int64
+	// Scale is the time mode: 0 = virtual time (clients state instants),
+	// >0 = scaled wall time, Scale virtual seconds per wall second.
+	Scale float64
+	// Triple is the heuristic triple the daemon schedules with
+	// (default easy++). A named entry must expand to exactly one triple.
+	Triple core.Triple
+	// Clients names the traffic sources for the per-client metric split.
+	Clients []string
 }
 
 // Trace is the spec's trace section: the flight-recorder destination
